@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 9 (HiBench big-data workloads)."""
+
+from repro.harness.experiments.fig09_hibench import Fig09Params, run
+
+PARAMS = Fig09Params(scale=0.25, benchmarks=("kmeans", "als"))
+
+
+def test_fig09_hibench(attach):
+    result = attach(lambda: run(PARAMS))
+    exec_t = result.tables["execution_time"]
+    gc = result.tables["gc_time"]
+    for row in exec_t.rows:
+        assert row["adaptive"] < 1.0
+        assert row["adaptive"] <= row["dynamic"]
+    for row in gc.rows:
+        assert row["adaptive"] < row["dynamic"] <= 1.0

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 10 (NPB/OpenMP thread policies)."""
+
+from repro.harness.experiments.fig10_npb import Fig10Params, run
+
+PARAMS = Fig10Params(scale=0.5, benchmarks=("is", "ep", "cg"))
+
+
+def test_fig10_npb_policies(attach):
+    result = attach(lambda: run(PARAMS))
+    for key in ("five_containers", "one_container"):
+        for row in result.tables[key].rows:
+            # Adaptive is the baseline (1.0); static over-threads,
+            # dynamic collapses to single-thread teams and is worst.
+            assert row["static"] > 1.1
+            assert row["dynamic"] > 1.5
+            assert row["dynamic"] > row["static"] * 0.95 or row["dynamic"] > 2.0

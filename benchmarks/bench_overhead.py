@@ -1,0 +1,43 @@
+"""Benchmark: §5.4 overheads, measured properly under pytest-benchmark."""
+
+import pytest
+
+from repro.harness.experiments.overhead import make_probe_world
+
+
+@pytest.fixture(scope="module")
+def probe():
+    world, container = make_probe_world()
+    return world, container
+
+
+def test_overhead_sys_namespace_update(benchmark, probe):
+    world, container = probe
+    ns = container.sys_ns
+    now = world.clock.now
+    benchmark(lambda: ns.update(now))
+
+
+def test_overhead_sysconf_effective_cpu(benchmark, probe):
+    _, container = probe
+    view = container.resource_view()
+    assert benchmark(view.ncpus) >= 1
+
+
+def test_overhead_query_effective_memory(benchmark, probe):
+    _, container = probe
+    view = container.resource_view()
+
+    def query():
+        return view.total_memory(), view.available_memory(), view.meminfo()
+
+    total, avail, info = benchmark(query)
+    assert total > 0 and avail >= 0 and "MemTotal" in info
+
+
+def test_overhead_host_sysconf_baseline(benchmark, probe):
+    """Host-path sysconf for comparison (no namespace redirect)."""
+    world, _ = probe
+    from repro.kernel.sysfs import Sysconf
+    init = world.procs.init
+    benchmark(lambda: world.sysfs_registry.sysconf(init, Sysconf.NPROCESSORS_ONLN))

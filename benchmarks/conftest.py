@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Each ``bench_figXX.py`` regenerates one figure/table of the paper using
+scaled-down workloads (simulated time is unaffected by scaling the
+*wall* cost; scaling shortens the simulated benchmarks so a full
+``pytest benchmarks/ --benchmark-only`` stays in the minutes range).
+The benchmark fixture measures the wall time of regenerating the
+experiment; the experiment's own tables are attached to the benchmark's
+``extra_info`` so the run output doubles as the reproduction report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_attach(benchmark, fn, *, rounds: int = 1):
+    """Benchmark ``fn`` (an experiment runner) and attach its tables."""
+    result = benchmark.pedantic(fn, rounds=rounds, iterations=1,
+                                warmup_rounds=0)
+    if result is not None:
+        benchmark.extra_info["experiment"] = result.experiment
+        for key, table in result.tables.items():
+            benchmark.extra_info[key] = [dict(r) for r in table.rows]
+    return result
+
+
+@pytest.fixture
+def attach(benchmark):
+    def _attach(fn, rounds: int = 1):
+        return run_and_attach(benchmark, fn, rounds=rounds)
+    return _attach

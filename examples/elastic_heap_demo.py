@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Elastic heap: a JVM that grows and shrinks with effective memory.
+
+A memory-hungry Java service (the paper's §5.3 micro-benchmark, scaled
+down) runs in a container with a 6 GB hard / 3 GB soft memory limit.
+The vanilla JVM commits toward its static MaxHeapSize; the elastic JVM
+bounds its heap by a dynamic VirtualMax that tracks the container's
+effective memory — starting from the soft limit and expanding only
+while the host has headroom.
+
+Run:  python examples/elastic_heap_demo.py
+"""
+
+from repro import ContainerSpec, World, gib
+from repro.jvm import Jvm, JvmConfig
+from repro.workloads import heap_micro_benchmark
+from repro.workloads.base import JavaWorkload
+
+
+def scaled_micro() -> JavaWorkload:
+    """A 1/8-size variant of the §5.3 micro-benchmark (2.5 GB live)."""
+    full = heap_micro_benchmark(total_work=60.0)
+    import dataclasses
+    return dataclasses.replace(
+        full, live_set=full.live_set // 8,
+        alloc_rate=full.alloc_rate / 8,
+        min_heap=full.min_heap // 8,
+        name="heap-micro-small")
+
+
+def run(label, config):
+    world = World(ncpus=8, memory=gib(32))
+    container = world.containers.create(ContainerSpec(
+        "svc", memory_limit=gib(6), memory_soft_limit=gib(3)))
+    jvm = Jvm(container, scaled_micro(), config, trace_heap=True)
+    jvm.launch()
+    world.run_until(lambda: jvm.finished, timeout=100000)
+    stats = jvm.stats
+    print(f"\n{label}: completed={stats.completed} "
+          f"exec={stats.execution_time:.1f}s "
+          f"GCs={stats.minor_gcs}+{stats.major_gcs}")
+    print("  time    used  committed  VirtualMax  (GiB)")
+    step = max(1, len(stats.heap_trace) // 8)
+    for snap in stats.heap_trace[::step]:
+        print(f"  {snap.time:6.1f}  {snap.used / gib(1):5.2f}  "
+              f"{snap.committed / gib(1):9.2f}  {snap.virtual_max / gib(1):10.2f}")
+    return stats
+
+
+def main():
+    run("vanilla (static MaxHeap = hard limit)",
+        JvmConfig.vanilla_jdk8(xmx=gib(6), xms=gib(6) // 4))
+    run("elastic (VirtualMax = effective memory)",
+        JvmConfig.adaptive())
+
+
+if __name__ == "__main__":
+    main()

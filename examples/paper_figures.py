@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Regenerating a paper figure programmatically.
+
+Shows the harness as a library: run one experiment with custom
+parameters, inspect the result tables, render a trace chart, and export
+CSV/JSON for external plotting.
+
+Run:  python examples/paper_figures.py
+"""
+
+import tempfile
+
+from repro.harness.experiments.fig10_npb import Fig10Params, run as run_fig10
+from repro.harness.experiments.fig12_heap_traces import (Fig12Params,
+                                                         run_single)
+from repro.harness.export import write_result
+from repro.harness.plot import ascii_chart
+from repro.units import gib
+
+
+def main():
+    # --- Figure 10 on a reduced benchmark set -------------------------------
+    params = Fig10Params(scale=0.5, benchmarks=("is", "ep", "cg"))
+    result = run_fig10(params)
+    print(result.tables["five_containers"].to_text())
+    print()
+    print(result.tables["one_container"].to_text())
+
+    # --- export for external plotting -----------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = write_result(result, tmp)
+        print(f"\nexported {len(paths)} files:",
+              ", ".join(p.name for p in paths))
+
+    # --- a Figure 12(b)-style trace, charted in the terminal ---------------------
+    stats = run_single(Fig12Params(scale=0.25), elastic=True)
+    series = {
+        "used": [(s.time, s.used / gib(1)) for s in stats.heap_trace],
+        "committed": [(s.time, s.committed / gib(1))
+                      for s in stats.heap_trace],
+        "VirtualMax": [(s.time, s.virtual_max / gib(1))
+                       for s in stats.heap_trace],
+    }
+    print()
+    print(ascii_chart(series, title="Figure 12(b): elastic JVM heap growth",
+                      y_label="GiB"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro info                 # package and experiment summary
+    python -m repro census               # the Fig. 1 DockerHub census
+    python -m repro run [EXPERIMENTS]    # forwards to repro.harness.run_all
+    python -m repro demo                 # the quickstart scenario
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_info(_args) -> int:
+    import repro
+    from repro.harness.experiments import ALL_EXPERIMENTS
+    print(f"repro {repro.__version__} — 'Adaptive Resource Views for "
+          f"Containers' (HPDC '19) reproduction")
+    print("\nregistered experiments:")
+    for key, module in ALL_EXPERIMENTS.items():
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"  {key:10s} {doc}")
+    print("\nrun them with: python -m repro run [--quick] [names...]")
+    return 0
+
+
+def _cmd_census(_args) -> int:
+    from repro.harness.experiments.fig01_dockerhub import run
+    print(run().to_text())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.harness.run_all import main as run_all_main
+    forwarded = list(args.experiments)
+    if args.quick:
+        forwarded.append("--quick")
+    if args.output:
+        forwarded.extend(["--output", args.output])
+    return run_all_main(forwarded)
+
+
+def _cmd_demo(_args) -> int:
+    from repro import ContainerSpec, World, gib
+    world = World(ncpus=20, memory=gib(128))
+    a = world.containers.create(ContainerSpec("a", cpu_shares=2048))
+    b = world.containers.create(ContainerSpec("b", cpus=4.0))
+    for i in range(16):
+        a.spawn_thread(f"w{i}").assign_work(1e9)
+    world.run(until=5.0)
+    for c in (a, b):
+        view = c.resource_view()
+        print(f"container {c.name}: {view.ncpus()} effective CPUs "
+              f"(host has {world.host.ncpus}), "
+              f"{view.total_memory() / gib(1):.1f} GiB effective memory")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("info", help="package and experiment summary")
+    sub.add_parser("census", help="print the Fig. 1 DockerHub census")
+    run_p = sub.add_parser("run", help="run paper experiments")
+    run_p.add_argument("experiments", nargs="*")
+    run_p.add_argument("--quick", action="store_true")
+    run_p.add_argument("--output", type=str, default=None)
+    sub.add_parser("demo", help="run the quickstart scenario")
+    args = parser.parse_args(argv)
+    handlers = {"info": _cmd_info, "census": _cmd_census,
+                "run": _cmd_run, "demo": _cmd_demo}
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Container runtime: specs, containers, lifecycle."""
+
+from repro.container.container import Container, ContainerState
+from repro.container.runtime import ContainerRuntime
+from repro.container.spec import ContainerSpec
+
+__all__ = ["Container", "ContainerState", "ContainerRuntime", "ContainerSpec"]

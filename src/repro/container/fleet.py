@@ -1,0 +1,86 @@
+"""Declarative container fleets (a docker-compose flavoured loader).
+
+Experiments and downstream users often deploy many similar containers;
+:func:`deploy_fleet` creates them from a compact declarative mapping::
+
+    fleet = deploy_fleet(world, {
+        "web":   {"replicas": 2, "cpu_shares": 2048,
+                  "memory_limit": "4g", "memory_soft_limit": "2g"},
+        "batch": {"replicas": 3, "cpus": 2.0},
+        "pinned": {"cpuset": "0-3"},
+    })
+
+Memory sizes accept integers (bytes) or strings with k/m/g suffixes,
+mirroring Docker's flag syntax.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.container.container import Container
+from repro.container.spec import ContainerSpec
+from repro.errors import ContainerError
+from repro.units import GiB, KiB, MiB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.world import World
+
+__all__ = ["parse_size", "deploy_fleet"]
+
+_SUFFIXES = {"k": KiB, "kb": KiB, "kib": KiB,
+             "m": MiB, "mb": MiB, "mib": MiB,
+             "g": GiB, "gb": GiB, "gib": GiB,
+             "b": 1, "": 1}
+
+
+def parse_size(value: int | str | None) -> int | None:
+    """Parse ``"4g"`` / ``"512m"`` / ``1024`` into bytes (None passes)."""
+    if value is None or isinstance(value, int):
+        return value
+    text = str(value).strip().lower()
+    number = text
+    suffix = ""
+    for i, ch in enumerate(text):
+        if not (ch.isdigit() or ch == "."):
+            number, suffix = text[:i], text[i:]
+            break
+    try:
+        scale = _SUFFIXES[suffix.strip()]
+        return int(float(number) * scale)
+    except (KeyError, ValueError):
+        raise ContainerError(f"cannot parse memory size {value!r}") from None
+
+
+_SPEC_KEYS = {"cpu_shares", "cpus", "cpuset", "cpu_period_us"}
+
+
+def deploy_fleet(world: "World", services: Mapping[str, Mapping[str, Any]],
+                 ) -> dict[str, list[Container]]:
+    """Create containers for every service; returns name -> replicas.
+
+    Replica *i* of service ``svc`` is named ``svc-i`` (a single replica
+    keeps the bare service name, like compose's default project
+    naming).
+    """
+    fleet: dict[str, list[Container]] = {}
+    for service, raw in services.items():
+        cfg = dict(raw)
+        replicas = int(cfg.pop("replicas", 1))
+        if replicas < 1:
+            raise ContainerError(
+                f"service {service!r}: replicas must be >= 1, got {replicas}")
+        mem_limit = parse_size(cfg.pop("memory_limit", None))
+        mem_soft = parse_size(cfg.pop("memory_soft_limit", None))
+        unknown = set(cfg) - _SPEC_KEYS
+        if unknown:
+            raise ContainerError(
+                f"service {service!r}: unknown keys {sorted(unknown)}")
+        containers = []
+        for i in range(replicas):
+            name = service if replicas == 1 else f"{service}-{i}"
+            spec = ContainerSpec(name=name, memory_limit=mem_limit,
+                                 memory_soft_limit=mem_soft, **cfg)
+            containers.append(world.containers.create(spec))
+        fleet[service] = containers
+    return fleet

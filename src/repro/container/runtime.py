@@ -1,0 +1,119 @@
+"""The container runtime ("dockerd"): lifecycle of containers.
+
+``create`` performs the launch sequence of §3.2:
+
+1. create the container's cgroup under ``/docker`` and apply the spec;
+2. fork the *original init* process and unshare its namespaces,
+   including the new ``sys_namespace`` (owned by the original init);
+3. fork the entry process, let the original init die, and ``exec`` the
+   entry — the execve hook transfers ``sys_namespace`` ownership to the
+   new init so the kernel-side updater keeps a live owner;
+4. register the namespace with ``ns_monitor`` (which initializes
+   Algorithm 1's bounds over the new contention set) and arm its update
+   timer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.container.container import Container, ContainerState
+from repro.container.spec import ContainerSpec
+from repro.core.sys_namespace import SysNamespace
+from repro.errors import ContainerError
+from repro.kernel.namespace import PidNamespace
+from repro.kernel.task import ThreadState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.world import World
+
+__all__ = ["ContainerRuntime"]
+
+
+class ContainerRuntime:
+    """Creates and destroys containers on a :class:`~repro.world.World`."""
+
+    DOCKER_ROOT = "docker"
+
+    def __init__(self, world: "World"):
+        self.world = world
+        self.containers: dict[str, Container] = {}
+        root = world.cgroups.root
+        self._docker_cg = root.children.get(self.DOCKER_ROOT) or root.create_child(
+            self.DOCKER_ROOT)
+
+    def create(self, spec: ContainerSpec, *, record_history: bool = False) -> Container:
+        """Launch a container according to ``spec``."""
+        if spec.name in self.containers:
+            raise ContainerError(f"container {spec.name!r} already exists")
+        world = self.world
+
+        # 1. cgroup setup.
+        cg = self._docker_cg.create_child(spec.name)
+        cg.set_cpu_shares(spec.cpu_shares)
+        if spec.cpu_quota_us is not None:
+            cg.set_cpu_quota(spec.cpu_quota_us, spec.cpu_period_us)
+        if spec.cpuset is not None:
+            cg.set_cpuset(spec.cpuset)
+        if spec.memory_limit is not None:
+            cg.set_memory_limit(spec.memory_limit)
+        if spec.memory_soft_limit is not None:
+            cg.set_memory_soft_limit(spec.memory_soft_limit)
+
+        # 2. original init + namespaces.
+        init0 = world.procs.fork(world.procs.init, f"{spec.name}:init0", cgroup=cg)
+        world.procs.unshare(init0, PidNamespace(owner=init0))
+        sys_ns = SysNamespace(cg, world.sched, world.mm, owner=init0,
+                              cpu_params=world.cpu_view_params,
+                              mem_params=world.mem_view_params,
+                              update_period=world.sys_ns_update_period,
+                              record_history=record_history,
+                              trace=world.trace)
+        world.procs.unshare(init0, sys_ns)
+
+        # 3. entry process becomes the new init (ownership transfer).
+        entry = world.procs.fork(init0, f"{spec.name}:entry", cgroup=cg)
+        world.procs.exit(init0)
+        world.procs.exec(entry, new_name=f"{spec.name}:init")
+
+        # 4. register with ns_monitor and arm the update timer.
+        world.ns_monitor.register(sys_ns)
+        sys_ns.start_timer(world.events)
+
+        container = Container(world, spec, cg, entry, sys_ns)
+        self.containers[spec.name] = container
+        world.trace.emit("container.create", spec.name,
+                         shares=spec.cpu_shares, cpus=spec.cpus,
+                         cpuset=spec.cpuset, memory_limit=spec.memory_limit)
+        return container
+
+    def destroy(self, container: Container) -> None:
+        """Tear a container down and release all its resources."""
+        if container.state is ContainerState.STOPPED:
+            return
+        world = self.world
+        container.state = ContainerState.STOPPED
+        container.sys_ns.stop_timer()
+        world.ns_monitor.unregister(container.sys_ns)
+        world.sysfs_registry.drop(container.sys_ns.ns_id)
+        for t in list(container.cgroup.threads):
+            if t.state is not ThreadState.EXITED:
+                t.exit()
+        world.mm.uncharge_all(container.cgroup)
+        world.procs.exit(container.init_process)
+        container.cgroup.destroy()
+        world.mm.rebalance()
+        del self.containers[container.name]
+        world.trace.emit("container.destroy", container.name)
+
+    def get(self, name: str) -> Container:
+        try:
+            return self.containers[name]
+        except KeyError:
+            raise ContainerError(f"no container named {name!r}") from None
+
+    def __iter__(self):
+        return iter(self.containers.values())
+
+    def __len__(self) -> int:
+        return len(self.containers)

@@ -1,0 +1,59 @@
+"""Container resource specifications (the ``docker run`` flag surface)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ContainerError
+from repro.kernel.cgroup import DEFAULT_PERIOD_US, DEFAULT_SHARES
+
+__all__ = ["ContainerSpec"]
+
+
+@dataclass(frozen=True)
+class ContainerSpec:
+    """Resource configuration for one container.
+
+    Mirrors the Docker flags used throughout the paper's evaluation:
+
+    * ``cpu_shares``       — ``--cpu-shares`` (cgroup ``cpu.shares``)
+    * ``cpus``             — ``--cpus`` (quota in cores; converted to
+      ``cfs_quota_us``/``cfs_period_us``)
+    * ``cpuset``           — ``--cpuset-cpus`` (e.g. ``"0-1"``)
+    * ``memory_limit``     — ``--memory`` (``memory.limit_in_bytes``)
+    * ``memory_soft_limit``— ``--memory-reservation``
+      (``memory.soft_limit_in_bytes``)
+    """
+
+    name: str
+    cpu_shares: int = DEFAULT_SHARES
+    cpus: float | None = None
+    cpuset: str | None = None
+    cpu_period_us: int = DEFAULT_PERIOD_US
+    memory_limit: int | None = None
+    memory_soft_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ContainerError("container name cannot be empty")
+        if self.cpu_shares < 2:
+            raise ContainerError(f"cpu_shares must be >= 2, got {self.cpu_shares}")
+        if self.cpus is not None and self.cpus <= 0:
+            raise ContainerError(f"cpus must be positive, got {self.cpus}")
+        if self.memory_limit is not None and self.memory_limit <= 0:
+            raise ContainerError(f"memory_limit must be positive, got {self.memory_limit}")
+        if self.memory_soft_limit is not None and self.memory_soft_limit <= 0:
+            raise ContainerError(
+                f"memory_soft_limit must be positive, got {self.memory_soft_limit}")
+        if (self.memory_limit is not None and self.memory_soft_limit is not None
+                and self.memory_soft_limit > self.memory_limit):
+            raise ContainerError(
+                f"soft limit {self.memory_soft_limit} exceeds hard limit "
+                f"{self.memory_limit}")
+
+    @property
+    def cpu_quota_us(self) -> int | None:
+        """``cfs_quota_us`` equivalent of the ``cpus`` flag."""
+        if self.cpus is None:
+            return None
+        return int(round(self.cpus * self.cpu_period_us))

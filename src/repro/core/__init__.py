@@ -1,0 +1,15 @@
+"""The paper's core contribution: adaptive per-container resource views."""
+
+from repro.core.effective_cpu import (CpuBounds, CpuViewParams, compute_cpu_bounds,
+                                      step_effective_cpu)
+from repro.core.effective_memory import (MemorySample, MemViewParams,
+                                         step_effective_memory)
+from repro.core.ns_monitor import NsMonitor
+from repro.core.sys_namespace import SysNamespace
+from repro.core.view import ResourceView
+
+__all__ = [
+    "CpuBounds", "CpuViewParams", "compute_cpu_bounds", "step_effective_cpu",
+    "MemorySample", "MemViewParams", "step_effective_memory",
+    "NsMonitor", "SysNamespace", "ResourceView",
+]

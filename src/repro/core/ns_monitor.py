@@ -1,0 +1,81 @@
+"""``ns_monitor`` — the system-wide watcher of cgroup configuration.
+
+§3.2: "Ns_monitor is implemented as a system-wide kernel thread.  We
+modify the source code of cgroups to invoke ns_monitor if a
+sys_namespace exists for a control group and there is a change to the
+cgroups settings."
+
+The monitor keeps the registry of live ``sys_namespace``s and, on every
+cgroup event, refreshes the static pieces of the resource views:
+
+* container creation/termination or a ``cpu.shares`` edit changes the
+  contention set, so *every* registered namespace's CPU bounds are
+  recomputed (the share fraction ``w_i / Σw_j`` depends on all of them);
+* a memory-limit edit refreshes that namespace's soft/hard limits.
+"""
+
+from __future__ import annotations
+
+from repro.core.sys_namespace import SysNamespace
+from repro.kernel.cgroup import Cgroup, CgroupEvent, CgroupEventKind, CgroupRoot
+
+__all__ = ["NsMonitor"]
+
+
+class NsMonitor:
+    """Registry of sys_namespaces plus the cgroup-event subscriber."""
+
+    def __init__(self, cgroups: CgroupRoot):
+        self.cgroups = cgroups
+        self._by_cgroup: dict[str, SysNamespace] = {}
+        self.events_seen = 0
+        cgroups.subscribe(self._on_cgroup_event)
+
+    # -- registry ----------------------------------------------------------
+
+    def register(self, sys_ns: SysNamespace) -> None:
+        """Add a new container's namespace and rebalance everyone's bounds."""
+        self._by_cgroup[sys_ns.cgroup.path] = sys_ns
+        sys_ns.refresh_memory_limits()
+        shares = self._all_shares()
+        sys_ns.initialize_cpu(shares)
+        self._refresh_all_cpu(shares)
+
+    def unregister(self, sys_ns: SysNamespace) -> None:
+        """Remove a terminated container's namespace and rebalance."""
+        self._by_cgroup.pop(sys_ns.cgroup.path, None)
+        self._refresh_all_cpu(self._all_shares())
+
+    def lookup(self, cgroup: Cgroup) -> SysNamespace | None:
+        return self._by_cgroup.get(cgroup.path)
+
+    @property
+    def namespaces(self) -> list[SysNamespace]:
+        return list(self._by_cgroup.values())
+
+    def _all_shares(self) -> list[int]:
+        return [ns.cgroup.cpu.shares for ns in self._by_cgroup.values()]
+
+    def _refresh_all_cpu(self, shares: list[int] | None = None) -> None:
+        shares = self._all_shares() if shares is None else shares
+        for ns in self._by_cgroup.values():
+            ns.refresh_cpu_bounds(shares)
+
+    # -- cgroup-event handling -----------------------------------------------
+
+    def _on_cgroup_event(self, event: CgroupEvent) -> None:
+        self.events_seen += 1
+        if event.kind is CgroupEventKind.CPU_CHANGED:
+            if event.cgroup.path in self._by_cgroup:
+                self._refresh_all_cpu()
+        elif event.kind is CgroupEventKind.MEMORY_CHANGED:
+            ns = self._by_cgroup.get(event.cgroup.path)
+            if ns is not None:
+                ns.refresh_memory_limits()
+        elif event.kind is CgroupEventKind.DESTROYED:
+            ns = self._by_cgroup.pop(event.cgroup.path, None)
+            if ns is not None:
+                ns.stop_timer()
+                self._refresh_all_cpu()
+        # CREATED is a no-op: registration happens when the container
+        # runtime finishes namespace setup.

@@ -1,0 +1,57 @@
+"""User-space facade over the (virtual) sysfs.
+
+:class:`ResourceView` is what the modified runtimes (HotSpot, OpenMP)
+link against: the glibc-ish query functions that, for a containerized
+process, transparently return effective resources from its
+``sys_namespace``, and for an ordinary process return host totals.
+Applications need no code changes beyond consuming these standard
+queries — the redirect happens in the kernel (§3.2).
+"""
+
+from __future__ import annotations
+
+from repro.kernel.proc import Process
+from repro.kernel.sysfs import Sysconf, SysfsRegistry
+
+__all__ = ["ResourceView"]
+
+
+class ResourceView:
+    """Resource queries as observed by one process."""
+
+    def __init__(self, registry: SysfsRegistry, process: Process):
+        self.registry = registry
+        self.process = process
+
+    # -- CPU ------------------------------------------------------------
+
+    def ncpus(self) -> int:
+        """``sysconf(_SC_NPROCESSORS_ONLN)`` — online CPUs in this view."""
+        return self.registry.sysconf(self.process, Sysconf.NPROCESSORS_ONLN)
+
+    def online_cpus(self) -> str:
+        """The ``/sys/devices/system/cpu/online`` list in this view."""
+        return self.registry.read(self.process, "/sys/devices/system/cpu/online")
+
+    # -- memory -----------------------------------------------------------
+
+    def page_size(self) -> int:
+        return self.registry.sysconf(self.process, Sysconf.PAGESIZE)
+
+    def total_memory(self) -> int:
+        """``_SC_PHYS_PAGES * _SC_PAGESIZE`` — the paper's memory probe."""
+        pages = self.registry.sysconf(self.process, Sysconf.PHYS_PAGES)
+        return pages * self.page_size()
+
+    def available_memory(self) -> int:
+        pages = self.registry.sysconf(self.process, Sysconf.AVPHYS_PAGES)
+        return pages * self.page_size()
+
+    def meminfo(self) -> str:
+        return self.registry.read(self.process, "/proc/meminfo")
+
+    def loadavg(self) -> tuple[float, float, float]:
+        """The ``/proc/loadavg`` triple (host-wide; used by OpenMP)."""
+        raw = self.registry.read(self.process, "/proc/loadavg")
+        l1, l5, l15 = raw.split()[:3]
+        return (float(l1), float(l5), float(l15))

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by the simulator derives from
+:class:`ReproError` so applications can catch simulator failures without
+masking programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "SchedulerError",
+    "CgroupError",
+    "NamespaceError",
+    "ContainerError",
+    "MemoryError_",
+    "OutOfMemoryError",
+    "JvmError",
+    "OpenMpError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro simulator."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was misused (time travel, dead handles...)."""
+
+
+class SchedulerError(ReproError):
+    """Invalid scheduler configuration or state transition."""
+
+
+class CgroupError(ReproError):
+    """Invalid cgroup configuration (bad shares, limits, hierarchy ops)."""
+
+
+class NamespaceError(ReproError):
+    """Namespace lookup/ownership violation."""
+
+
+class ContainerError(ReproError):
+    """Container lifecycle misuse (double start, unknown container...)."""
+
+
+class MemoryError_(ReproError):
+    """Memory-management failure in the simulated kernel (not Python's)."""
+
+
+class OutOfMemoryError(MemoryError_):
+    """A simulated process was OOM-killed or an allocation was refused.
+
+    Mirrors a container being killed when it exceeds its hard limit with
+    no swap headroom, or a JVM ``java.lang.OutOfMemoryError`` when the
+    heap cannot grow to fit live data.
+    """
+
+    def __init__(self, message: str, *, victim: str | None = None):
+        super().__init__(message)
+        self.victim = victim
+
+
+class JvmError(ReproError):
+    """Invalid JVM configuration or internal GC invariant violation."""
+
+
+class OpenMpError(ReproError):
+    """Invalid OpenMP runtime configuration."""
+
+
+class WorkloadError(ReproError):
+    """Unknown benchmark name or inconsistent workload parameters."""

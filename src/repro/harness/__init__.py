@@ -1,0 +1,12 @@
+"""Experiment harness: result containers and per-figure experiment drivers."""
+
+from repro.harness.common import (HEAP_MULTIPLIER, TESTBED_CPUS, TESTBED_MEMORY,
+                                  paper_heap_flags, run_jvms, scale_workload,
+                                  testbed)
+from repro.harness.results import ExperimentResult, ResultTable
+
+__all__ = [
+    "HEAP_MULTIPLIER", "TESTBED_CPUS", "TESTBED_MEMORY",
+    "paper_heap_flags", "run_jvms", "scale_workload", "testbed",
+    "ExperimentResult", "ResultTable",
+]

@@ -1,0 +1,72 @@
+"""Shared experiment plumbing: the paper's testbed and run helpers.
+
+§5.1: "a PowerEdge R730 server ... dual 10-core Intel Xeon 2.30 GHz
+processors, 128GB memory", Docker containers, OpenJDK 8 with Parallel
+Scavenge, gcc 4.8 OpenMP.  Heap sizes of Java benchmarks are "3x of
+their respective minimum heap sizes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.container.container import Container
+from repro.container.spec import ContainerSpec
+from repro.errors import ReproError
+from repro.jvm.flags import JvmConfig
+from repro.jvm.jvm import Jvm
+from repro.units import gib
+from repro.workloads.base import JavaWorkload
+from repro.world import World
+
+__all__ = ["TESTBED_CPUS", "TESTBED_MEMORY", "HEAP_MULTIPLIER", "testbed",
+           "paper_heap_flags", "run_jvms", "scale_workload"]
+
+#: The paper's 20-core host.
+TESTBED_CPUS = 20
+#: The paper's 128 GB host.
+TESTBED_MEMORY = gib(128)
+#: "The heap sizes of Java-based benchmarks were set to 3x of their
+#: respective minimum heap sizes."
+HEAP_MULTIPLIER = 3
+
+
+def testbed(*, seed: int = 0, **kw) -> World:
+    """A world matching the paper's testbed."""
+    kw.setdefault("ncpus", TESTBED_CPUS)
+    kw.setdefault("memory", TESTBED_MEMORY)
+    return World(seed=seed, **kw)
+
+
+def paper_heap_flags(workload: JavaWorkload) -> dict[str, int]:
+    """The §5.1 heap methodology: -Xms = -Xmx = 3x min heap."""
+    size = HEAP_MULTIPLIER * workload.min_heap
+    return {"xms": size, "xmx": size}
+
+
+def scale_workload(workload: JavaWorkload, scale: float) -> JavaWorkload:
+    """Shorten a workload for quick benchmark runs (same rates/shape)."""
+    if scale <= 0:
+        raise ReproError(f"scale must be positive, got {scale}")
+    if scale == 1.0:
+        return workload
+    return replace(workload, total_work=workload.total_work * scale)
+
+
+def run_jvms(world: World, pairs: list[tuple[Container, JavaWorkload, JvmConfig]],
+             *, timeout: float = 20000.0, trace_heap: bool = False) -> list[Jvm]:
+    """Launch one JVM per (container, workload, config) and run to completion.
+
+    JVMs that die (OOM) count as finished; the caller inspects
+    ``stats.oom``.  Raises if the world deadlocks before completion.
+    """
+    jvms = []
+    for container, workload, config in pairs:
+        jvm = Jvm(container, workload, config, trace_heap=trace_heap)
+        jvm.launch()
+        jvms.append(jvm)
+    done = world.run_until(lambda: all(j.finished for j in jvms), timeout=timeout)
+    if not done:
+        unfinished = [j.name for j in jvms if not j.finished]
+        raise ReproError(f"experiment timed out; unfinished JVMs: {unfinished}")
+    return jvms

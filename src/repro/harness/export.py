@@ -1,0 +1,54 @@
+"""Export experiment results to CSV/JSON for external plotting."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.harness.results import ExperimentResult, ResultTable
+
+__all__ = ["table_to_csv", "result_to_json", "write_result"]
+
+
+def table_to_csv(table: ResultTable) -> str:
+    """Render one table as CSV text (header row + data rows)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow([row[c] for c in table.columns])
+    return buf.getvalue()
+
+
+def result_to_json(result: ExperimentResult, *, indent: int = 2) -> str:
+    """Serialize a full experiment result (tables + notes) as JSON."""
+    payload = {
+        "experiment": result.experiment,
+        "description": result.description,
+        "tables": {
+            key: {"title": t.title, "columns": t.columns, "rows": t.rows}
+            for key, t in result.tables.items()
+        },
+        "notes": result.notes,
+    }
+    return json.dumps(payload, indent=indent, default=str)
+
+
+def write_result(result: ExperimentResult, out_dir: str | Path) -> list[Path]:
+    """Write a result as ``<exp>.json`` plus one CSV per table.
+
+    Returns the written paths.  Creates ``out_dir`` if needed.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    json_path = out / f"{result.experiment}.json"
+    json_path.write_text(result_to_json(result))
+    written.append(json_path)
+    for key, table in result.tables.items():
+        csv_path = out / f"{result.experiment}_{key}.csv"
+        csv_path.write_text(table_to_csv(table))
+        written.append(csv_path)
+    return written

@@ -1,0 +1,81 @@
+"""Terminal plotting for experiment traces.
+
+The paper's Figs. 8(b) and 12 are line plots; the harness renders the
+same series as compact ASCII charts so ``run_all`` output can be read
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+__all__ = ["ascii_chart", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], *, lo: float | None = None,
+              hi: float | None = None) -> str:
+    """Render a numeric series as a one-line unicode sparkline."""
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    if hi <= lo:
+        return _SPARK_LEVELS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1) + 0.5)
+        out.append(_SPARK_LEVELS[max(0, min(idx, len(_SPARK_LEVELS) - 1))])
+    return "".join(out)
+
+
+def ascii_chart(series: dict[str, list[tuple[float, float]]], *,
+                width: int = 64, height: int = 12,
+                title: str = "", y_label: str = "") -> str:
+    """Render one or more (x, y) series as an ASCII line chart.
+
+    Each series gets a distinct marker; points are nearest-neighbour
+    binned onto a ``width``x``height`` grid with a y-axis scale.
+    """
+    if width < 8 or height < 3:
+        raise ReproError("chart needs width >= 8 and height >= 3")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    markers = "*o+x#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1) + 0.5)
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1) + 0.5)
+            grid[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_hi:.4g}"), len(f"{y_lo:.4g}"))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:.4g}".rjust(label_width)
+        elif i == height - 1:
+            label = f"{y_lo:.4g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + "  " + f"{x_lo:.4g}".ljust(width - 8)
+                 + f"{x_hi:.4g}".rjust(8))
+    legend = "   ".join(f"{marker}={name}" for (name, _), marker
+                        in zip(series.items(), markers))
+    lines.append(" " * label_width + "  " + legend)
+    if y_label:
+        lines.append(" " * label_width + "  (y: " + y_label + ")")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Run every paper experiment and print (or save) the full report.
+
+Usage::
+
+    python -m repro.harness.run_all              # everything, full scale
+    python -m repro.harness.run_all fig06 fig10  # a subset
+    python -m repro.harness.run_all --quick      # scaled-down workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+
+__all__ = ["main", "run_experiment"]
+
+#: Per-experiment quick-mode parameter overrides.
+_QUICK_KWARGS = {
+    "fig02": dict(scale=0.5, benchmarks=("h2", "lusearch")),
+    "fig06": dict(scale=0.5, dacapo_benchmarks=("h2", "lusearch"),
+                  specjvm_benchmarks=("derby",)),
+    "fig07": dict(scale=0.5, benchmarks=("h2", "lusearch"),
+                  container_counts=(2, 6, 10)),
+    "fig08": dict(scale=0.5, benchmarks=("h2", "sunflow")),
+    "fig09": dict(scale=0.25, benchmarks=("kmeans",)),
+    "fig10": dict(scale=0.5, benchmarks=("is", "ep", "cg")),
+    "fig11": dict(scale=0.5, benchmarks=("h2", "lusearch")),
+    "fig12": dict(scale=0.25),
+    "overhead": dict(iterations=2_000),
+    "ablation": dict(scale=0.5),
+}
+
+
+def run_experiment(key: str, *, quick: bool = False):
+    """Run one registered experiment, returning its ExperimentResult."""
+    module = ALL_EXPERIMENTS[key]
+    if not quick:
+        return module.run()
+    kwargs = _QUICK_KWARGS.get(key)
+    if kwargs is None:
+        return module.run()
+    params_cls = next(
+        (getattr(module, name) for name in dir(module)
+         if name.endswith("Params")), None)
+    if params_cls is None:
+        return module.run()
+    return module.run(params_cls(**kwargs))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*",
+                        help=f"subset to run (default: all of "
+                             f"{', '.join(ALL_EXPERIMENTS)})")
+    parser.add_argument("--quick", action="store_true",
+                        help="scaled-down workloads for a fast smoke run")
+    parser.add_argument("--output", type=str, default=None,
+                        help="also write the report to this file")
+    parser.add_argument("--export", type=str, default=None, metavar="DIR",
+                        help="also export each experiment as JSON + CSV "
+                             "into this directory")
+    args = parser.parse_args(argv)
+
+    keys = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [k for k in keys if k not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    chunks: list[str] = []
+    for key in keys:
+        started = time.time()
+        result = run_experiment(key, quick=args.quick)
+        elapsed = time.time() - started
+        chunk = result.to_text() + f"\n[{key} finished in {elapsed:.1f}s wall]\n"
+        print(chunk)
+        chunks.append(chunk)
+        if args.export:
+            from repro.harness.export import write_result
+            write_result(result, args.export)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write("\n".join(chunks))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

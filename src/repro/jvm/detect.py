@@ -1,0 +1,123 @@
+"""Container-resource detection policies of JDK 8/9/10 and the paper.
+
+These reproduce the launch-time probing logic discussed in §2.2:
+
+* **JDK 8** calls ``sysconf`` against the (unpatched) kernel and sees
+  *host* CPUs and memory;
+* **JDK 9** reads the container's cpuset mask and CFS quota from
+  cgroupfs and caps the heap at a quarter of the hard memory limit;
+* **JDK 10** additionally derives a core count from ``cpu.shares/1024``
+  when no limit is present;
+* **adaptive** (the paper) queries the virtual sysfs, i.e. the
+  continuously updated ``sys_namespace``.
+
+``hotspot_parallel_gc_threads`` is HotSpot's actual ergonomics formula:
+all CPUs up to 8, then 5/8 of the remainder.
+"""
+
+from __future__ import annotations
+
+from repro.container.container import Container
+from repro.errors import JvmError
+from repro.jvm.flags import CpuDetectMode, HeapDetectMode, JvmConfig
+from repro.kernel.cpu import CpuSet
+
+__all__ = ["hotspot_parallel_gc_threads", "hotspot_ci_compiler_count",
+           "detect_cpus", "detect_max_heap"]
+
+
+def hotspot_parallel_gc_threads(ncpus: int) -> int:
+    """HotSpot's default ``ParallelGCThreads`` for ``ncpus`` processors."""
+    if ncpus < 1:
+        raise JvmError(f"ncpus must be >= 1, got {ncpus}")
+    if ncpus <= 8:
+        return ncpus
+    return 8 + (ncpus - 8) * 5 // 8
+
+
+def hotspot_ci_compiler_count(ncpus: int) -> int:
+    """Default JIT compiler thread count (``CICompilerCount``).
+
+    §2.2: "JVM transparently sets the number of parallel GC threads and
+    JIT compiler threads ... according to the host configuration".  The
+    tiered ergonomics scale logarithmically with CPUs; this is the
+    simplified log-scaled rule (2 for small machines, growing slowly).
+    """
+    if ncpus < 1:
+        raise JvmError(f"ncpus must be >= 1, got {ncpus}")
+    if ncpus < 4:
+        return 2
+    count = 2
+    n = ncpus
+    while n >= 4:
+        count += 1
+        n //= 4
+    return count
+
+
+def detect_cpus(container: Container, mode: CpuDetectMode) -> int:
+    """The CPU count the JVM believes it has at launch time."""
+    world = container.world
+    host_cpus = world.host.ncpus
+    cg = container.cgroup
+    if mode is CpuDetectMode.HOST:
+        # Stock kernel: sysconf reports host online CPUs.
+        return host_cpus
+    if mode is CpuDetectMode.ADAPTIVE:
+        # Redirected to the virtual sysfs -> effective CPU right now.
+        return container.resource_view().ncpus()
+    # JDK 9/10 parse cgroupfs files directly (hotspot's osContainer_linux):
+    # cpuset first, then the CFS quota.
+    fs = world.cgroupfs
+    mask_spec = fs.read(fs.path_of(cg, "cpuset", "cpuset.cpus"))
+    ncpus = min(host_cpus, len(CpuSet.parse(mask_spec)))
+    quota_us = int(fs.read(fs.path_of(cg, "cpu", "cpu.cfs_quota_us")))
+    period_us = int(fs.read(fs.path_of(cg, "cpu", "cpu.cfs_period_us")))
+    if quota_us > 0:
+        ncpus = min(ncpus, max(1, quota_us // period_us))
+    if (mode is CpuDetectMode.CGROUP_SHARES and ncpus == host_cpus
+            and quota_us <= 0):
+        # JDK 10: no explicit limit -> derive cores from shares/1024,
+        # floored at 2 so a minimum level of GC parallelism remains
+        # (matches the 2 GC threads the paper reports in §5.2).
+        shares = int(fs.read(fs.path_of(cg, "cpu", "cpu.shares")))
+        ncpus = min(host_cpus, max(2, shares // 1024))
+    return max(1, ncpus)
+
+
+def detect_max_heap(container: Container, config: JvmConfig) -> int:
+    """The maximum heap size the JVM adopts at launch when ``-Xmx`` is unset.
+
+    For ``ELASTIC`` this returns the *reserved* size — "setting the
+    original reserved size MaxHeapSize to a sufficiently large value,
+    close to the size of physical memory" (§4.2); the live bound is the
+    dynamic ``VirtualMax`` maintained by the elastic-heap controller.
+    """
+    if config.xmx is not None:
+        return config.xmx
+    world = container.world
+    host_phys = world.mm.total
+    mode = config.heap_detect
+    hard = container.cgroup.memory.hard_limit
+    soft = container.cgroup.memory.soft_limit
+    if mode is HeapDetectMode.HOST_QUARTER:
+        return host_phys // 4
+    if mode is HeapDetectMode.LIMIT_QUARTER:
+        if hard == float("inf"):
+            return host_phys // 4
+        return int(hard) // 4
+    if mode is HeapDetectMode.HARD_LIMIT:
+        if hard == float("inf"):
+            raise JvmError(
+                f"container {container.name!r} has no hard memory limit; "
+                f"HARD_LIMIT heap policy is undefined")
+        return int(hard)
+    if mode is HeapDetectMode.SOFT_LIMIT:
+        if soft == float("inf"):
+            raise JvmError(
+                f"container {container.name!r} has no soft memory limit; "
+                f"SOFT_LIMIT heap policy is undefined")
+        return int(soft)
+    if mode is HeapDetectMode.ELASTIC:
+        return int(0.9 * world.mm.available_capacity)
+    raise JvmError(f"unknown heap detect mode {mode!r}")

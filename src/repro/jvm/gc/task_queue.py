@@ -1,0 +1,92 @@
+"""GCTaskQueue / GCTaskManager — HotSpot's parallel-GC work distribution.
+
+§4.1: "HotSpot implements a centralized GCTaskQueue, from where
+individual GC threads fetch GC tasks.  This design is key to enabling
+dynamic work assignment, which allows faster GC threads to fetch more
+tasks.  GCTaskQueue is protected by GCTaskManager, a monitor construct
+that not only enforces mutual exclusive access to the queue but also
+provides a condition variable to synchronize GC threads."
+
+In the simulator, "mutual exclusion" is trivially satisfied (the event
+loop is sequential), but the *structure* is preserved: a central FIFO of
+grain-sized tasks, workers that loop popping until empty, and a manager
+that knows when every activated worker has gone idle so the collection
+can complete with a variable worker count per GC.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import JvmError
+
+__all__ = ["GCTask", "GCTaskQueue", "GCTaskManager"]
+
+
+@dataclass(frozen=True)
+class GCTask:
+    """One grain of GC work (cpu-seconds)."""
+
+    work: float
+    kind: str = "scavenge"
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise JvmError(f"GC task work cannot be negative: {self.work}")
+
+
+class GCTaskQueue:
+    """Central FIFO of GC tasks."""
+
+    def __init__(self, tasks: list[GCTask] | None = None):
+        self._q: deque[GCTask] = deque(tasks or [])
+        self.enqueued = len(self._q)
+        self.dequeued = 0
+
+    def push(self, task: GCTask) -> None:
+        self._q.append(task)
+        self.enqueued += 1
+
+    def pop(self) -> GCTask | None:
+        """Fetch the next task; None when the queue is drained."""
+        if not self._q:
+            return None
+        self.dequeued += 1
+        return self._q.popleft()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def empty(self) -> bool:
+        return not self._q
+
+
+class GCTaskManager:
+    """Tracks which activated workers are still busy for one collection."""
+
+    def __init__(self, queue: GCTaskQueue, n_workers: int):
+        if n_workers < 1:
+            raise JvmError(f"a collection needs >= 1 worker, got {n_workers}")
+        self.queue = queue
+        self.n_workers = n_workers
+        self._busy: set[int] = set()
+        self._finished: set[int] = set()
+
+    def worker_started(self, worker_id: int) -> None:
+        if worker_id in self._busy or worker_id in self._finished:
+            raise JvmError(f"worker {worker_id} already participating")
+        self._busy.add(worker_id)
+
+    def worker_finished(self, worker_id: int) -> None:
+        if worker_id not in self._busy:
+            raise JvmError(f"worker {worker_id} was not busy")
+        self._busy.discard(worker_id)
+        self._finished.add(worker_id)
+
+    @property
+    def all_idle(self) -> bool:
+        """True when every activated worker finished and the queue drained."""
+        return (not self._busy and len(self._finished) == self.n_workers
+                and self.queue.empty)

@@ -1,0 +1,94 @@
+"""The GC worker pool: simulated GC threads driving the task queue.
+
+Workers are created once at JVM launch ("we launch as many GC threads as
+possible according to the number of online CPUs, retaining the potential
+to expand the JVM with more CPUs", §4.1) and sleep between collections.
+Each collection activates a *subset* of them — the count chosen by the
+static/dynamic/adaptive policy — exactly the variable-activation design
+the GCTaskManager enables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.container.container import Container
+from repro.errors import JvmError
+from repro.jvm.gc.task_queue import GCTask, GCTaskManager, GCTaskQueue
+from repro.kernel.task import SimThread
+
+__all__ = ["GcWorkerPool"]
+
+
+class GcWorkerPool:
+    """A fixed pool of GC threads executing one collection at a time."""
+
+    def __init__(self, container: Container, n_created: int, *,
+                 sync_per_thread: float, name: str = "gc"):
+        if n_created < 1:
+            raise JvmError(f"GC pool needs >= 1 thread, got {n_created}")
+        self.container = container
+        self.n_created = n_created
+        self.sync_per_thread = sync_per_thread
+        self.workers: list[SimThread] = [
+            container.spawn_thread(f"{name}-worker{i}") for i in range(n_created)]
+        self._manager: GCTaskManager | None = None
+        self._queue: GCTaskQueue | None = None
+        self._on_done: Callable[[], None] | None = None
+        self._active_ids: dict[int, SimThread] = {}
+        self._team_size = 0
+
+    @property
+    def collecting(self) -> bool:
+        return self._manager is not None
+
+    def collect(self, tasks: list[GCTask], n_active: int,
+                on_done: Callable[[], None]) -> None:
+        """Run one collection with ``n_active`` workers, then call back."""
+        if self.collecting:
+            raise JvmError("a collection is already in progress")
+        n_active = max(1, min(n_active, self.n_created))
+        self._queue = GCTaskQueue(tasks)
+        self._manager = GCTaskManager(self._queue, n_active)
+        self._on_done = on_done
+        self._team_size = n_active
+        self._active_ids = {}
+        for wid in range(n_active):
+            worker = self.workers[wid]
+            self._active_ids[wid] = worker
+            self._manager.worker_started(wid)
+            self._fetch_next(wid, worker)
+
+    # -- worker loop ------------------------------------------------------
+
+    def _fetch_next(self, wid: int, worker: SimThread) -> None:
+        assert self._queue is not None and self._manager is not None
+        task = self._queue.pop()
+        if task is not None:
+            worker.assign_work(task.work,
+                               lambda _t, w=wid, th=worker: self._fetch_next(w, th))
+            return
+        # Queue drained: the worker runs the termination/barrier protocol,
+        # whose cost grows with the team size.
+        sync_work = self.sync_per_thread * self._team_size
+        worker.assign_work(sync_work,
+                           lambda _t, w=wid, th=worker: self._worker_done(w, th))
+
+    def _worker_done(self, wid: int, worker: SimThread) -> None:
+        assert self._manager is not None
+        worker.block()
+        self._manager.worker_finished(wid)
+        if self._manager.all_idle:
+            on_done = self._on_done
+            self._manager = None
+            self._queue = None
+            self._on_done = None
+            self._active_ids = {}
+            assert on_done is not None
+            on_done()
+
+    def shutdown(self) -> None:
+        """Terminate all workers (JVM exit)."""
+        for w in self.workers:
+            if w.state.value != "exited":
+                w.exit()

@@ -1,0 +1,136 @@
+"""CPU sets and host CPU topology.
+
+``CpuSet`` mirrors the kernel's cpumask plus the ``cpuset.cpus`` list
+syntax used by Docker's ``--cpuset-cpus`` flag (e.g. ``"0-4,7,9-11"``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import CgroupError
+
+__all__ = ["CpuSet", "HostCpus"]
+
+
+class CpuSet:
+    """An immutable set of CPU ids with cpuset-list parsing/formatting."""
+
+    __slots__ = ("_cpus",)
+
+    def __init__(self, cpus: Iterable[int] = ()):
+        cpu_list = sorted({int(c) for c in cpus})
+        if any(c < 0 for c in cpu_list):
+            raise CgroupError(f"negative CPU id in {cpu_list!r}")
+        self._cpus = tuple(cpu_list)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "CpuSet":
+        """Parse a cpuset list like ``"0-4,7"`` into a :class:`CpuSet`."""
+        cpus: set[int] = set()
+        spec = spec.strip()
+        if not spec:
+            return cls(())
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                raise CgroupError(f"empty element in cpuset spec {spec!r}")
+            if "-" in part:
+                lo_s, _, hi_s = part.partition("-")
+                try:
+                    lo, hi = int(lo_s), int(hi_s)
+                except ValueError as exc:
+                    raise CgroupError(f"bad cpuset range {part!r}") from exc
+                if hi < lo:
+                    raise CgroupError(f"reversed cpuset range {part!r}")
+                cpus.update(range(lo, hi + 1))
+            else:
+                try:
+                    cpus.add(int(part))
+                except ValueError as exc:
+                    raise CgroupError(f"bad cpu id {part!r}") from exc
+        return cls(cpus)
+
+    @classmethod
+    def full(cls, ncpus: int) -> "CpuSet":
+        """The set of all CPUs ``0..ncpus-1``."""
+        return cls(range(ncpus))
+
+    # -- set protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cpus)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._cpus)
+
+    def __contains__(self, cpu: int) -> bool:
+        return cpu in self._cpus
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CpuSet) and self._cpus == other._cpus
+
+    def __hash__(self) -> int:
+        return hash(self._cpus)
+
+    def __bool__(self) -> bool:
+        return bool(self._cpus)
+
+    def intersection(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet(set(self._cpus) & set(other._cpus))
+
+    def issubset(self, other: "CpuSet") -> bool:
+        return set(self._cpus) <= set(other._cpus)
+
+    # -- formatting ------------------------------------------------------
+
+    def to_spec(self) -> str:
+        """Render back to the compact ``"0-4,7"`` list syntax."""
+        if not self._cpus:
+            return ""
+        runs: list[tuple[int, int]] = []
+        start = prev = self._cpus[0]
+        for c in self._cpus[1:]:
+            if c == prev + 1:
+                prev = c
+            else:
+                runs.append((start, prev))
+                start = prev = c
+        runs.append((start, prev))
+        return ",".join(f"{a}-{b}" if a != b else f"{a}" for a, b in runs)
+
+    def __repr__(self) -> str:
+        return f"CpuSet({self.to_spec()!r})"
+
+
+class HostCpus:
+    """The host's online CPU population.
+
+    The fluid scheduler only needs capacities, but keeping explicit ids
+    lets ``cpuset.cpus`` masks be validated against the host and lets
+    sysfs report an ``online`` list exactly like
+    ``/sys/devices/system/cpu/online``.
+    """
+
+    def __init__(self, ncpus: int):
+        if ncpus <= 0:
+            raise CgroupError(f"host must have at least one CPU, got {ncpus}")
+        self.ncpus = int(ncpus)
+        self.online = CpuSet.full(self.ncpus)
+
+    @property
+    def capacity(self) -> float:
+        """Total CPU capacity in units of cores."""
+        return float(self.ncpus)
+
+    def validate_mask(self, mask: CpuSet) -> None:
+        """Raise if ``mask`` references CPUs the host does not have."""
+        if not mask.issubset(self.online):
+            raise CgroupError(
+                f"cpuset {mask.to_spec()!r} not a subset of online CPUs "
+                f"{self.online.to_spec()!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HostCpus(ncpus={self.ncpus})"

@@ -1,0 +1,8 @@
+"""Simulated kernel memory management."""
+
+from repro.kernel.mm.memcg import MemoryManager, MmParams
+from repro.kernel.mm.swap import SwapDevice, SwapParams, swap_slowdown_multiplier
+from repro.kernel.mm.watermarks import Watermarks
+
+__all__ = ["MemoryManager", "MmParams", "SwapDevice", "SwapParams",
+           "swap_slowdown_multiplier", "Watermarks"]

@@ -1,0 +1,81 @@
+"""kswapd: background and direct reclaim policies.
+
+Stateless policy functions used by the memory manager.  Background
+reclaim ("kswapd") takes memory only from cgroups whose resident size
+exceeds their soft limit, proportionally to their overage, until the
+free-memory target is met.  Direct reclaim (free below the *min*
+watermark) takes from *any* cgroup proportionally to resident size —
+"indiscriminately frees memory from any containers, including those that
+do not exceed their soft limits" (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.cgroup import Cgroup
+
+__all__ = ["soft_limit_victims", "plan_background_reclaim", "plan_direct_reclaim"]
+
+
+def soft_limit_victims(cgroups: list["Cgroup"]) -> list[tuple["Cgroup", int]]:
+    """Cgroups above their soft limit with their overage in bytes."""
+    victims: list[tuple[Cgroup, int]] = []
+    for cg in cgroups:
+        mem = cg.memory
+        soft = mem.soft_limit
+        if soft == float("inf"):
+            continue
+        over = mem.resident - int(soft)
+        if over > 0:
+            victims.append((cg, over))
+    return victims
+
+
+def plan_background_reclaim(cgroups: list["Cgroup"], need: int) -> list[tuple["Cgroup", int]]:
+    """Distribute ``need`` reclaim bytes over soft-limit overages.
+
+    Returns (cgroup, bytes_to_swap_out) pairs; the total is
+    ``min(need, total_overage)``.  The distribution is proportional to
+    each victim's overage, mirroring the "gradually reclaim memory until
+    usage falls below the soft limit" behaviour.
+    """
+    victims = soft_limit_victims(cgroups)
+    total_over = sum(over for _, over in victims)
+    if need <= 0 or total_over <= 0:
+        return []
+    take_total = min(need, total_over)
+    plan: list[tuple[Cgroup, int]] = []
+    remaining = take_total
+    for i, (cg, over) in enumerate(victims):
+        if i == len(victims) - 1:
+            take = min(over, remaining)
+        else:
+            take = min(over, int(round(take_total * over / total_over)))
+            take = min(take, remaining)
+        if take > 0:
+            plan.append((cg, take))
+            remaining -= take
+    return plan
+
+
+def plan_direct_reclaim(cgroups: list["Cgroup"], need: int) -> list[tuple["Cgroup", int]]:
+    """Distribute ``need`` reclaim bytes proportionally to resident size."""
+    holders = [(cg, cg.memory.resident) for cg in cgroups if cg.memory.resident > 0]
+    total = sum(res for _, res in holders)
+    if need <= 0 or total <= 0:
+        return []
+    take_total = min(need, total)
+    plan: list[tuple[Cgroup, int]] = []
+    remaining = take_total
+    for i, (cg, res) in enumerate(holders):
+        if i == len(holders) - 1:
+            take = min(res, remaining)
+        else:
+            take = min(res, int(round(take_total * res / total)))
+            take = min(take, remaining)
+        if take > 0:
+            plan.append((cg, take))
+            remaining -= take
+    return plan

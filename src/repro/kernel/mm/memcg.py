@@ -1,0 +1,288 @@
+"""The memory manager: per-cgroup charging with limits, kswapd, and swap.
+
+This is the piece of the simulated kernel that Algorithm 2 (effective
+memory) observes: system-wide free memory, per-cgroup usage, hard/soft
+limits, and watermark-driven reclaim.
+
+Charging rules (mirroring the cgroup-v1 memory controller as described
+in §2.1/§3.1 of the paper):
+
+1. A cgroup's **resident** memory can never exceed its hard limit
+   (``memory.limit_in_bytes``); charges beyond it push the group's own
+   pages to swap ("the container either is killed or starts swapping").
+   If swap is exhausted the charging cgroup is OOM-killed.
+2. When host free memory falls below the **low** watermark, background
+   reclaim (kswapd) swaps out pages of cgroups above their **soft**
+   limits until free memory recovers to the **high** watermark.
+3. When free memory falls below the **min** watermark, direct reclaim
+   takes pages from any cgroup proportionally to resident size.
+4. When pressure clears (free above high + hysteresis), swapped pages of
+   cgroups with headroom fault back in.
+
+Swapped bytes impose a progress-rate penalty on the cgroup's threads
+(see :mod:`repro.kernel.mm.swap`), which the scheduler folds into thread
+progress rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryError_, OutOfMemoryError
+from repro.kernel.cgroup import Cgroup, CgroupRoot
+from repro.kernel.mm.kswapd import plan_background_reclaim, plan_direct_reclaim
+from repro.kernel.mm.swap import SwapDevice, SwapParams, swap_slowdown_multiplier
+from repro.kernel.mm.watermarks import Watermarks
+
+__all__ = ["MmParams", "MemoryManager"]
+
+
+@dataclass(frozen=True)
+class MmParams:
+    """Memory-manager tunables."""
+
+    #: Watermark fractions of total memory.
+    min_watermark_frac: float = 0.008
+    low_watermark_frac: float = 0.015
+    high_watermark_frac: float = 0.03
+    #: Memory the kernel itself keeps (never allocatable to cgroups).
+    kernel_reserved: int = 512 * 1024 * 1024
+    #: Swap capacity as a multiple of total memory.
+    swap_factor: float = 2.0
+    swap: SwapParams = field(default_factory=SwapParams)
+
+
+class MemoryManager:
+    """Byte-granular model of the kernel memory subsystem."""
+
+    def __init__(self, total: int, cgroups: CgroupRoot,
+                 params: MmParams | None = None):
+        if total <= 0:
+            raise MemoryError_(f"total memory must be positive, got {total}")
+        self.total = int(total)
+        self.cgroups = cgroups
+        self.params = params or MmParams()
+        if self.params.kernel_reserved >= self.total:
+            raise MemoryError_("kernel_reserved exceeds total memory")
+        self.watermarks = Watermarks.for_total(
+            self.total,
+            min_frac=self.params.min_watermark_frac,
+            low_frac=self.params.low_watermark_frac,
+            high_frac=self.params.high_watermark_frac,
+        )
+        self.swap = SwapDevice(capacity=int(self.total * self.params.swap_factor))
+        self.kswapd_runs = 0
+        self.direct_reclaims = 0
+        self.oom_kills = 0
+        #: Optional tracepoint sink: ``hook(category, message, **fields)``.
+        #: The world installs its TraceLog here (mm has no clock of its
+        #: own, so timestamps are the sink's job).
+        self.event_hook = None
+        #: True while kswapd is actively reclaiming (Algorithm 2 resets
+        #: effective memory to the soft limit in that state).
+        self.reclaiming = False
+
+    # -- global accounting ------------------------------------------------
+
+    def _all_groups(self) -> list[Cgroup]:
+        return [cg for cg in self.cgroups.walk()]
+
+    @property
+    def total_resident(self) -> int:
+        return sum(cg.memory.resident for cg in self._all_groups())
+
+    @property
+    def free(self) -> int:
+        """Allocatable free memory on the host."""
+        return self.total - self.params.kernel_reserved - self.total_resident
+
+    @property
+    def available_capacity(self) -> int:
+        """Memory usable by cgroups (total minus kernel reservation)."""
+        return self.total - self.params.kernel_reserved
+
+    # -- public charging API -----------------------------------------------
+
+    def charge(self, cg: Cgroup, nbytes: int) -> None:
+        """Charge ``nbytes`` of new memory to ``cg``.
+
+        Raises :class:`OutOfMemoryError` if the bytes cannot be placed in
+        residency or swap (the caller decides what "killed" means — e.g.
+        the JVM surfaces it as a crashed benchmark run).
+        """
+        if nbytes < 0:
+            raise MemoryError_(f"cannot charge negative bytes: {nbytes}")
+        if nbytes == 0:
+            return
+        mem = cg.memory
+        hard = mem.hard_limit
+
+        # Rule 1: hard limit. Resident may only grow to the hard limit;
+        # the remainder of the charge goes straight to swap.
+        resident_room = max(0, int(min(hard, float(self.available_capacity))) - mem.resident)
+        to_resident = min(nbytes, resident_room)
+        to_swap = nbytes - to_resident
+
+        # Rule 2/3: make space for the resident part.
+        if to_resident > 0:
+            self._ensure_free(to_resident, charger=cg)
+            shortfall = to_resident - max(0, self.free)
+            if shortfall > 0:
+                # Host genuinely cannot hold it; spill the shortfall to swap.
+                to_resident -= shortfall
+                to_swap += shortfall
+
+        if to_swap > 0:
+            granted = self.swap.reserve(to_swap)
+            if granted < to_swap:
+                self.swap.release(granted)
+                self._oom_kill(cg, nbytes)
+            mem.swapped += to_swap
+            mem.swapout_total += to_swap
+        mem.resident += to_resident
+        self._after_change(cg)
+
+    def uncharge(self, cg: Cgroup, nbytes: int) -> None:
+        """Release ``nbytes`` previously charged to ``cg``.
+
+        Swapped bytes are released first (they are the coldest), then
+        resident bytes.
+        """
+        if nbytes < 0:
+            raise MemoryError_(f"cannot uncharge negative bytes: {nbytes}")
+        mem = cg.memory
+        if nbytes > mem.usage_in_bytes:
+            raise MemoryError_(
+                f"uncharging {nbytes} from {cg.path!r} which holds only "
+                f"{mem.usage_in_bytes}")
+        from_swap = min(nbytes, mem.swapped)
+        if from_swap:
+            self.swap.release(from_swap)
+            mem.swapped -= from_swap
+        mem.resident -= nbytes - from_swap
+        self._after_change(cg)
+
+    def uncharge_all(self, cg: Cgroup) -> None:
+        """Release every byte charged to ``cg`` (container teardown)."""
+        self.uncharge(cg, cg.memory.usage_in_bytes)
+
+    # -- reclaim machinery ------------------------------------------------------
+
+    def _ensure_free(self, need: int, *, charger: Cgroup) -> None:
+        """Run kswapd/direct reclaim so ``need`` bytes can become resident."""
+        wm = self.watermarks
+        projected = self.free - need
+        if projected >= wm.low:
+            return
+        # Background reclaim: bring free memory back up to high.
+        self.kswapd_runs += 1
+        self.reclaiming = True
+        target = (wm.high + need) - self.free
+        plan = plan_background_reclaim(self._all_groups(), target)
+        if self.event_hook:
+            self.event_hook("mm.kswapd", "background reclaim",
+                            free=self.free, need=need,
+                            victims=[cg.path for cg, _ in plan],
+                            reclaiming=sum(take for _, take in plan))
+        for victim, take in plan:
+            self._swap_out(victim, take)
+        projected = self.free - need
+        if projected < wm.min:
+            # Direct reclaim: indiscriminate, proportional to residency.
+            self.direct_reclaims += 1
+            target = (wm.min + need) - self.free
+            others = [g for g in self._all_groups() if g is not charger]
+            plan = plan_direct_reclaim(others, target)
+            if self.event_hook:
+                self.event_hook("mm.direct_reclaim", "below min watermark",
+                                free=self.free, need=need,
+                                victims=[cg.path for cg, _ in plan])
+            for victim, take in plan:
+                self._swap_out(victim, take)
+        if self.free >= wm.high:
+            self.reclaiming = False
+
+    def _swap_out(self, cg: Cgroup, nbytes: int) -> int:
+        """Move up to ``nbytes`` of ``cg``'s resident memory to swap."""
+        mem = cg.memory
+        nbytes = min(nbytes, mem.resident)
+        granted = self.swap.reserve(nbytes)
+        mem.resident -= granted
+        mem.swapped += granted
+        mem.swapout_total += granted
+        self._after_change(cg)
+        return granted
+
+    def _swap_in(self, cg: Cgroup, nbytes: int) -> int:
+        """Fault up to ``nbytes`` of ``cg``'s swapped memory back in."""
+        mem = cg.memory
+        hard = mem.hard_limit
+        room = max(0, int(min(hard, float(mem.resident + self.free))) - mem.resident)
+        nbytes = min(nbytes, mem.swapped, room)
+        if nbytes <= 0:
+            return 0
+        self.swap.release(nbytes)
+        mem.swapped -= nbytes
+        mem.resident += nbytes
+        mem.swapin_total += nbytes
+        self._after_change(cg)
+        return nbytes
+
+    def rebalance(self) -> None:
+        """Fault swapped pages back in while pressure is clearly gone.
+
+        Hysteresis: swap-in only while free memory stays above
+        ``high + (high - low)``, so kswapd and swap-in do not oscillate.
+        """
+        wm = self.watermarks
+        threshold = wm.high + (wm.high - wm.low)
+        for cg in self._all_groups():
+            mem = cg.memory
+            if mem.swapped <= 0:
+                continue
+            headroom = self.free - threshold
+            if headroom <= 0:
+                break
+            want = min(mem.swapped, headroom)
+            self._swap_in(cg, want)
+        if self.free >= wm.high:
+            self.reclaiming = False
+
+    # -- pressure propagation -----------------------------------------------------
+
+    def refresh_pressure(self, cg: Cgroup) -> None:
+        """Recompute a cgroup's swap slowdown (after a hot-bytes hint change)."""
+        self._after_change(cg)
+
+    def _after_change(self, cg: Cgroup) -> None:
+        mem = cg.memory
+        new_mult = swap_slowdown_multiplier(mem.resident, mem.swapped,
+                                            self.params.swap.penalty,
+                                            mem.hot_bytes)
+        if abs(new_mult - cg.progress_multiplier) > 1e-12:
+            cg.progress_multiplier = new_mult
+            self.cgroups.scheduler_dirty()
+
+    def _oom_kill(self, cg: Cgroup, requested: int) -> None:
+        self.oom_kills += 1
+        cg.memory.oom_killed = True
+        if self.event_hook:
+            self.event_hook("mm.oom_kill", f"cgroup {cg.path} OOM-killed",
+                            requested=requested, free=self.free,
+                            swap_free=self.swap.free)
+        raise OutOfMemoryError(
+            f"cgroup {cg.path!r} OOM-killed charging {requested} bytes "
+            f"(free={self.free}, swap_free={self.swap.free})",
+            victim=cg.path)
+
+    # -- introspection ---------------------------------------------------------------
+
+    def meminfo(self) -> dict[str, int]:
+        """A ``/proc/meminfo``-flavoured snapshot."""
+        return {
+            "MemTotal": self.total,
+            "MemFree": self.free,
+            "MemAvailable": self.free,
+            "SwapTotal": self.swap.capacity,
+            "SwapFree": self.swap.free,
+        }

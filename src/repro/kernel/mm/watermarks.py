@@ -1,0 +1,44 @@
+"""Free-memory watermarks.
+
+The Linux page allocator keeps three per-zone watermarks; §3.1 of the
+paper describes how ``kswapd`` uses them: background reclaim starts when
+free memory falls below the **low** watermark and runs until free memory
+recovers to the **high** watermark; below the **min** watermark
+allocations perform *direct* reclaim that takes pages indiscriminately,
+even from cgroups under their soft limits.  Algorithm 2 reuses the low
+and high watermarks as its ``LOW_MARK``/``HIGH_MARK`` thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoryError_
+
+__all__ = ["Watermarks"]
+
+
+@dataclass(frozen=True)
+class Watermarks:
+    """Absolute watermark levels in bytes (min < low < high)."""
+
+    min: int
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.min < self.low < self.high):
+            raise MemoryError_(
+                f"watermarks must satisfy 0 <= min < low < high, got "
+                f"min={self.min} low={self.low} high={self.high}")
+
+    @classmethod
+    def for_total(cls, total: int, *, min_frac: float = 0.008,
+                  low_frac: float = 0.015, high_frac: float = 0.03) -> "Watermarks":
+        """Derive watermark levels as fractions of total memory.
+
+        The default fractions approximate Linux's scaled-for-large-memory
+        behaviour (a few percent of RAM on a 128 GB host).
+        """
+        return cls(min=int(total * min_frac), low=int(total * low_frac),
+                   high=int(total * high_frac))

@@ -1,0 +1,125 @@
+"""Kernel namespaces.
+
+Containers get restricted views of the host through namespaces (§2.1).
+We model the namespace *plumbing* — per-process namespace sets,
+inheritance across fork, and ownership — generically here; the paper's
+new ``sys_namespace`` subclasses :class:`Namespace` in
+:mod:`repro.core.sys_namespace`.
+
+Ownership matters because of the lifecycle problem §3.2 solves: the
+process that sets a container up (its original init) dies after exec'ing
+the entry point, and the kernel-side updater needs a live owner task to
+keep accessing the namespace from outside the container.  The simulated
+``execve`` therefore transfers ownership of any dead-owner namespace to
+the exec'ing task, exactly as the paper's patch does.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.errors import NamespaceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.proc import Process
+
+__all__ = ["NamespaceKind", "Namespace", "PidNamespace", "NamespaceSet"]
+
+
+class NamespaceKind(enum.Enum):
+    PID = "pid"
+    USER = "user"
+    MOUNT = "mnt"
+    UTS = "uts"
+    NETWORK = "net"
+    IPC = "ipc"
+    #: The paper's new namespace type.
+    SYS = "sys"
+
+
+class Namespace:
+    """Base namespace: identity, kind, and owner task."""
+
+    _ids = itertools.count(0x_f000_0000)
+
+    def __init__(self, kind: NamespaceKind, owner: "Process | None" = None):
+        self.kind = kind
+        self.ns_id = next(Namespace._ids)
+        self.owner = owner
+
+    @property
+    def owner_alive(self) -> bool:
+        """True if the owner task exists and is not TASK_DEAD."""
+        return self.owner is not None and self.owner.alive
+
+    def transfer_ownership(self, new_owner: "Process") -> None:
+        """Reassign the namespace to a live task (the §3.2 execve hook)."""
+        if not new_owner.alive:
+            raise NamespaceError(
+                f"cannot transfer {self.kind.value} namespace to dead process "
+                f"{new_owner.name!r}")
+        self.owner = new_owner
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.kind.value} id={self.ns_id:#x}>"
+
+
+class PidNamespace(Namespace):
+    """PID namespace: container-local virtual PIDs starting at 1."""
+
+    def __init__(self, owner: "Process | None" = None):
+        super().__init__(NamespaceKind.PID, owner)
+        self._next_vpid = 1
+        self._vpids: dict[int, int] = {}  # host pid -> virtual pid
+
+    def map_pid(self, host_pid: int) -> int:
+        """Assign (or return) the virtual PID for a host PID."""
+        vpid = self._vpids.get(host_pid)
+        if vpid is None:
+            vpid = self._next_vpid
+            self._next_vpid += 1
+            self._vpids[host_pid] = vpid
+        return vpid
+
+    def vpid_of(self, host_pid: int) -> int:
+        try:
+            return self._vpids[host_pid]
+        except KeyError:
+            raise NamespaceError(
+                f"host pid {host_pid} not mapped in this PID namespace") from None
+
+
+class NamespaceSet:
+    """The namespaces a process is linked to (its ``nsproxy``)."""
+
+    def __init__(self, namespaces: dict[NamespaceKind, Namespace]):
+        self._ns = dict(namespaces)
+
+    @classmethod
+    def init_set(cls) -> "NamespaceSet":
+        """The host init namespaces (no SYS namespace — §3.2: ordinary
+        processes are in the init namespaces and keep the host view)."""
+        return cls({kind: (PidNamespace() if kind is NamespaceKind.PID
+                           else Namespace(kind))
+                    for kind in NamespaceKind if kind is not NamespaceKind.SYS})
+
+    def get(self, kind: NamespaceKind) -> Namespace | None:
+        return self._ns.get(kind)
+
+    def __contains__(self, kind: NamespaceKind) -> bool:
+        return kind in self._ns
+
+    def with_namespace(self, ns: Namespace) -> "NamespaceSet":
+        """A copy of this set with ``ns`` replacing its kind's entry."""
+        new = dict(self._ns)
+        new[ns.kind] = ns
+        return NamespaceSet(new)
+
+    def clone(self) -> "NamespaceSet":
+        """Fork semantics: the child shares the parent's namespaces."""
+        return NamespaceSet(self._ns)
+
+    def kinds(self) -> set[NamespaceKind]:
+        return set(self._ns)

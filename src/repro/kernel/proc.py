@@ -1,0 +1,122 @@
+"""Process model: fork/exec/exit and the sys_namespace ownership handoff.
+
+The execution units of the simulator are :class:`~repro.kernel.task.SimThread`;
+:class:`Process` provides the *identity* layer on top — PIDs, namespace
+links, cgroup membership — which is what the virtual sysfs dispatches
+on ("when a process probes system resources and is linked to its own
+namespaces other than the init namespaces, a virtual sysfs is created
+for this process", §3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import NamespaceError
+from repro.kernel.cgroup import Cgroup
+from repro.kernel.namespace import Namespace, NamespaceKind, NamespaceSet, PidNamespace
+
+__all__ = ["ProcessState", "Process", "ProcessTable"]
+
+
+class ProcessState(enum.Enum):
+    RUNNING = "running"
+    TASK_DEAD = "dead"
+
+
+class Process:
+    """A simulated process (identity only; work runs on SimThreads)."""
+
+    def __init__(self, pid: int, name: str, namespaces: NamespaceSet,
+                 cgroup: Cgroup, parent: "Process | None"):
+        self.pid = pid
+        self.name = name
+        self.namespaces = namespaces
+        self.cgroup = cgroup
+        self.parent = parent
+        self.children: list[Process] = []
+        self.state = ProcessState.RUNNING
+        pid_ns = namespaces.get(NamespaceKind.PID)
+        self.vpid = (pid_ns.map_pid(pid)  # type: ignore[union-attr]
+                     if isinstance(pid_ns, PidNamespace) else pid)
+
+    @property
+    def alive(self) -> bool:
+        return self.state is ProcessState.RUNNING
+
+    @property
+    def in_init_namespaces(self) -> bool:
+        """True for ordinary host processes (no private SYS namespace)."""
+        return NamespaceKind.SYS not in self.namespaces
+
+    def sys_namespace(self) -> Namespace | None:
+        return self.namespaces.get(NamespaceKind.SYS)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} pid={self.pid} {self.state.value}>"
+
+
+class ProcessTable:
+    """Owner of all processes; implements fork/exec/exit semantics."""
+
+    def __init__(self, root_cgroup: Cgroup):
+        self._next_pid = 1
+        self.processes: dict[int, Process] = {}
+        self.init = self._spawn("init", NamespaceSet.init_set(), root_cgroup, None)
+
+    def _spawn(self, name: str, namespaces: NamespaceSet, cgroup: Cgroup,
+               parent: Process | None) -> Process:
+        proc = Process(self._next_pid, name, namespaces, cgroup, parent)
+        self._next_pid += 1
+        self.processes[proc.pid] = proc
+        if parent is not None:
+            parent.children.append(proc)
+        return proc
+
+    # -- syscalls ----------------------------------------------------------
+
+    def fork(self, parent: Process, name: str, *,
+             cgroup: Cgroup | None = None) -> Process:
+        """Create a child sharing the parent's namespaces.
+
+        ``cgroup`` lets the container runtime place the child into the
+        container's control group (the moral equivalent of writing its
+        PID into ``cgroup.procs``).
+        """
+        if not parent.alive:
+            raise NamespaceError(f"cannot fork from dead process {parent.name!r}")
+        return self._spawn(name, parent.namespaces.clone(),
+                           cgroup if cgroup is not None else parent.cgroup, parent)
+
+    def unshare(self, proc: Process, ns: Namespace) -> None:
+        """Give ``proc`` a new private namespace (owner = proc)."""
+        ns.owner = proc
+        proc.namespaces = proc.namespaces.with_namespace(ns)
+
+    def exec(self, proc: Process, new_name: str | None = None) -> None:
+        """Model ``execve``: §3.2's ownership-transfer hook.
+
+        For every namespace the process is linked to whose owner has
+        reached TASK_DEAD, ownership moves to the exec'ing task — this is
+        how the new container init becomes the owner of the
+        ``sys_namespace`` created by the (now dead) original init.
+        """
+        if not proc.alive:
+            raise NamespaceError(f"cannot exec dead process {proc.name!r}")
+        if new_name is not None:
+            proc.name = new_name
+        for kind in proc.namespaces.kinds():
+            ns = proc.namespaces.get(kind)
+            if ns is not None and ns.owner is not None and not ns.owner_alive:
+                ns.transfer_ownership(proc)
+
+    def exit(self, proc: Process) -> None:
+        """Mark a process TASK_DEAD (children are reparented to init)."""
+        proc.state = ProcessState.TASK_DEAD
+        for child in proc.children:
+            child.parent = self.init
+            self.init.children.append(child)
+        proc.children = []
+
+    def live_processes(self) -> list[Process]:
+        return [p for p in self.processes.values() if p.alive]

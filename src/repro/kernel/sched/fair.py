@@ -1,0 +1,343 @@
+"""Fluid model of the Linux Completely Fair Scheduler with cgroup support.
+
+Instead of simulating per-tick context switches, the scheduler solves a
+**weighted max-min (water-filling) allocation** of the host's CPU
+capacity over the leaf cgroups that currently have runnable threads,
+re-solving whenever the runnable set or any cpu-cgroup parameter
+changes.  This is the classic fluid/GPS approximation of CFS: over any
+scheduling period, CFS hands each contending group CPU time proportional
+to ``cpu.shares``, capped by its quota (``cfs_quota_us/cfs_period_us``),
+its cpuset size, and its own demand (one core per runnable thread).
+
+The model keeps the two properties Algorithm 1 of the paper depends on:
+
+* **work conservation** — capacity is never left idle while some group
+  could use more (`pslack` is only positive when every group is capped);
+* **share-proportional contention** — groups contending for the same
+  CPUs receive time in proportion to their shares.
+
+Oversubscribed groups (more runnable threads than allocated cores) pay a
+context-switch efficiency penalty: occupancy stays at the allocation but
+useful *progress* is scaled by ``1/(1 + csw_overhead*(n/alloc - 1))``.
+This is what makes over-threading (15 GC threads on a 4-core share)
+mechanically slower, reproducing the paper's motivation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.cgroup import Cgroup, CgroupRoot
+from repro.kernel.cpu import HostCpus
+
+__all__ = ["SchedParams", "GroupAlloc", "waterfill", "FairScheduler"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SchedParams:
+    """Tunables of the fluid CFS model."""
+
+    #: Context-switch overhead coefficient for oversubscribed groups.
+    csw_overhead: float = 0.05
+    #: Cross-container interference coefficient.  Groups whose cpusets
+    #: overlap other busy groups lose efficiency proportionally to the
+    #: oversubscription of their contention domain (cache pollution,
+    #: wake-up latency).  A container with a *dedicated* cpuset is immune
+    #: — which is why the paper observes that JDK 9's CPU-affinity
+    #: isolation yields steadier GC times than the work-conserving
+    #: adaptive approach as co-runner count grows (§5.2, Fig. 7).
+    #: Independent threads tolerate interference fairly well; the GC cost
+    #: model layers an extra sensitivity on top for synchronizing teams.
+    interference: float = 0.05
+    #: Allocation below this is treated as zero.
+    eps: float = _EPS
+
+
+@dataclass
+class GroupAlloc:
+    """One cgroup's slice of the current allocation snapshot."""
+
+    cgroup: Cgroup
+    n_threads: int
+    weight: float
+    cap: float          # min(quota, |cpuset|, n_threads)
+    rate: float = 0.0   # cores allocated
+    efficiency: float = 1.0
+
+    @property
+    def per_thread_progress(self) -> float:
+        """Useful progress rate of each thread in the group (cores)."""
+        if self.n_threads == 0:
+            return 0.0
+        return (self.rate / self.n_threads) * self.efficiency
+
+    @property
+    def per_thread_occupancy(self) -> float:
+        """CPU occupancy charged to each thread (cores)."""
+        if self.n_threads == 0:
+            return 0.0
+        return self.rate / self.n_threads
+
+
+def waterfill(weights: list[float], caps: list[float], capacity: float) -> list[float]:
+    """Weighted max-min allocation of ``capacity`` under per-entry caps.
+
+    Repeatedly hands each still-active entry its weighted fair share of
+    the remaining capacity; entries whose fair share meets their cap are
+    frozen at the cap and removed.  Terminates in at most ``len(weights)``
+    rounds.  The result is work-conserving: total allocated equals
+    ``min(capacity, sum(caps))`` (up to float tolerance).
+    """
+    n = len(weights)
+    if n != len(caps):
+        raise ValueError("weights and caps must have equal length")
+    alloc = [0.0] * n
+    active = [i for i in range(n) if caps[i] > _EPS and weights[i] > 0.0]
+    remaining = float(capacity)
+    while active and remaining > _EPS:
+        total_w = sum(weights[i] for i in active)
+        # Entries whose weighted fair share would exceed their cap are
+        # frozen at the cap; if none, the fair split is final.
+        frozen = [i for i in active
+                  if caps[i] <= remaining * weights[i] / total_w + _EPS]
+        if not frozen:
+            for i in active:
+                alloc[i] = remaining * weights[i] / total_w
+            return alloc
+        for i in frozen:
+            alloc[i] = caps[i]
+            remaining -= caps[i]
+        remaining = max(0.0, remaining)
+        frozen_set = set(frozen)
+        active = [i for i in active if i not in frozen_set]
+    return alloc
+
+
+class FairScheduler:
+    """Scheduler facade: snapshots, accrual, and slack accounting."""
+
+    def __init__(self, host: HostCpus, cgroups: CgroupRoot,
+                 params: SchedParams | None = None):
+        self.host = host
+        self.cgroups = cgroups
+        self.params = params or SchedParams()
+        self._snapshot: list[GroupAlloc] = []
+        self._dirty = True
+        self.total_idle_time = 0.0      # integral of unallocated capacity
+        self.window_idle = 0.0          # idle capacity since last sys_ns window reset
+        cgroups.set_dirty_hook(self.mark_dirty)
+
+    # -- snapshot management ---------------------------------------------------
+
+    def mark_dirty(self) -> None:
+        self._dirty = True
+
+    @property
+    def dirty(self) -> bool:
+        return self._dirty
+
+    def reallocate(self) -> list[GroupAlloc]:
+        """Re-solve the allocation for the current runnable set."""
+        groups: list[GroupAlloc] = []
+        for cg in self.cgroups.walk():
+            n = cg.n_runnable()
+            if n == 0:
+                cg.cpu_rate = 0.0
+                continue
+            cap = min(cg.quota_cores, float(len(cg.effective_cpuset())), float(n))
+            groups.append(GroupAlloc(cgroup=cg, n_threads=n,
+                                     weight=float(cg.cpu.shares), cap=cap))
+        # Waterfill independently inside each contention domain: connected
+        # components of cpuset overlap partition the host's CPUs, and CFS
+        # cannot move capacity across a cpuset boundary.
+        for component, capacity in self._overlap_components(groups):
+            rates = waterfill([g.weight for g in component],
+                              [g.cap for g in component], capacity)
+            for g, rate in zip(component, rates):
+                g.rate = rate
+        kappa = self.params.csw_overhead
+        pressures = self._contention_pressures(groups)
+        gamma = self.params.interference
+        for g, pressure in zip(groups, pressures):
+            rate = g.rate
+            if rate > self.params.eps and g.n_threads > rate:
+                oversub = g.n_threads / rate - 1.0
+                g.efficiency = 1.0 / (1.0 + kappa * oversub)
+            else:
+                g.efficiency = 1.0
+            if pressure > 1.0:
+                g.efficiency *= 1.0 / (1.0 + gamma * (pressure - 1.0))
+            g.cgroup.cpu_rate = rate
+            mem_penalty = g.cgroup.progress_multiplier
+            per_thread = g.per_thread_progress * mem_penalty
+            for t in g.cgroup.runnable_threads:
+                t.progress_rate = per_thread
+        self._snapshot = groups
+        self._dirty = False
+        return groups
+
+    def _overlap_components(self, groups: list[GroupAlloc]
+                            ) -> list[tuple[list[GroupAlloc], float]]:
+        """Partition groups into connected components of cpuset overlap.
+
+        Each component's capacity is the size of the union of its masks.
+        Components are disjoint in CPUs, so solving each independently is
+        exact for disjoint/nested masks and a close approximation for
+        partially-overlapping ones.
+        """
+        remaining = list(range(len(groups)))
+        masks = [set(g.cgroup.effective_cpuset()) for g in groups]
+        components: list[tuple[list[GroupAlloc], float]] = []
+        while remaining:
+            seed = remaining.pop(0)
+            member_ids = [seed]
+            union = set(masks[seed])
+            changed = True
+            while changed:
+                changed = False
+                for idx in list(remaining):
+                    if masks[idx] & union:
+                        union |= masks[idx]
+                        member_ids.append(idx)
+                        remaining.remove(idx)
+                        changed = True
+            components.append(([groups[i] for i in member_ids], float(len(union))))
+        return components
+
+    def _contention_pressures(self, groups: list[GroupAlloc]) -> list[float]:
+        """Runnable-thread pressure of each group's contention domain.
+
+        The contention domain of group *i* is the union of the cpusets of
+        all groups whose cpusets intersect its own; pressure is the
+        runnable threads in the domain divided by the domain's CPU count.
+        *Other* groups contribute all their runnable threads (their
+        time-slicing pollutes caches and preempts this group's lock
+        holders); the group's *own* threads count only up to its own
+        allocation — time-slicing among your own threads is the
+        ``csw_overhead`` term, not cross-container interference.  A group
+        with a dedicated cpuset therefore never pays interference,
+        however many threads it runs (JDK 9's isolation in Fig. 7).
+        """
+        masks = [set(g.cgroup.effective_cpuset()) for g in groups]
+        pressures: list[float] = []
+        for i, g in enumerate(groups):
+            domain = set(masks[i])
+            threads = min(float(g.n_threads), g.rate)
+            for j, other in enumerate(groups):
+                if j == i:
+                    continue
+                if masks[i] & masks[j]:
+                    domain |= masks[j]
+                    threads += other.n_threads
+            pressures.append(threads / len(domain) if domain else 0.0)
+        return pressures
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def snapshot(self) -> list[GroupAlloc]:
+        return self._snapshot
+
+    def total_allocated(self) -> float:
+        return sum(g.rate for g in self._snapshot)
+
+    def idle_capacity(self) -> float:
+        """Instantaneous unallocated host capacity in cores."""
+        return max(0.0, self.host.capacity - self.total_allocated())
+
+    def n_runnable_total(self) -> int:
+        return sum(g.n_threads for g in self._snapshot)
+
+    # -- accrual (called by the world between events) -----------------------------
+
+    def advance(self, dt: float) -> None:
+        """Accrue ``dt`` seconds of CPU usage at the current snapshot."""
+        if dt <= 0.0:
+            return
+        idle = self.idle_capacity()
+        self.total_idle_time += idle * dt
+        self.window_idle += idle * dt
+        for g in self._snapshot:
+            cg = g.cgroup
+            used = g.rate * dt
+            cg.total_cpu_time += used
+            cg.window_usage += used
+            # Throttling: demand the quota clipped (the fluid analogue of
+            # cpu.stat's throttled_time).
+            quota = cg.quota_cores
+            if quota != float("inf"):
+                demand = min(float(g.n_threads),
+                             float(len(cg.effective_cpuset())))
+                clipped = max(0.0, demand - quota)
+                if clipped > 0.0 and g.rate >= quota - 1e-9:
+                    cg.throttled_time += clipped * dt
+            occupancy = g.per_thread_occupancy
+            for t in list(cg.runnable_threads):
+                t.advance(dt, occupancy)
+
+    def next_completion(self) -> float:
+        """Seconds until the earliest runnable segment completes (inf if none)."""
+        best = float("inf")
+        for g in self._snapshot:
+            for t in g.cgroup.runnable_threads:
+                ttc = t.time_to_completion()
+                if ttc < best:
+                    best = ttc
+        return best
+
+    def contention_pressure(self, cgroup: Cgroup) -> float:
+        """The current contention-domain pressure around ``cgroup``.
+
+        Used by runtimes whose synchronizing phases (stop-the-world GC)
+        are more interference-sensitive than independent threads.
+        Returns 0.0 when the cgroup is not in the current snapshot.
+        """
+        if self._dirty:
+            self.reallocate()
+        for g, pressure in zip(self._snapshot,
+                               self._contention_pressures(self._snapshot)):
+            if g.cgroup is cgroup:
+                return pressure
+        # Not runnable right now (e.g. mutators parked at a safepoint):
+        # measure the pressure its threads would face on its cpuset.
+        mask = set(cgroup.effective_cpuset())
+        domain = set(mask)
+        threads = 0.0
+        for g in self._snapshot:
+            other = set(g.cgroup.effective_cpuset())
+            if mask & other:
+                domain |= other
+                threads += g.n_threads
+        return threads / len(domain) if domain else 0.0
+
+    def fair_share_estimate(self, cgroup: Cgroup) -> float:
+        """Steady-state cores this cgroup can count on while contended.
+
+        ``min(quota, |cpuset|, weight share of the host)`` over the groups
+        that currently have runnable threads.  Used by runtimes to reason
+        about oversubscription independent of instantaneous blocking.
+        """
+        if self._dirty:
+            self.reallocate()
+        active_weight = sum(g.weight for g in self._snapshot
+                            if g.cgroup is not cgroup)
+        w = float(cgroup.cpu.shares)
+        share = self.host.capacity * w / (active_weight + w)
+        return max(1e-9, min(cgroup.quota_cores,
+                             float(len(cgroup.effective_cpuset())), share))
+
+    # -- sys_namespace window helpers ----------------------------------------------
+
+    def reset_window(self, cgroup: Cgroup) -> float:
+        """Return and clear a cgroup's CPU usage for the closing window."""
+        used = cgroup.window_usage
+        cgroup.window_usage = 0.0
+        return used
+
+    def take_window_idle(self) -> float:
+        """Return and clear the host idle-capacity integral for the window."""
+        idle = self.window_idle
+        self.window_idle = 0.0
+        return idle

@@ -1,0 +1,33 @@
+"""The CFS scheduling-period rule.
+
+Linux CFS targets a scheduling latency of ``sysctl_sched_latency`` (24 ms
+with default tunables on the paper's kernel) as long as no more than
+``sched_nr_latency`` (8) tasks are runnable; beyond that the period
+stretches to ``sched_min_granularity`` (3 ms) per task so every task
+still runs once per period.  §3.2 sets the ``sys_namespace`` update
+interval to this period: "during which all tasks are guaranteed to run
+at least once".
+"""
+
+from __future__ import annotations
+
+__all__ = ["SCHED_LATENCY", "SCHED_NR_LATENCY", "SCHED_MIN_GRANULARITY",
+           "scheduling_period"]
+
+#: Default CFS target latency (seconds): 24 ms.
+SCHED_LATENCY = 0.024
+#: Number of runnable tasks above which the period stretches.
+SCHED_NR_LATENCY = 8
+#: Minimum per-task granularity (seconds): 3 ms.
+SCHED_MIN_GRANULARITY = 0.003
+
+
+def scheduling_period(n_runnable: int) -> float:
+    """Length of one CFS scheduling period for ``n_runnable`` tasks.
+
+    ``24ms`` when at most 8 tasks are runnable, otherwise
+    ``3ms * n_runnable`` — exactly the rule quoted in §3.2 of the paper.
+    """
+    if n_runnable <= SCHED_NR_LATENCY:
+        return SCHED_LATENCY
+    return SCHED_MIN_GRANULARITY * n_runnable

@@ -1,0 +1,131 @@
+"""Simulated kernel threads (the scheduler's unit of execution).
+
+A :class:`SimThread` executes a sequence of *work segments*, each a fixed
+amount of CPU work in cpu-seconds.  The scheduler assigns every runnable
+thread a progress rate; the world advances all threads between events and
+invokes the segment-completion callback when a segment's remaining work
+reaches zero.  Runtimes (JVM, OpenMP, workload drivers) build their
+behaviour out of segments, blocking, and waking.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import SchedulerError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.cgroup import Cgroup
+
+__all__ = ["ThreadState", "SimThread", "WORK_EPS"]
+
+#: Remaining work below this is treated as completed (guards float drift).
+WORK_EPS = 1e-12
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle of a simulated thread."""
+
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    EXITED = "exited"
+
+
+class SimThread:
+    """A schedulable thread bound to a cgroup.
+
+    Attributes maintained by the scheduler/world:
+
+    * ``progress_rate`` — cores of *useful* progress per second (includes
+      oversubscription and memory-pressure penalties).
+    * ``cpu_time`` — total CPU seconds *charged* to the thread (occupancy,
+      which can exceed useful progress when thrashing).
+    """
+
+    _next_tid = [100]
+
+    __slots__ = (
+        "tid", "name", "cgroup", "state", "remaining", "on_segment_done",
+        "progress_rate", "cpu_time", "progress_done", "created_at",
+    )
+
+    def __init__(self, name: str, cgroup: "Cgroup", *, created_at: float = 0.0):
+        SimThread._next_tid[0] += 1
+        self.tid = SimThread._next_tid[0]
+        self.name = name
+        self.cgroup = cgroup
+        self.state = ThreadState.BLOCKED
+        self.remaining = 0.0
+        self.on_segment_done: Callable[["SimThread"], None] | None = None
+        self.progress_rate = 0.0
+        self.cpu_time = 0.0
+        self.progress_done = 0.0
+        self.created_at = created_at
+        cgroup.attach_thread(self)
+
+    # -- work assignment -------------------------------------------------
+
+    def assign_work(self, cpu_seconds: float,
+                    on_done: Callable[["SimThread"], None] | None = None) -> None:
+        """Give the thread a new work segment and make it runnable."""
+        if self.state is ThreadState.EXITED:
+            raise SchedulerError(f"cannot assign work to exited thread {self.name!r}")
+        if cpu_seconds < 0:
+            raise SchedulerError(f"negative work segment {cpu_seconds!r} for {self.name!r}")
+        self.remaining = float(cpu_seconds)
+        self.on_segment_done = on_done
+        self._set_state(ThreadState.RUNNABLE)
+
+    def block(self) -> None:
+        """Park the thread (e.g. a mutator stopped at a GC safepoint)."""
+        if self.state is ThreadState.EXITED:
+            raise SchedulerError(f"cannot block exited thread {self.name!r}")
+        self._set_state(ThreadState.BLOCKED)
+
+    def wake(self) -> None:
+        """Resume a blocked thread with its remaining segment intact."""
+        if self.state is ThreadState.EXITED:
+            raise SchedulerError(f"cannot wake exited thread {self.name!r}")
+        self._set_state(ThreadState.RUNNABLE)
+
+    def exit(self) -> None:
+        """Terminate the thread permanently."""
+        self._set_state(ThreadState.EXITED)
+
+    def _set_state(self, new: ThreadState) -> None:
+        if new is self.state:
+            return
+        old = self.state
+        self.state = new
+        self.cgroup.on_thread_state_change(self, old, new)
+
+    # -- accounting (called by the world between events) ------------------
+
+    @property
+    def runnable(self) -> bool:
+        return self.state is ThreadState.RUNNABLE
+
+    def advance(self, dt: float, occupancy_rate: float) -> None:
+        """Accrue ``dt`` seconds of progress at the current rates."""
+        if not self.runnable:
+            return
+        self.remaining = max(0.0, self.remaining - self.progress_rate * dt)
+        self.progress_done += self.progress_rate * dt
+        self.cpu_time += occupancy_rate * dt
+
+    @property
+    def segment_finished(self) -> bool:
+        return self.runnable and self.remaining <= WORK_EPS
+
+    def time_to_completion(self) -> float:
+        """Seconds until the current segment completes at the current rate."""
+        if not self.runnable or self.progress_rate <= 0.0:
+            return float("inf")
+        if self.remaining <= WORK_EPS:
+            return 0.0
+        return self.remaining / self.progress_rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SimThread {self.name} tid={self.tid} {self.state.value} "
+                f"remaining={self.remaining:.6f}>")

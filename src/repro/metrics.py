@@ -1,0 +1,160 @@
+"""Time-series metrics collection for simulated runs.
+
+A :class:`MetricsRecorder` samples world state on a periodic timer and
+stores named series — per-container CPU rates, effective resources,
+memory counters, host utilization — for post-run analysis or export.
+This is the simulated analogue of scraping cAdvisor/Prometheus during a
+testbed run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.world import World
+
+__all__ = ["Series", "MetricsRecorder"]
+
+
+@dataclass
+class Series:
+    """One named time series."""
+
+    name: str
+    times: list[float]
+    values: list[float]
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def last(self) -> float:
+        if not self.values:
+            raise ReproError(f"series {self.name!r} is empty")
+        return self.values[-1]
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ReproError(f"series {self.name!r} is empty")
+        return sum(self.values) / len(self.values)
+
+    def minimum(self) -> float:
+        if not self.values:
+            raise ReproError(f"series {self.name!r} is empty")
+        return min(self.values)
+
+    def maximum(self) -> float:
+        if not self.values:
+            raise ReproError(f"series {self.name!r} is empty")
+        return max(self.values)
+
+    def time_weighted_mean(self) -> float:
+        """Mean weighted by the interval each sample covers."""
+        if not self.values:
+            raise ReproError(f"series {self.name!r} is empty")
+        if len(self.values) == 1:
+            return self.values[0]
+        total = 0.0
+        span = self.times[-1] - self.times[0]
+        if span <= 0:
+            return self.mean()
+        for i in range(len(self.values) - 1):
+            total += self.values[i] * (self.times[i + 1] - self.times[i])
+        return total / span
+
+
+class MetricsRecorder:
+    """Samples registered probes on a fixed period.
+
+    Built-in probe families can be attached per container
+    (:meth:`watch_container`) or host-wide (:meth:`watch_host`); custom
+    probes are any ``() -> float`` callable.
+    """
+
+    def __init__(self, world: "World", *, period: float = 0.1):
+        if period <= 0:
+            raise ReproError(f"metrics period must be positive, got {period}")
+        self.world = world
+        self.period = period
+        self._probes: dict[str, Callable[[], float]] = {}
+        self._series: dict[str, Series] = {}
+        self._timer = None
+        self.samples_taken = 0
+
+    # -- probe registration -------------------------------------------------
+
+    def add_probe(self, name: str, fn: Callable[[], float]) -> None:
+        if name in self._probes:
+            raise ReproError(f"probe {name!r} already registered")
+        self._probes[name] = fn
+        self._series[name] = Series(name=name, times=[], values=[])
+
+    def watch_container(self, container) -> None:
+        """Attach the standard per-container probes."""
+        name = container.name
+        cg = container.cgroup
+        self.add_probe(f"{name}.cpu_rate", lambda: cg.cpu_rate)
+        self.add_probe(f"{name}.e_cpu", lambda: float(container.e_cpu))
+        self.add_probe(f"{name}.e_mem", lambda: float(container.e_mem))
+        self.add_probe(f"{name}.mem_resident",
+                       lambda: float(cg.memory.resident))
+        self.add_probe(f"{name}.mem_swapped",
+                       lambda: float(cg.memory.swapped))
+        self.add_probe(f"{name}.runnable", lambda: float(cg.n_runnable()))
+
+    def watch_host(self) -> None:
+        """Attach host-wide probes."""
+        world = self.world
+        self.add_probe("host.idle_capacity",
+                       lambda: world.sched.idle_capacity())
+        self.add_probe("host.free_memory", lambda: float(world.mm.free))
+        self.add_probe("host.loadavg_1", lambda: world.loadavg.load_1)
+        self.add_probe("host.runnable",
+                       lambda: float(world.sched.n_runnable_total()))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._timer is not None and self._timer.active:
+            raise ReproError("metrics recorder already running")
+        self._timer = self.world.events.call_every(self.period, self._sample,
+                                                   name="metrics")
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _sample(self) -> None:
+        now = self.world.clock.now
+        self.samples_taken += 1
+        for name, fn in self._probes.items():
+            series = self._series[name]
+            series.times.append(now)
+            series.values.append(float(fn()))
+
+    # -- access -----------------------------------------------------------------
+
+    def series(self, name: str) -> Series:
+        try:
+            return self._series[name]
+        except KeyError:
+            raise ReproError(f"no series named {name!r}; have "
+                             f"{sorted(self._series)}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """min/mean/max/last for every non-empty series."""
+        out = {}
+        for name, s in sorted(self._series.items()):
+            if len(s) == 0:
+                continue
+            out[name] = {"min": s.minimum(), "mean": s.mean(),
+                         "max": s.maximum(), "last": s.last}
+        return out

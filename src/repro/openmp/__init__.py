@@ -1,0 +1,7 @@
+"""OpenMP runtime with static/dynamic/adaptive thread-count policies."""
+
+from repro.openmp.policy import OmpPolicy, gomp_dynamic_max_threads, thread_count
+from repro.openmp.runtime import OmpStats, OpenMpRuntime
+
+__all__ = ["OmpPolicy", "gomp_dynamic_max_threads", "thread_count",
+           "OmpStats", "OpenMpRuntime"]

@@ -1,0 +1,57 @@
+"""OpenMP thread-count policies (§4.1).
+
+* **static** — every parallel region gets one thread per online CPU (the
+  default when ``OMP_DYNAMIC`` is off and ``OMP_NUM_THREADS`` unset);
+* **dynamic** — libgomp's ``gomp_dynamic_max_threads``:
+  ``n_onln - loadavg`` with the 15-minute load average, floored at 1;
+* **adaptive** — the paper's change: "We substitute n_onln with E_CPU
+  and remove the second term of the formula as effective CPU already
+  includes load information at a much finer granularity."
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.errors import OpenMpError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.container.container import Container
+
+__all__ = ["OmpPolicy", "thread_count"]
+
+
+class OmpPolicy(enum.Enum):
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    ADAPTIVE = "adaptive"
+
+
+def gomp_dynamic_max_threads(n_onln: int, loadavg_15: float) -> int:
+    """libgomp's dynamic-threads formula, floored at one thread."""
+    return max(1, n_onln - int(round(loadavg_15)))
+
+
+def thread_count(policy: OmpPolicy, container: "Container", *,
+                 num_threads_env: int | None = None) -> int:
+    """Threads for the next parallel region under ``policy``.
+
+    ``num_threads_env`` models ``OMP_NUM_THREADS``, which overrides any
+    policy (the footnote in §5.2).
+    """
+    if num_threads_env is not None:
+        if num_threads_env < 1:
+            raise OpenMpError(f"OMP_NUM_THREADS must be >= 1, got {num_threads_env}")
+        return num_threads_env
+    world = container.world
+    # The stock runtimes see host-wide values (stock kernel!); only the
+    # adaptive policy reads the per-container virtual sysfs.
+    n_onln = world.host.ncpus
+    if policy is OmpPolicy.STATIC:
+        return n_onln
+    if policy is OmpPolicy.DYNAMIC:
+        return gomp_dynamic_max_threads(n_onln, world.loadavg.load_15)
+    if policy is OmpPolicy.ADAPTIVE:
+        return max(1, container.resource_view().ncpus())
+    raise OpenMpError(f"unknown OpenMP policy {policy!r}")

@@ -1,0 +1,7 @@
+"""Discrete-event simulation substrate (clock, event loop, RNG streams)."""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventHandle, EventLoop
+from repro.sim.rng import RngFactory
+
+__all__ = ["SimClock", "EventHandle", "EventLoop", "RngFactory"]

@@ -1,0 +1,45 @@
+"""Simulation clock.
+
+The clock is a monotonically non-decreasing float of simulated seconds.
+Only the event engine advances it; everything else reads it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonic simulated-time source.
+
+    The engine owns the single instance per :class:`~repro.world.World`
+    and advances it via :meth:`advance_to`; all other components treat it
+    as read-only through :attr:`now`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        if start < 0.0:
+            raise SimulationError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t``.
+
+        Raises :class:`SimulationError` on attempts to move backwards,
+        which would indicate a corrupted event queue.
+        """
+        if t < self._now:
+            raise SimulationError(f"clock moving backwards: {t!r} < {self._now!r}")
+        self._now = float(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,143 @@
+"""Discrete-event engine: a time-ordered queue of callbacks plus timers.
+
+The engine deliberately knows nothing about scheduling or memory; it only
+orders callbacks in time.  Components schedule one-shot events
+(:meth:`EventLoop.call_at` / :meth:`EventLoop.call_after`) or periodic
+timers (:meth:`EventLoop.call_every`) and may cancel them through the
+returned :class:`EventHandle`.
+
+Ties are broken by insertion order so runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+__all__ = ["EventHandle", "EventLoop"]
+
+
+class EventHandle:
+    """Cancellation/inspection handle for a scheduled event.
+
+    Periodic timers keep the same handle across firings; cancelling the
+    handle stops future firings.
+    """
+
+    __slots__ = ("when", "period", "callback", "name", "cancelled", "_fired")
+
+    def __init__(self, when: float, callback: Callable[[], None], *,
+                 period: float | None = None, name: str = ""):
+        self.when = when
+        self.period = period
+        self.callback = callback
+        self.name = name
+        self.cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (again)."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still due to fire."""
+        return not self.cancelled and (self.period is not None or not self._fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "timer" if self.period is not None else "event"
+        return f"<{kind} {self.name or 'anon'} @{self.when:.6f} cancelled={self.cancelled}>"
+
+
+class EventLoop:
+    """Deterministic discrete-event queue bound to a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock):
+        self.clock = clock
+        self._heap: list[tuple[float, int, EventHandle]] = []
+        self._counter = itertools.count()
+
+    # -- scheduling ------------------------------------------------------
+
+    def call_at(self, when: float, callback: Callable[[], None], *,
+                name: str = "") -> EventHandle:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event {name!r} at {when!r}, now is {self.clock.now!r}")
+        handle = EventHandle(when, callback, name=name)
+        heapq.heappush(self._heap, (when, next(self._counter), handle))
+        return handle
+
+    def call_after(self, delay: float, callback: Callable[[], None], *,
+                   name: str = "") -> EventHandle:
+        """Schedule ``callback`` after ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r} for event {name!r}")
+        return self.call_at(self.clock.now + delay, callback, name=name)
+
+    def call_every(self, period: float, callback: Callable[[], None], *,
+                   first_after: float | None = None, name: str = "") -> EventHandle:
+        """Schedule a periodic timer firing every ``period`` seconds.
+
+        ``first_after`` defaults to one full period.  The callback may
+        mutate ``handle.period`` between firings (the sys_namespace update
+        timer does this to track the Linux scheduling period).
+        """
+        if period <= 0:
+            raise SimulationError(f"timer period must be positive, got {period!r}")
+        delay = period if first_after is None else first_after
+        if delay < 0:
+            raise SimulationError(f"negative first_after {delay!r} for timer {name!r}")
+        handle = EventHandle(self.clock.now + delay, callback, period=period, name=name)
+        heapq.heappush(self._heap, (handle.when, next(self._counter), handle))
+        return handle
+
+    # -- introspection ---------------------------------------------------
+
+    def next_event_time(self) -> float | None:
+        """Absolute time of the earliest pending event, or None if idle."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    # -- execution -------------------------------------------------------
+
+    def run_until(self, deadline: float) -> None:
+        """Fire all events with ``when <= deadline`` and advance the clock.
+
+        The clock finishes exactly at ``deadline`` even if the queue
+        drains earlier.
+        """
+        while True:
+            nxt = self.next_event_time()
+            if nxt is None or nxt > deadline:
+                break
+            self._pop_and_fire()
+        self.clock.advance_to(max(deadline, self.clock.now))
+
+    def step(self) -> bool:
+        """Fire the single earliest event.  Returns False if queue empty."""
+        if self.next_event_time() is None:
+            return False
+        self._pop_and_fire()
+        return True
+
+    def _pop_and_fire(self) -> None:
+        when, _, handle = heapq.heappop(self._heap)
+        if handle.cancelled:
+            return
+        self.clock.advance_to(when)
+        handle._fired = True
+        handle.callback()
+        # Re-arm periodic timers unless the callback cancelled them.
+        if handle.period is not None and not handle.cancelled:
+            handle.when = self.clock.now + handle.period
+            heapq.heappush(self._heap, (handle.when, next(self._counter), handle))

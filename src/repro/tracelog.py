@@ -1,0 +1,105 @@
+"""Structured event tracing for simulated runs.
+
+When enabled, components emit timestamped, categorized events — GC
+start/end, kswapd runs, OOM kills, effective-resource changes, container
+lifecycle — into a bounded in-memory log.  The simulated analogue of
+``dmesg`` + GC logs + tracepoints, used for debugging experiments and
+asserting on *why* something happened rather than only the end state.
+
+Tracing is off by default and costs one predicate check per emit when
+disabled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.errors import ReproError
+
+__all__ = ["TraceEvent", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record."""
+
+    time: float
+    category: str
+    message: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return (f"[{self.time:10.4f}] {self.category:12s} {self.message}"
+                + (f" ({extras})" if extras else ""))
+
+
+class TraceLog:
+    """Bounded, filterable event log bound to a clock."""
+
+    def __init__(self, clock, *, capacity: int = 10_000, enabled: bool = False):
+        if capacity < 1:
+            raise ReproError(f"trace capacity must be >= 1, got {capacity}")
+        self._clock = clock
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.enabled = enabled
+        self.dropped = 0
+        self._listeners: list[Callable[[TraceEvent], None]] = []
+
+    # -- emission ---------------------------------------------------------
+
+    def emit(self, category: str, message: str, **fields: Any) -> None:
+        """Record an event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        if len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        event = TraceEvent(time=self._clock.now, category=category,
+                           message=message, fields=fields)
+        self._events.append(event)
+        for listener in self._listeners:
+            listener(event)
+
+    def subscribe(self, fn: Callable[[TraceEvent], None]) -> None:
+        """Stream events to a callback (e.g. ``print``) as they happen."""
+        self._listeners.append(fn)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, category: str | None = None, *,
+               since: float = 0.0) -> list[TraceEvent]:
+        """Events, optionally filtered by category and start time."""
+        return [e for e in self._events
+                if (category is None or e.category == category)
+                and e.time >= since]
+
+    def categories(self) -> set[str]:
+        return {e.category for e in self._events}
+
+    def count(self, category: str) -> int:
+        return sum(1 for e in self._events if e.category == category)
+
+    def find(self, category: str, predicate: Callable[[TraceEvent], bool]
+             ) -> TraceEvent | None:
+        """First event of a category matching ``predicate`` (or None)."""
+        for e in self._events:
+            if e.category == category and predicate(e):
+                return e
+        return None
+
+    def tail(self, n: int = 20) -> list[TraceEvent]:
+        return list(self._events)[-n:]
+
+    def render(self, events: Iterable[TraceEvent] | None = None) -> str:
+        """Multi-line text rendering (dmesg style)."""
+        return "\n".join(str(e) for e in (events if events is not None
+                                          else self._events))
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0

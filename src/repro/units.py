@@ -1,0 +1,76 @@
+"""Unit helpers shared across the simulator.
+
+All memory quantities in the code base are plain ``int`` byte counts and
+all times are ``float`` seconds of simulated time.  These helpers exist so
+that call sites read like the paper ("a 1GB hard limit", "a 24ms
+scheduling period") rather than as raw powers of two.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "PAGE_SIZE",
+    "USEC",
+    "MSEC",
+    "kib",
+    "mib",
+    "gib",
+    "fmt_bytes",
+    "fmt_time",
+]
+
+#: One kibibyte in bytes.
+KiB = 1024
+#: One mebibyte in bytes.
+MiB = 1024 * KiB
+#: One gibibyte in bytes.
+GiB = 1024 * MiB
+
+#: The page size reported through ``sysconf(_SC_PAGESIZE)``.
+PAGE_SIZE = 4096
+
+#: One microsecond in simulated seconds.
+USEC = 1e-6
+#: One millisecond in simulated seconds.
+MSEC = 1e-3
+
+
+def kib(n: float) -> int:
+    """Return *n* kibibytes as an integer byte count."""
+    return int(n * KiB)
+
+
+def mib(n: float) -> int:
+    """Return *n* mebibytes as an integer byte count."""
+    return int(n * MiB)
+
+
+def gib(n: float) -> int:
+    """Return *n* gibibytes as an integer byte count."""
+    return int(n * GiB)
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count in a human-readable form (e.g. ``1.50GiB``)."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for unit, label in ((GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if n >= unit:
+            return f"{sign}{n / unit:.2f}{label}"
+    return f"{sign}{n:.0f}B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a simulated duration (e.g. ``12.34s``, ``5.0ms``, ``3.2us``)."""
+    s = float(seconds)
+    sign = "-" if s < 0 else ""
+    s = abs(s)
+    if s >= 1.0:
+        return f"{sign}{s:.2f}s"
+    if s >= 1e-3:
+        return f"{sign}{s * 1e3:.1f}ms"
+    return f"{sign}{s * 1e6:.1f}us"

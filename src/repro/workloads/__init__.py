@@ -1,0 +1,21 @@
+"""Workload models: DaCapo, SPECjvm2008, HiBench, NPB, sysbench, and the
+heap micro-benchmark, plus the DockerHub image catalog of Fig. 1."""
+
+from repro.workloads.base import (JavaWorkload, NativeWorkload, OmpRegion,
+                                  OmpWorkload)
+from repro.workloads.dacapo import DACAPO, DACAPO_NAMES, PAPER_DACAPO, dacapo
+from repro.workloads.hibench import HIBENCH, HIBENCH_NAMES, hibench
+from repro.workloads.micro import heap_micro_benchmark
+from repro.workloads.native_runner import MemoryHog, NativeProcess
+from repro.workloads.specjvm import SPECJVM, SPECJVM_NAMES, PAPER_SPECJVM, specjvm
+from repro.workloads.sysbench import sysbench_cpu, sysbench_mix
+
+__all__ = [
+    "JavaWorkload", "NativeWorkload", "OmpRegion", "OmpWorkload",
+    "DACAPO", "DACAPO_NAMES", "PAPER_DACAPO", "dacapo",
+    "HIBENCH", "HIBENCH_NAMES", "hibench",
+    "heap_micro_benchmark",
+    "MemoryHog", "NativeProcess",
+    "SPECJVM", "SPECJVM_NAMES", "PAPER_SPECJVM", "specjvm",
+    "sysbench_cpu", "sysbench_mix",
+]

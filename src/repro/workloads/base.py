@@ -1,0 +1,138 @@
+"""Workload descriptors.
+
+The paper's benchmarks (DaCapo, SPECjvm2008, HiBench, NPB, sysbench) are
+modelled by their *resource shape*: how much CPU work they do, with how
+many threads, how fast they allocate, and how much of the allocated data
+stays live.  The experiments in §5 depend only on these shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+
+__all__ = ["JavaWorkload", "OmpRegion", "OmpWorkload", "NativeWorkload"]
+
+
+@dataclass(frozen=True)
+class JavaWorkload:
+    """A Java benchmark as seen by the simulated JVM.
+
+    Attributes
+    ----------
+    app_threads:
+        Number of mutator threads.
+    total_work:
+        Aggregate mutator CPU work for one run, in cpu-seconds.
+    alloc_rate:
+        Bytes allocated per cpu-second of aggregate mutator progress.
+    live_set:
+        Steady-state live bytes (what survives a full GC).
+    survivor_frac:
+        Fraction of eden contents still live at a minor GC.
+    promote_frac:
+        Fraction of minor-GC survivors promoted to the old generation.
+    min_heap:
+        Minimum heap for the benchmark to run at all; a JVM whose max
+        heap is below this dies with an OutOfMemoryError (the missing
+        bars of Fig. 2(b)).
+    """
+
+    name: str
+    app_threads: int
+    total_work: float
+    alloc_rate: float
+    live_set: int
+    survivor_frac: float = 0.10
+    promote_frac: float = 0.35
+    min_heap: int = 0
+    #: Fraction of the live set that settles in the old generation (the
+    #: rest stays young-resident).
+    old_live_frac: float = 0.85
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.app_threads < 1:
+            raise WorkloadError(f"{self.name}: app_threads must be >= 1")
+        if self.total_work <= 0:
+            raise WorkloadError(f"{self.name}: total_work must be positive")
+        if self.alloc_rate < 0:
+            raise WorkloadError(f"{self.name}: alloc_rate cannot be negative")
+        if not (0.0 <= self.survivor_frac <= 1.0):
+            raise WorkloadError(f"{self.name}: survivor_frac must be in [0,1]")
+        if not (0.0 <= self.promote_frac <= 1.0):
+            raise WorkloadError(f"{self.name}: promote_frac must be in [0,1]")
+        if self.live_set < 0 or self.min_heap < 0:
+            raise WorkloadError(f"{self.name}: sizes cannot be negative")
+        if not (0.0 <= self.old_live_frac <= 1.0):
+            raise WorkloadError(f"{self.name}: old_live_frac must be in [0,1]")
+
+    @property
+    def total_allocation(self) -> int:
+        """Total bytes the benchmark allocates over its lifetime."""
+        return int(self.total_work * self.alloc_rate)
+
+
+@dataclass(frozen=True)
+class OmpRegion:
+    """One OpenMP parallel region (possibly preceded by serial work)."""
+
+    serial_work: float      # cpu-seconds on the master thread
+    parallel_work: float    # aggregate cpu-seconds, divided over the team
+
+    def __post_init__(self) -> None:
+        if self.serial_work < 0 or self.parallel_work < 0:
+            raise WorkloadError("region work cannot be negative")
+
+
+@dataclass(frozen=True)
+class OmpWorkload:
+    """An OpenMP program: a repeated sequence of parallel regions.
+
+    NPB programs are iterative solvers — the same region structure runs
+    for many timesteps — so the model is ``iterations`` repetitions of
+    ``regions``.  ``sync_per_thread`` is the fork/join + barrier cost
+    *per team thread per region*, the term that punishes over-threading.
+    """
+
+    name: str
+    regions: tuple[OmpRegion, ...]
+    iterations: int
+    sync_per_thread: float = 100e-6
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise WorkloadError(f"{self.name}: needs at least one region")
+        if self.iterations < 1:
+            raise WorkloadError(f"{self.name}: iterations must be >= 1")
+        if self.sync_per_thread < 0:
+            raise WorkloadError(f"{self.name}: sync_per_thread cannot be negative")
+
+    @property
+    def total_parallel_work(self) -> float:
+        return self.iterations * sum(r.parallel_work for r in self.regions)
+
+    @property
+    def total_serial_work(self) -> float:
+        return self.iterations * sum(r.serial_work for r in self.regions)
+
+
+@dataclass(frozen=True)
+class NativeWorkload:
+    """A plain multi-threaded CPU hog (sysbench-style), optionally with RSS."""
+
+    name: str
+    threads: int = 1
+    total_work: float = 10.0     # aggregate cpu-seconds
+    resident_memory: int = 0     # bytes charged while running
+    description: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise WorkloadError(f"{self.name}: threads must be >= 1")
+        if self.total_work <= 0:
+            raise WorkloadError(f"{self.name}: total_work must be positive")
+        if self.resident_memory < 0:
+            raise WorkloadError(f"{self.name}: resident_memory cannot be negative")

@@ -1,0 +1,105 @@
+"""DaCapo benchmark models (h2, jython, lusearch, sunflow, xalan).
+
+Parameters are calibrated to the *resource shapes* that drive the
+paper's results, not to microarchitectural fidelity:
+
+* ``lusearch``/``xalan``/``sunflow`` are allocation-heavy and highly
+  parallel — under a 32 GB auto-sized heap their committed memory
+  inflates far past a 1 GB container limit (Fig. 11's collapse);
+* ``h2`` carries the largest live set (a JDK 9-style 256 MB heap cannot
+  hold it: the OOM of Fig. 2(b));
+* ``jython`` is the least parallel and allocates modestly, so it gains
+  least from GC-thread tuning (visible across Figs. 6–8).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.units import mib
+from repro.workloads.base import JavaWorkload
+
+__all__ = ["DACAPO", "DACAPO_NAMES", "dacapo"]
+
+DACAPO: dict[str, JavaWorkload] = {
+    "h2": JavaWorkload(
+        name="h2", app_threads=4, total_work=80.0, alloc_rate=mib(120),
+        live_set=mib(400), survivor_frac=0.18, promote_frac=0.35,
+        min_heap=mib(420),
+        description="TPC-C-like in-memory database: large live set, steady churn"),
+    "jython": JavaWorkload(
+        name="jython", app_threads=2, total_work=60.0, alloc_rate=mib(150),
+        live_set=mib(120), survivor_frac=0.08, promote_frac=0.30,
+        min_heap=mib(150),
+        description="pybench interpreter: modest parallelism and heap"),
+    "lusearch": JavaWorkload(
+        name="lusearch", app_threads=8, total_work=40.0, alloc_rate=mib(400),
+        live_set=mib(60), survivor_frac=0.05, promote_frac=0.20,
+        min_heap=mib(80),
+        description="parallel text search: allocation-dominated, tiny live set"),
+    "sunflow": JavaWorkload(
+        name="sunflow", app_threads=8, total_work=70.0, alloc_rate=mib(180),
+        live_set=mib(100), survivor_frac=0.07, promote_frac=0.25,
+        min_heap=mib(120),
+        description="raytracer: embarrassingly parallel render threads"),
+    "xalan": JavaWorkload(
+        name="xalan", app_threads=8, total_work=50.0, alloc_rate=mib(350),
+        live_set=mib(80), survivor_frac=0.06, promote_frac=0.25,
+        min_heap=mib(100),
+        description="XSLT transformer: allocation-heavy worker pool"),
+    # ---- the rest of the DaCapo-9.12 suite (not used by the paper's
+    # figures, provided for library completeness) ----------------------
+    "avrora": JavaWorkload(
+        name="avrora", app_threads=4, total_work=55.0, alloc_rate=mib(40),
+        live_set=mib(30), survivor_frac=0.05, promote_frac=0.20,
+        min_heap=mib(40),
+        description="AVR microcontroller simulation: tiny heap, lockstep threads"),
+    "batik": JavaWorkload(
+        name="batik", app_threads=2, total_work=30.0, alloc_rate=mib(180),
+        live_set=mib(90), survivor_frac=0.10, promote_frac=0.30,
+        min_heap=mib(110),
+        description="SVG rasterization: bursty image-buffer allocation"),
+    "eclipse": JavaWorkload(
+        name="eclipse", app_threads=4, total_work=120.0, alloc_rate=mib(160),
+        live_set=mib(450), survivor_frac=0.16, promote_frac=0.45,
+        min_heap=mib(480),
+        description="IDE performance tests: the suite's largest live set"),
+    "fop": JavaWorkload(
+        name="fop", app_threads=1, total_work=12.0, alloc_rate=mib(220),
+        live_set=mib(60), survivor_frac=0.12, promote_frac=0.30,
+        min_heap=mib(80),
+        description="XSL-FO to PDF: short single-threaded run"),
+    "luindex": JavaWorkload(
+        name="luindex", app_threads=2, total_work=25.0, alloc_rate=mib(140),
+        live_set=mib(40), survivor_frac=0.06, promote_frac=0.25,
+        min_heap=mib(50),
+        description="Lucene indexing: streaming document churn"),
+    "pmd": JavaWorkload(
+        name="pmd", app_threads=4, total_work=35.0, alloc_rate=mib(260),
+        live_set=mib(130), survivor_frac=0.12, promote_frac=0.35,
+        min_heap=mib(150),
+        description="source-code analysis: AST allocation spikes"),
+    "tomcat": JavaWorkload(
+        name="tomcat", app_threads=8, total_work=60.0, alloc_rate=mib(200),
+        live_set=mib(150), survivor_frac=0.10, promote_frac=0.35,
+        min_heap=mib(170),
+        description="servlet container serving sample webapps"),
+    "tradebeans": JavaWorkload(
+        name="tradebeans", app_threads=8, total_work=90.0, alloc_rate=mib(240),
+        live_set=mib(350), survivor_frac=0.15, promote_frac=0.45,
+        min_heap=mib(380),
+        description="DayTrader via EJB on an in-memory database"),
+}
+
+DACAPO_NAMES: tuple[str, ...] = tuple(DACAPO)
+
+#: The five benchmarks the paper's figures use.
+PAPER_DACAPO: tuple[str, ...] = ("h2", "jython", "lusearch", "sunflow", "xalan")
+
+
+def dacapo(name: str) -> JavaWorkload:
+    """Look up a DaCapo benchmark model by name."""
+    try:
+        return DACAPO[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown DaCapo benchmark {name!r}; available: {DACAPO_NAMES}") from None

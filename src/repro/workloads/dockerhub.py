@@ -1,0 +1,98 @@
+"""The DockerHub top-100 image census (Fig. 1).
+
+§2.2: "we manually examined the top 100 application images in
+DockerHub ... We classified application images into two categories:
+affected by the semantic gap and unaffected.  Applications are grouped
+by the programming language they use ... a total number of 62 out of
+the top 100 applications are potentially affected by this semantic gap.
+Among the 7 languages we studied, all Java and PHP-based programs could
+suffer resource over-commitment.  A majority of C++-based applications
+and half of C-based applications are also affected."
+
+The paper does not publish the per-image table, so the catalog below is
+a *reconstruction*: 100 plausible image entries whose aggregates match
+every published constraint (total 100, 62 affected, Java and PHP fully
+affected, half of C, a majority of C++).  The census pipeline
+(:func:`census_by_language`) is what Fig. 1's bars are produced from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DockerHubImage", "TOP_100_IMAGES", "LANGUAGES", "census_by_language",
+           "total_affected"]
+
+#: Language order used on Fig. 1's x-axis.
+LANGUAGES = ("c", "c++", "java", "go", "python", "php", "ruby")
+
+
+@dataclass(frozen=True)
+class DockerHubImage:
+    """One catalog entry: an image, its language, and whether its stack
+    auto-configures from kernel-reported resources (affected) or not."""
+
+    name: str
+    language: str
+    affected: bool
+    probe: str = ""  # what the stack reads (for the affected ones)
+
+
+def _mk(names: str, language: str, affected: bool, probe: str = "") -> list[DockerHubImage]:
+    return [DockerHubImage(name=n, language=language, affected=affected, probe=probe)
+            for n in names.split()]
+
+
+#: Reconstructed catalog.  Aggregates: c 8/16, c++ 10/14, java 20/20,
+#: go 4/12, python 6/16, php 12/12, ruby 2/10 — 62/100 affected.
+TOP_100_IMAGES: tuple[DockerHubImage, ...] = tuple(
+    # --- C (16 images, 8 affected: "half of C-based") ---
+    _mk("httpd nginx-module-build memcached varnish postgres redis-ha haproxy-auto unbound",
+        "c", True, "sysconf(_SC_NPROCESSORS_ONLN) worker auto-tuning")
+    + _mk("busybox alpine curl-runner bash debian-slim openssl-tool git-daemon sqlite-cli",
+          "c", False)
+    # --- C++ (14 images, 10 affected: "a majority of C++") ---
+    + _mk("mongo mysql mariadb rocksdb-server clickhouse cassandra-cpp-driver "
+          "chrome-v8-runner node envoy-auto rethinkdb",
+          "c++", True, "std::thread::hardware_concurrency / _SC_PHYS_PAGES")
+    + _mk("protobuf-compiler grpc-cli capnproto fmt-builder", "c++", False)
+    # --- Java (20 images, all affected) ---
+    + _mk("tomcat openjdk jetty elasticsearch solr kafka zookeeper cassandra "
+          "hadoop spark flink hbase activemq groovy maven gradle jenkins "
+          "logstash neo4j glassfish",
+          "java", True, "Runtime.availableProcessors / default MaxHeap=phys/4")
+    # --- Go (12 images, 4 affected) ---
+    + _mk("traefik prometheus influxdb-go etcd-auto", "go", True,
+          "runtime.NumCPU -> GOMAXPROCS")
+    + _mk("docker-cli consul vault registry minio-gateway hugo caddy-static syncthing",
+          "go", False)
+    # --- Python (16 images, 6 affected) ---
+    + _mk("gunicorn-auto celery-prefork uwsgi-auto jupyter-spawner airflow-worker "
+          "ray-head",
+          "python", True, "multiprocessing.cpu_count worker sizing")
+    + _mk("django-app flask-app ansible-runner scrapy-single pip-builder "
+          "requests-probe fastapi-single locust-master black-formatter sphinx-docs",
+          "python", False)
+    # --- PHP (12 images, all affected) ---
+    + _mk("php-fpm wordpress drupal joomla nextcloud magento mediawiki phpmyadmin "
+          "laravel-app symfony-app prestashop matomo",
+          "php", True, "pm.max_children sized from host memory")
+    # --- Ruby (10 images, 2 affected) ---
+    + _mk("puma-auto sidekiq-auto", "ruby", True, "ETC.nprocessors worker pools")
+    + _mk("rails-app rake-runner jekyll fluentd-ruby gitlab-shell vagrant-box "
+          "chef-client discourse-base",
+          "ruby", False)
+)
+
+
+def census_by_language() -> dict[str, tuple[int, int]]:
+    """Per-language (affected, unaffected) counts — Fig. 1's bars."""
+    counts = {lang: [0, 0] for lang in LANGUAGES}
+    for img in TOP_100_IMAGES:
+        counts[img.language][0 if img.affected else 1] += 1
+    return {lang: (a, u) for lang, (a, u) in counts.items()}
+
+
+def total_affected() -> int:
+    """The paper's headline number: 62 of the top 100 images."""
+    return sum(1 for img in TOP_100_IMAGES if img.affected)

@@ -1,0 +1,49 @@
+"""HiBench big-data workload models (nweight, als, kmeans, pagerank).
+
+"Realistic Java-based workloads, such as big data processing frameworks,
+require much larger heap sizes" (§5.2): these models carry multi-GiB
+live sets and long runtimes, which is where adaptive GC threading keeps
+paying off even as DaCapo-scale benefits shrink (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.units import gib, mib
+from repro.workloads.base import JavaWorkload
+
+__all__ = ["HIBENCH", "HIBENCH_NAMES", "hibench"]
+
+HIBENCH: dict[str, JavaWorkload] = {
+    "nweight": JavaWorkload(
+        name="nweight", app_threads=16, total_work=220.0, alloc_rate=mib(380),
+        live_set=gib(4), survivor_frac=0.22, promote_frac=0.55,
+        min_heap=int(gib(4) * 1.1),
+        description="graph n-hop weight propagation over Spark-like RDDs"),
+    "als": JavaWorkload(
+        name="als", app_threads=16, total_work=180.0, alloc_rate=mib(420),
+        live_set=gib(3), survivor_frac=0.20, promote_frac=0.50,
+        min_heap=int(gib(3) * 1.1),
+        description="alternating least squares matrix factorization"),
+    "kmeans": JavaWorkload(
+        name="kmeans", app_threads=16, total_work=160.0, alloc_rate=mib(350),
+        live_set=gib(2), survivor_frac=0.15, promote_frac=0.45,
+        min_heap=int(gib(2) * 1.1),
+        description="iterative clustering over cached feature vectors"),
+    "pagerank": JavaWorkload(
+        name="pagerank", app_threads=16, total_work=240.0, alloc_rate=mib(400),
+        live_set=int(gib(3.5)), survivor_frac=0.22, promote_frac=0.55,
+        min_heap=int(gib(3.5) * 1.1),
+        description="iterative rank propagation with large shuffle churn"),
+}
+
+HIBENCH_NAMES: tuple[str, ...] = tuple(HIBENCH)
+
+
+def hibench(name: str) -> JavaWorkload:
+    """Look up a HiBench workload model by name."""
+    try:
+        return HIBENCH[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown HiBench workload {name!r}; available: {HIBENCH_NAMES}") from None

@@ -1,0 +1,95 @@
+"""NAS Parallel Benchmark models (is, ep, cg, mg, ft, ua, bt, sp, lu).
+
+Each program is an iterative solver: many repetitions of a small set of
+parallel regions, differing in region granularity (work per region),
+serial fraction, and synchronization weight.  ``ep`` is embarrassingly
+parallel (few huge regions, negligible sync); ``cg``/``mg`` are
+fine-grained and barrier-heavy, so mis-sized teams hurt them most —
+matching the spread visible in Fig. 10.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.base import OmpRegion, OmpWorkload
+
+__all__ = ["NPB", "NPB_NAMES", "npb"]
+
+
+def _program(name: str, *, total_work: float, n_regions: int,
+             serial_frac: float, sync_per_thread: float,
+             description: str) -> OmpWorkload:
+    """Build an NPB model from aggregate characteristics."""
+    serial_total = total_work * serial_frac
+    parallel_total = total_work - serial_total
+    region = OmpRegion(serial_work=serial_total / n_regions,
+                       parallel_work=parallel_total / n_regions)
+    return OmpWorkload(name=name, regions=(region,), iterations=n_regions,
+                       sync_per_thread=sync_per_thread, description=description)
+
+
+NPB: dict[str, OmpWorkload] = {
+    "is": _program("is", total_work=30.0, n_regions=60, serial_frac=0.06,
+                   sync_per_thread=150e-6,
+                   description="integer sort: bucket exchange every iteration"),
+    "ep": _program("ep", total_work=60.0, n_regions=10, serial_frac=0.01,
+                   sync_per_thread=50e-6,
+                   description="embarrassingly parallel random-number marshalling"),
+    "cg": _program("cg", total_work=50.0, n_regions=300, serial_frac=0.05,
+                   sync_per_thread=250e-6,
+                   description="conjugate gradient: sparse matvec + dot products"),
+    "mg": _program("mg", total_work=45.0, n_regions=250, serial_frac=0.05,
+                   sync_per_thread=250e-6,
+                   description="multigrid V-cycles: fine-grained stencils"),
+    "ft": _program("ft", total_work=55.0, n_regions=80, serial_frac=0.04,
+                   sync_per_thread=150e-6,
+                   description="3-D FFT: transpose-heavy phases"),
+    "ua": _program("ua", total_work=50.0, n_regions=350, serial_frac=0.08,
+                   sync_per_thread=300e-6,
+                   description="unstructured adaptive mesh: irregular regions"),
+    "bt": _program("bt", total_work=70.0, n_regions=200, serial_frac=0.03,
+                   sync_per_thread=150e-6,
+                   description="block-tridiagonal solver sweeps"),
+    "sp": _program("sp", total_work=65.0, n_regions=240, serial_frac=0.04,
+                   sync_per_thread=200e-6,
+                   description="scalar-pentadiagonal solver sweeps"),
+    "lu": _program("lu", total_work=75.0, n_regions=280, serial_frac=0.05,
+                   sync_per_thread=250e-6,
+                   description="LU decomposition with pipelined wavefronts"),
+}
+
+NPB_NAMES: tuple[str, ...] = tuple(NPB)
+
+#: Work multipliers of the standard NPB problem classes relative to
+#: class A (approximate: each class step is ~4x the work).
+NPB_CLASSES: dict[str, float] = {"S": 0.02, "W": 0.2, "A": 1.0, "B": 4.0,
+                                 "C": 16.0}
+
+
+def npb(name: str, problem_class: str = "A") -> OmpWorkload:
+    """Look up an NPB program model by name and problem class.
+
+    The paper runs a single (unstated) class; class A is the default
+    here.  Other classes scale the per-region work, preserving the
+    region structure and synchronization profile.
+    """
+    try:
+        base = NPB[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown NPB program {name!r}; available: {NPB_NAMES}") from None
+    try:
+        factor = NPB_CLASSES[problem_class.upper()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown NPB class {problem_class!r}; available: "
+            f"{tuple(NPB_CLASSES)}") from None
+    if factor == 1.0:
+        return base
+    regions = tuple(OmpRegion(serial_work=r.serial_work * factor,
+                              parallel_work=r.parallel_work * factor)
+                    for r in base.regions)
+    return OmpWorkload(name=f"{base.name}.{problem_class.upper()}",
+                       regions=regions, iterations=base.iterations,
+                       sync_per_thread=base.sync_per_thread,
+                       description=base.description)

@@ -1,0 +1,116 @@
+"""SPECjvm2008 benchmark models.
+
+SPECjvm2008 reports *throughput* (operations per minute); the harness
+derives it as work/time from these fixed-work models.  The five programs
+the paper uses (Fig. 6(b)): compiler.compiler, derby, mpegaudio,
+xml.validation, xml.transform.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.units import mib
+from repro.workloads.base import JavaWorkload
+
+__all__ = ["SPECJVM", "SPECJVM_NAMES", "specjvm"]
+
+SPECJVM: dict[str, JavaWorkload] = {
+    "compiler.compiler": JavaWorkload(
+        name="compiler.compiler", app_threads=8, total_work=70.0,
+        alloc_rate=mib(130), live_set=mib(250), survivor_frac=0.12,
+        promote_frac=0.40, min_heap=mib(280),
+        description="javac compiling itself: allocation and promotion heavy"),
+    "derby": JavaWorkload(
+        name="derby", app_threads=8, total_work=80.0, alloc_rate=mib(110),
+        live_set=mib(350), survivor_frac=0.15, promote_frac=0.45,
+        min_heap=mib(380),
+        description="embedded database with BigDecimal churn"),
+    "mpegaudio": JavaWorkload(
+        name="mpegaudio", app_threads=8, total_work=60.0, alloc_rate=mib(40),
+        live_set=mib(40), survivor_frac=0.05, promote_frac=0.20,
+        min_heap=mib(60),
+        description="mp3 decoding: compute-bound, little allocation"),
+    "xml.validation": JavaWorkload(
+        name="xml.validation", app_threads=8, total_work=65.0,
+        alloc_rate=mib(140), live_set=mib(90), survivor_frac=0.06,
+        promote_frac=0.25, min_heap=mib(110),
+        description="schema validation: parser allocation churn"),
+    "xml.transform": JavaWorkload(
+        name="xml.transform", app_threads=8, total_work=65.0,
+        alloc_rate=mib(120), live_set=mib(110), survivor_frac=0.08,
+        promote_frac=0.30, min_heap=mib(130),
+        description="XSLT pipelines: allocation churn with medium live set"),
+    # ---- the rest of the SPECjvm2008 suite (not used by the paper's
+    # figures, provided for library completeness) ----------------------
+    "compress": JavaWorkload(
+        name="compress", app_threads=8, total_work=55.0, alloc_rate=mib(70),
+        live_set=mib(60), survivor_frac=0.06, promote_frac=0.20,
+        min_heap=mib(80),
+        description="LZW compression over in-memory buffers"),
+    "crypto.aes": JavaWorkload(
+        name="crypto.aes", app_threads=8, total_work=50.0, alloc_rate=mib(30),
+        live_set=mib(25), survivor_frac=0.04, promote_frac=0.15,
+        min_heap=mib(40),
+        description="AES/DES encryption: compute-bound"),
+    "crypto.rsa": JavaWorkload(
+        name="crypto.rsa", app_threads=8, total_work=45.0, alloc_rate=mib(50),
+        live_set=mib(30), survivor_frac=0.05, promote_frac=0.15,
+        min_heap=mib(45),
+        description="RSA over BigInteger: bursty bignum allocation"),
+    "crypto.signverify": JavaWorkload(
+        name="crypto.signverify", app_threads=8, total_work=45.0,
+        alloc_rate=mib(45), live_set=mib(28), survivor_frac=0.05,
+        promote_frac=0.15, min_heap=mib(42),
+        description="SHA/DSA sign-verify loops"),
+    "scimark.fft": JavaWorkload(
+        name="scimark.fft", app_threads=8, total_work=60.0, alloc_rate=mib(20),
+        live_set=mib(130), survivor_frac=0.03, promote_frac=0.50,
+        min_heap=mib(150),
+        description="large FFT over a resident array: big live set, low churn"),
+    "scimark.lu": JavaWorkload(
+        name="scimark.lu", app_threads=8, total_work=65.0, alloc_rate=mib(15),
+        live_set=mib(160), survivor_frac=0.03, promote_frac=0.50,
+        min_heap=mib(180),
+        description="LU factorization: dense resident matrices"),
+    "scimark.sor": JavaWorkload(
+        name="scimark.sor", app_threads=8, total_work=55.0, alloc_rate=mib(10),
+        live_set=mib(100), survivor_frac=0.02, promote_frac=0.50,
+        min_heap=mib(115),
+        description="successive over-relaxation stencil"),
+    "scimark.sparse": JavaWorkload(
+        name="scimark.sparse", app_threads=8, total_work=60.0,
+        alloc_rate=mib(12), live_set=mib(120), survivor_frac=0.02,
+        promote_frac=0.50, min_heap=mib(135),
+        description="sparse matmult: irregular access, resident data"),
+    "scimark.monte_carlo": JavaWorkload(
+        name="scimark.monte_carlo", app_threads=8, total_work=50.0,
+        alloc_rate=mib(5), live_set=mib(10), survivor_frac=0.02,
+        promote_frac=0.10, min_heap=mib(16),
+        description="pi by Monte Carlo: almost allocation-free"),
+    "serial": JavaWorkload(
+        name="serial", app_threads=8, total_work=70.0, alloc_rate=mib(240),
+        live_set=mib(140), survivor_frac=0.12, promote_frac=0.30,
+        min_heap=mib(165),
+        description="object (de)serialization: allocation-heavy"),
+    "sunflow": JavaWorkload(
+        name="sunflow", app_threads=8, total_work=65.0, alloc_rate=mib(170),
+        live_set=mib(100), survivor_frac=0.07, promote_frac=0.25,
+        min_heap=mib(120),
+        description="raytracing (the SPECjvm packaging of sunflow)"),
+}
+
+SPECJVM_NAMES: tuple[str, ...] = tuple(SPECJVM)
+
+#: The five programs the paper's Fig. 6(b) uses.
+PAPER_SPECJVM: tuple[str, ...] = ("compiler.compiler", "derby", "mpegaudio",
+                                  "xml.validation", "xml.transform")
+
+
+def specjvm(name: str) -> JavaWorkload:
+    """Look up a SPECjvm2008 benchmark model by name."""
+    try:
+        return SPECJVM[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown SPECjvm2008 benchmark {name!r}; available: "
+            f"{SPECJVM_NAMES}") from None

@@ -1,0 +1,37 @@
+"""sysbench-style native CPU workloads.
+
+Fig. 8's scenario colocates one DaCapo container with nine containers
+running "different sysbench benchmarks" that complete at different
+times, freeing CPU as they finish.  :func:`sysbench_mix` produces that
+staggered-duration mix deterministically.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.base import NativeWorkload
+
+__all__ = ["sysbench_cpu", "sysbench_mix"]
+
+
+def sysbench_cpu(name: str = "sysbench-cpu", *, threads: int = 2,
+                 total_work: float = 20.0) -> NativeWorkload:
+    """A sysbench ``cpu`` run: pure arithmetic on ``threads`` threads."""
+    return NativeWorkload(name=name, threads=threads, total_work=total_work,
+                          description="sysbench cpu --threads=%d" % threads)
+
+
+def sysbench_mix(n: int, *, base_work: float = 12.0, step_work: float = 9.0,
+                 threads: int = 2) -> list[NativeWorkload]:
+    """``n`` sysbench instances with staggered total work.
+
+    Instance *i* carries ``base_work + i*step_work`` cpu-seconds, so under
+    equal CPU shares they finish one after another — progressively
+    freeing CPU for the container under study, which is exactly the
+    varying-availability environment of Fig. 8.
+    """
+    if n < 0:
+        raise WorkloadError(f"cannot build a mix of {n} instances")
+    return [sysbench_cpu(f"sysbench{i}", threads=threads,
+                         total_work=base_work + i * step_work)
+            for i in range(n)]

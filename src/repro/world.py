@@ -1,0 +1,238 @@
+"""The World: a complete simulated host.
+
+Wires the discrete-event engine to the kernel subsystems (scheduler,
+memory manager, process table, sysfs) and the paper's components
+(ns_monitor, per-container sys_namespaces via the container runtime).
+
+The main loop is a fluid-flow discrete-event simulation: between
+events, every runnable thread progresses at the rate assigned by the
+CFS model; the loop repeatedly jumps to the earliest of
+
+* the next scheduled event/timer (sys_namespace updates, elastic-heap
+  polls, workload phases), or
+* the earliest completion of a thread's current work segment,
+
+accruing CPU usage, idle capacity, and load averages over the jump.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.container.runtime import ContainerRuntime
+from repro.core.effective_cpu import CpuViewParams
+from repro.core.effective_memory import MemViewParams
+from repro.core.ns_monitor import NsMonitor
+from repro.errors import SimulationError
+from repro.kernel.cgroup import Cgroup, CgroupRoot
+from repro.kernel.cgroupfs import CgroupFs
+from repro.kernel.cpu import HostCpus
+from repro.kernel.loadavg import LoadAvgParams, LoadTracker
+from repro.kernel.mm.memcg import MemoryManager, MmParams
+from repro.kernel.proc import ProcessTable
+from repro.kernel.sched.fair import FairScheduler, SchedParams
+from repro.kernel.sysfs import HostSysfs, SysfsRegistry
+from repro.kernel.task import SimThread, ThreadState
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngFactory
+from repro.units import gib
+
+__all__ = ["World"]
+
+_TIME_EPS = 1e-9
+
+
+class World:
+    """A simulated host machine."""
+
+    def __init__(self, ncpus: int = 20, memory: int = gib(128), *,
+                 sched_params: SchedParams | None = None,
+                 mm_params: MmParams | None = None,
+                 loadavg_params: LoadAvgParams | None = None,
+                 cpu_view_params: CpuViewParams | None = None,
+                 mem_view_params: MemViewParams | None = None,
+                 sys_ns_update_period: float | None = None,
+                 trace: bool = False, seed: int = 0):
+        self.clock = SimClock()
+        self.events = EventLoop(self.clock)
+        from repro.tracelog import TraceLog
+        self.trace = TraceLog(self.clock, enabled=trace)
+        self.rng = RngFactory(seed)
+        self.host = HostCpus(ncpus)
+        self.cgroups = CgroupRoot(self.host)
+        self.sched = FairScheduler(self.host, self.cgroups, sched_params)
+        self.mm = MemoryManager(memory, self.cgroups, mm_params)
+        self.mm.event_hook = (
+            lambda category, message, **fields:
+            self.trace.emit(category, message, **fields))
+        self.loadavg = LoadTracker(loadavg_params or LoadAvgParams())
+        self.procs = ProcessTable(self.cgroups.root)
+        self.cgroupfs = CgroupFs(self.cgroups)
+        self.host_sysfs = HostSysfs(self.host, self.mm, self.loadavg,
+                                    scheduler=self.sched)
+        self.sysfs_registry = SysfsRegistry(self.host_sysfs)
+        self.ns_monitor = NsMonitor(self.cgroups)
+        self.cpu_view_params = cpu_view_params or CpuViewParams()
+        self.mem_view_params = mem_view_params or MemViewParams()
+        #: None = the paper's choice (track the CFS scheduling period).
+        self.sys_ns_update_period = sys_ns_update_period
+        self.containers = ContainerRuntime(self)
+        self.steps = 0
+
+    # -- thread helpers ------------------------------------------------------
+
+    def spawn_host_thread(self, name: str, cgroup: Cgroup | None = None) -> SimThread:
+        """Create a (blocked) thread outside any container."""
+        return SimThread(name, cgroup if cgroup is not None else self.cgroups.root,
+                         created_at=self.clock.now)
+
+    # -- main loop ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Advance to the next event/completion.  False when nothing to do."""
+        if self.sched.dirty:
+            self.sched.reallocate()
+        now = self.clock.now
+        t_event = self.events.next_event_time()
+        ttc = self.sched.next_completion()
+        t_completion = now + ttc if ttc != float("inf") else None
+        if t_event is None and t_completion is None:
+            return False
+        candidates = [t for t in (t_event, t_completion) if t is not None]
+        t = min(candidates)
+        dt = t - now
+        if dt > 0:
+            n_run = self.sched.n_runnable_total()
+            self.sched.advance(dt)
+            self.loadavg.advance(dt, n_run)
+            self.clock.advance_to(t)
+        # Handle completed segments before timers due at the same instant,
+        # then fire every event that is now due.
+        self._complete_finished_segments()
+        while True:
+            ne = self.events.next_event_time()
+            if ne is None or ne > self.clock.now + _TIME_EPS:
+                break
+            self.events.step()
+        self._complete_finished_segments()
+        self.steps += 1
+        return True
+
+    def _complete_finished_segments(self) -> None:
+        """Fire segment-completion callbacks; callbacks may cascade."""
+        for _ in range(10_000):
+            finished = [t for g in self.sched.snapshot
+                        for t in list(g.cgroup.runnable_threads)
+                        if t.segment_finished]
+            if not finished:
+                return
+            for t in finished:
+                if not t.segment_finished:  # state changed by a prior callback
+                    continue
+                cb = t.on_segment_done
+                t.on_segment_done = None
+                if cb is None:
+                    # No continuation: park the thread so it cannot spin.
+                    t.block()
+                else:
+                    cb(t)
+            if self.sched.dirty:
+                self.sched.reallocate()
+        raise SimulationError("segment-completion cascade did not converge")
+
+    def run(self, *, until: float | None = None, max_steps: int | None = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or step budget ends."""
+        steps = 0
+        while True:
+            if until is not None and self.clock.now >= until - _TIME_EPS:
+                break
+            if max_steps is not None and steps >= max_steps:
+                break
+            if until is not None:
+                # Don't let a far-future event overshoot the deadline:
+                # clamp by draining only up to `until`.
+                if not self._step_clamped(until):
+                    break
+            else:
+                if not self.step():
+                    break
+            steps += 1
+        if until is not None and self.clock.now < until:
+            self.clock.advance_to(until)
+
+    def _step_clamped(self, deadline: float) -> bool:
+        """Like :meth:`step` but never advances past ``deadline``."""
+        if self.sched.dirty:
+            self.sched.reallocate()
+        now = self.clock.now
+        t_event = self.events.next_event_time()
+        ttc = self.sched.next_completion()
+        t_completion = now + ttc if ttc != float("inf") else None
+        candidates = [t for t in (t_event, t_completion) if t is not None]
+        if not candidates:
+            return False
+        t = min(candidates)
+        if t > deadline:
+            # Advance accounting up to the deadline and stop.
+            dt = deadline - now
+            if dt > 0:
+                n_run = self.sched.n_runnable_total()
+                self.sched.advance(dt)
+                self.loadavg.advance(dt, n_run)
+                self.clock.advance_to(deadline)
+            return False
+        return self.step()
+
+    def run_until(self, predicate: Callable[[], bool], *,
+                  timeout: float = 1e7) -> bool:
+        """Run until ``predicate()`` is true.  Returns False on timeout/idle."""
+        deadline = self.clock.now + timeout
+        while not predicate():
+            if self.clock.now >= deadline:
+                return False
+            if not self._step_clamped(deadline):
+                return predicate()
+        return True
+
+    # -- convenience ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def n_live_threads(self) -> int:
+        return sum(1 for cg in self.cgroups.walk()
+                   for t in cg.threads if t.state is not ThreadState.EXITED)
+
+    def describe(self) -> str:
+        """A human-readable snapshot of the host and every container.
+
+        The simulated analogue of glancing at ``docker stats`` plus
+        ``free -h`` — useful in examples and when debugging experiments.
+        """
+        from repro.units import fmt_bytes, fmt_time
+        if self.sched.dirty:
+            self.sched.reallocate()
+        lines = [
+            f"world @ {fmt_time(self.clock.now)}: {self.host.ncpus} CPUs "
+            f"({self.sched.idle_capacity():.1f} idle), "
+            f"{fmt_bytes(self.mm.free)} free of "
+            f"{fmt_bytes(self.mm.available_capacity)}, "
+            f"load {self.loadavg.load_1:.1f}/{self.loadavg.load_5:.1f}/"
+            f"{self.loadavg.load_15:.1f}",
+        ]
+        for c in self.containers:
+            mem = c.cgroup.memory
+            swap = f" (+{fmt_bytes(mem.swapped)} swapped)" if mem.swapped else ""
+            lines.append(
+                f"  {c.name}: E_CPU={c.e_cpu} "
+                f"rate={c.cgroup.cpu_rate:.2f} cores, "
+                f"runnable={c.cgroup.n_runnable()}, "
+                f"mem={fmt_bytes(mem.resident)}{swap}, "
+                f"E_MEM={fmt_bytes(c.e_mem)}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<World t={self.clock.now:.3f}s cpus={self.host.ncpus} "
+                f"containers={len(self.containers)}>")

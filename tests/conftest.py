@@ -1,0 +1,23 @@
+"""Test-suite configuration.
+
+Hypothesis profile: no deadlines (simulated runs take variable wall
+time), failures printed with their reproduction blob, and the example
+database kept inside the repo so a failing example found on one run is
+replayed on the next.
+"""
+
+from pathlib import Path
+
+from hypothesis import HealthCheck, settings
+from hypothesis.database import DirectoryBasedExampleDatabase
+
+_DB_DIR = Path(__file__).resolve().parent.parent / ".hypothesis" / "examples"
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    print_blob=True,
+    database=DirectoryBasedExampleDatabase(str(_DB_DIR)),
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,105 @@
+"""Tests for the CLI entry point, extra procfs paths, and Jvm.kill."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.container.spec import ContainerSpec
+from repro.jvm.flags import JvmConfig
+from repro.jvm.jvm import Jvm
+from repro.units import gib, mib
+from repro.workloads.base import JavaWorkload
+from repro.world import World
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert cli_main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out and "HPDC" in out
+
+    def test_census(self, capsys):
+        assert cli_main(["census"]) == 0
+        assert "62" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert cli_main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "effective CPUs" in out
+
+    def test_run_forwards(self, capsys):
+        assert cli_main(["run", "--quick", "fig01"]) == 0
+        assert "DockerHub" in capsys.readouterr().out
+
+    def test_no_command_prints_help(self, capsys):
+        assert cli_main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+
+class TestProcfs:
+    @pytest.fixture
+    def world(self):
+        return World(ncpus=8, memory=gib(16))
+
+    def test_proc_stat(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        for i in range(2):
+            c.spawn_thread(f"w{i}").assign_work(1e9)
+        world.run(until=3.0)
+        text = world.host_sysfs.read("/proc/stat")
+        fields = text.splitlines()[0].split()
+        busy_jiffies, idle_jiffies = int(fields[1]), int(fields[4])
+        assert busy_jiffies == pytest.approx(600, abs=5)      # 2 cores * 3 s
+        assert idle_jiffies == pytest.approx(1800, abs=5)     # 6 idle * 3 s
+
+    def test_proc_self_cgroup(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        proc = c.spawn_process("app")
+        line = world.sysfs_registry.read(proc, "/proc/self/cgroup")
+        assert line == "0::/docker/c0\n"
+        host_line = world.sysfs_registry.read(world.procs.init,
+                                              "/proc/self/cgroup")
+        assert host_line == "0::/\n"
+
+
+class TestJvmKill:
+    def test_kill_mid_run_releases_resources(self):
+        world = World(ncpus=8, memory=gib(16))
+        c = world.containers.create(ContainerSpec("c0"))
+        wl = JavaWorkload(name="long", app_threads=4, total_work=1000.0,
+                          alloc_rate=mib(100), live_set=mib(50),
+                          min_heap=mib(60))
+        jvm = Jvm(c, wl, JvmConfig.vanilla_jdk8(xms=mib(256), xmx=mib(256)))
+        jvm.launch()
+        world.run(until=2.0)
+        assert not jvm.finished
+        jvm.kill("docker kill")
+        assert jvm.finished and jvm.stats.oom
+        assert jvm.stats.oom_reason == "docker kill"
+        assert c.cgroup.memory.usage_in_bytes == 0
+        assert c.cgroup.n_runnable() == 0
+        # The world keeps running fine afterwards.
+        world.run(until=3.0)
+
+    def test_kill_is_idempotent(self):
+        world = World(ncpus=4, memory=gib(8))
+        c = world.containers.create(ContainerSpec("c0"))
+        wl = JavaWorkload(name="w", app_threads=1, total_work=100.0,
+                          alloc_rate=0.0, live_set=0)
+        jvm = Jvm(c, wl, JvmConfig.vanilla_jdk8(xms=mib(64), xmx=mib(64)))
+        jvm.launch()
+        jvm.kill()
+        jvm.kill()
+        assert jvm.stats.oom
+
+    def test_container_destroy_after_kill(self):
+        world = World(ncpus=4, memory=gib(8))
+        c = world.containers.create(ContainerSpec("c0"))
+        wl = JavaWorkload(name="w", app_threads=2, total_work=100.0,
+                          alloc_rate=mib(50), live_set=mib(10),
+                          min_heap=mib(16))
+        jvm = Jvm(c, wl, JvmConfig.vanilla_jdk8(xms=mib(64), xmx=mib(64)))
+        jvm.launch()
+        world.run(until=1.0)
+        jvm.kill()
+        world.containers.destroy(c)
+        assert world.mm.free == world.mm.available_capacity

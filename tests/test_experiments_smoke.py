@@ -1,0 +1,123 @@
+"""Pipeline smoke tests: tiny-scale runs of every experiment driver.
+
+The full-scale reproductions live in ``benchmarks/``; these runs are
+deliberately small so ``pytest tests/`` alone exercises every harness
+code path (parameter plumbing, world construction, table shapes) in
+seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+class TestFig01:
+    def test_runs(self):
+        from repro.harness.experiments.fig01_dockerhub import run
+        result = run()
+        assert result.tables["summary"].rows[0]["affected"] == 62
+
+
+class TestFig02:
+    def test_gc_threads_slice(self):
+        from repro.harness.experiments.fig02_motivation import (Fig02Params,
+                                                                run_gc_threads)
+        table = run_gc_threads(Fig02Params(scale=0.25, benchmarks=("lusearch",)))
+        row = table.rows[0]
+        assert row["opt_JVM8"] < 1.0
+        assert set(table.columns) >= {"auto_JVM8", "opt_JVM8", "auto_JVM9"}
+
+    def test_heap_slice(self):
+        from repro.harness.experiments.fig02_motivation import (Fig02Params,
+                                                                run_heap_size)
+        table = run_heap_size(Fig02Params(scale=0.25, benchmarks=("xalan",)))
+        row = table.rows[0]
+        assert row["auto_JVM8"] > 1.5  # swap-collapsed
+
+
+class TestFig06:
+    def test_tiny_run(self):
+        from repro.harness.experiments.fig06_dacapo_spec import Fig06Params, run
+        result = run(Fig06Params(scale=0.25, dacapo_benchmarks=("lusearch",),
+                                 specjvm_benchmarks=()))
+        row = result.tables["dacapo_time"].rows[0]
+        assert row["adaptive"] <= row["dynamic"] <= 1.0
+
+
+class TestFig07:
+    def test_single_cell(self):
+        from repro.harness.experiments.fig07_scaling import Fig07Params, run
+        result = run(Fig07Params(scale=0.25, benchmarks=("lusearch",),
+                                 container_counts=(2,)))
+        row = result.tables["execution_time"].rows[0]
+        assert row["adaptive"] < row["jvm9"]
+
+
+class TestFig08:
+    def test_single_cell(self):
+        from repro.harness.experiments.fig08_shares import Fig08Params, run_one
+        stats = run_one("sunflow", "adaptive",
+                        Fig08Params(scale=0.25))
+        assert stats.completed
+        assert stats.gc_threads_created == 15
+
+
+class TestFig09:
+    def test_single_cell(self):
+        from repro.harness.experiments.fig09_hibench import Fig09Params, run
+        result = run(Fig09Params(scale=0.1, benchmarks=("kmeans",)))
+        row = result.tables["gc_time"].rows[0]
+        assert row["adaptive"] < row["dynamic"] <= 1.0
+
+
+class TestFig10:
+    def test_one_container_cell(self):
+        from repro.harness.experiments.fig10_npb import (Fig10Params,
+                                                         run_one_container)
+        from repro.openmp.policy import OmpPolicy
+        params = Fig10Params(scale=0.25)
+        t_adaptive = run_one_container("ep", OmpPolicy.ADAPTIVE, params)
+        t_dynamic = run_one_container("ep", OmpPolicy.DYNAMIC, params)
+        assert t_dynamic > 2.0 * t_adaptive
+
+
+class TestFig11:
+    def test_single_benchmark(self):
+        from repro.harness.experiments.fig11_elastic_dacapo import (Fig11Params,
+                                                                    run)
+        result = run(Fig11Params(scale=0.25, benchmarks=("xalan",)))
+        row = result.tables["elastic"].rows[0]
+        assert row["exec_ratio"] < 0.6
+        assert row["vanilla_swapped_mb"] > 0
+
+
+class TestFig12:
+    def test_single_trace(self):
+        from repro.harness.experiments.fig12_heap_traces import (Fig12Params,
+                                                                 run_single)
+        stats = run_single(Fig12Params(scale=0.1), elastic=True)
+        assert stats.completed
+        assert stats.heap_trace[-1].virtual_max > stats.heap_trace[0].virtual_max
+
+
+class TestOverheadAndAblation:
+    def test_overhead(self):
+        from repro.harness.experiments.overhead import OverheadParams, run
+        result = run(OverheadParams(iterations=200))
+        assert len(result.tables["overhead"]) == 3
+
+    def test_static_vs_dynamic_ablation(self):
+        from repro.harness.experiments.ablation import (AblationParams,
+                                                        static_vs_dynamic_view)
+        table = static_vs_dynamic_view(AblationParams(scale=0.25))
+        static = table.row_for("view", "static-bounds")
+        adaptive = table.row_for("view", "adaptive")
+        assert adaptive["mean_gc_threads"] >= static["mean_gc_threads"]
+
+
+class TestQuickModeDriver:
+    @pytest.mark.parametrize("key", ["fig01", "overhead"])
+    def test_run_experiment_quick(self, key):
+        from repro.harness.run_all import run_experiment
+        result = run_experiment(key, quick=True)
+        assert result.tables

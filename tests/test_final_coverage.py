@@ -1,0 +1,132 @@
+"""Remaining behavioral corners: elastic shrink GCs, OMP env override
+end-to-end, vpid mapping, explicit GC-thread flags under adaptive mode."""
+
+import dataclasses
+
+import pytest
+
+from repro.container.spec import ContainerSpec
+from repro.jvm.flags import GcThreadMode, JvmConfig
+from repro.jvm.jvm import Jvm
+from repro.openmp.policy import OmpPolicy
+from repro.openmp.runtime import OpenMpRuntime
+from repro.units import gib, mib
+from repro.workloads.base import JavaWorkload, OmpRegion, OmpWorkload
+from repro.world import World
+
+
+class TestElasticShrinkGc:
+    def test_shrink_scenario_three_forces_collections(self):
+        """A VirtualMax drop below *used* data triggers shrink GCs
+        (scenario 3 of §4.2) and the heap ends inside the new bound."""
+        world = World(ncpus=8, memory=gib(16))
+        c = world.containers.create(ContainerSpec(
+            "c0", memory_limit=gib(8), memory_soft_limit=gib(2)))
+        wl = JavaWorkload(name="churn", app_threads=2, total_work=400.0,
+                          alloc_rate=mib(300), live_set=mib(300),
+                          survivor_frac=0.3, promote_frac=0.6,
+                          min_heap=mib(340))
+        jvm = Jvm(c, wl, JvmConfig.adaptive(), trace_heap=True)
+        jvm.launch()
+        world.run(until=40.0)
+        grown = jvm.heap.virtual_max
+        assert grown > gib(2)
+        # Host pressure arrives: effective memory resets to the soft
+        # limit and the controller must shrink a heap with live data in
+        # the way.
+        hog = world.cgroups.root.create_child("hog")
+        world.mm.charge(hog, world.mm.free - mib(96))
+        world.run(until=120.0)
+        assert jvm._elastic is not None
+        assert jvm._elastic.shrink_gcs_requested >= 1
+        assert jvm.heap.virtual_max < grown
+        assert jvm.heap.committed_total <= jvm.heap.virtual_max + mib(1)
+
+    def test_expansion_needs_no_gc(self):
+        world = World(ncpus=4, memory=gib(16))
+        c = world.containers.create(ContainerSpec(
+            "c0", memory_limit=gib(8), memory_soft_limit=gib(2)))
+        wl = JavaWorkload(name="grow", app_threads=1, total_work=1e6,
+                          alloc_rate=mib(10), live_set=mib(16))
+        jvm = Jvm(c, wl, JvmConfig.adaptive())
+        jvm.launch()
+        world.mm.charge(c.cgroup, int(gib(1.9)))
+        world.run(until=30.0)
+        assert jvm._elastic.polls >= 2
+        assert jvm._elastic.shrink_gcs_requested == 0
+
+
+class TestOmpEnvOverrideEndToEnd:
+    def test_fixed_team_regardless_of_policy(self):
+        world = World(ncpus=16, memory=gib(16))
+        c = world.containers.create(ContainerSpec("c0", cpus=2.0))
+        wl = OmpWorkload(name="t", regions=(OmpRegion(0.0, 4.0),),
+                         iterations=3, sync_per_thread=0.0)
+        rt = OpenMpRuntime(c, wl, OmpPolicy.STATIC, num_threads_env=6)
+        rt.start()
+        assert world.run_until(lambda: rt.finished, timeout=1000)
+        assert all(n == 6 for _, n in rt.stats.team_history)
+
+
+class TestVpidMapping:
+    def test_container_entry_is_vpid_one(self):
+        """The entry process is PID 1 inside the container (§2.1: "the
+        PID namespace allows processes in a container to have virtual
+        PIDs starting with PID 1")."""
+        world = World(ncpus=4, memory=gib(8))
+        c = world.containers.create(ContainerSpec("c0"))
+        assert c.init_process.vpid == 1
+        app = c.spawn_process("app")
+        assert app.vpid == 2
+        assert app.pid > app.vpid  # host pid keeps growing globally
+
+    def test_namespaces_isolate_vpid_sequences(self):
+        world = World(ncpus=4, memory=gib(8))
+        a = world.containers.create(ContainerSpec("a"))
+        b = world.containers.create(ContainerSpec("b"))
+        assert a.spawn_process("x").vpid == 2
+        assert b.spawn_process("y").vpid == 2  # independent sequences
+        assert world.procs.init.vpid == 1
+
+
+class TestGcThreadFlagInteractions:
+    def _run(self, mode, gc_threads):
+        world = World(ncpus=20, memory=gib(32))
+        c = world.containers.create(ContainerSpec("c0"))
+        wl = JavaWorkload(name="w", app_threads=4, total_work=4.0,
+                          alloc_rate=mib(200), live_set=mib(40),
+                          min_heap=mib(60))
+        cfg = JvmConfig.adaptive(xms=mib(180), xmx=mib(180),
+                                 gc_thread_mode=mode, gc_threads=gc_threads)
+        jvm = Jvm(c, wl, cfg)
+        jvm.launch()
+        assert world.run_until(lambda: jvm.finished, timeout=5000)
+        return jvm.stats
+
+    def test_explicit_flag_caps_pool_even_in_adaptive_mode(self):
+        stats = self._run(GcThreadMode.ADAPTIVE, 2)
+        assert stats.gc_threads_created == 2
+        assert all(n <= 2 for _, n in stats.gc_thread_history)
+
+    def test_static_mode_with_flag(self):
+        stats = self._run(GcThreadMode.STATIC, 6)
+        assert {n for _, n in stats.gc_thread_history} == {6}
+
+
+class TestShrinkRequestAtSafepoint:
+    def test_request_shrink_gc_runs_major_at_next_safepoint(self):
+        """Shrink requests are honoured at the next phase boundary — a
+        stop-the-world collection cannot interrupt running mutators."""
+        world = World(ncpus=4, memory=gib(8))
+        c = world.containers.create(ContainerSpec("c0"))
+        wl = JavaWorkload(name="w", app_threads=2, total_work=1e6,
+                          alloc_rate=mib(100), live_set=mib(20),
+                          min_heap=mib(24))
+        jvm = Jvm(c, wl, JvmConfig.vanilla_jdk8(xms=mib(128), xmx=mib(128)))
+        jvm.launch()
+        world.run(until=0.5)
+        majors = jvm.stats.major_gcs
+        jvm.request_shrink_gc()
+        world.run(until=2.0)  # phases cycle every ~0.17s: plenty of time
+        assert jvm.stats.major_gcs >= majors + 1
+        assert not jvm._shrink_gc_requested  # request was consumed

@@ -1,0 +1,223 @@
+"""Tests for GC building blocks: task queue, cost model, worker pool."""
+
+import pytest
+
+from repro.errors import JvmError
+from repro.jvm.gc.parallel_scavenge import (GcCostModel, dynamic_active_workers,
+                                            gc_work_inflation, major_gc_work,
+                                            make_grain_tasks, minor_gc_work)
+from repro.jvm.gc.task_queue import GCTask, GCTaskManager, GCTaskQueue
+from repro.jvm.gc.threads import GcWorkerPool
+from repro.container.spec import ContainerSpec
+from repro.units import gib, mib
+from repro.world import World
+
+CM = GcCostModel()
+
+
+class TestTaskQueue:
+    def test_fifo(self):
+        q = GCTaskQueue([GCTask(1.0, "a"), GCTask(2.0, "b")])
+        assert q.pop().work == 1.0
+        assert q.pop().work == 2.0
+        assert q.pop() is None
+        assert q.empty
+
+    def test_push_counts(self):
+        q = GCTaskQueue()
+        q.push(GCTask(0.5))
+        assert q.enqueued == 1 and len(q) == 1
+        q.pop()
+        assert q.dequeued == 1
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(JvmError):
+            GCTask(-1.0)
+
+
+class TestTaskManager:
+    def test_all_idle_lifecycle(self):
+        q = GCTaskQueue()
+        m = GCTaskManager(q, 2)
+        m.worker_started(0)
+        m.worker_started(1)
+        assert not m.all_idle
+        m.worker_finished(0)
+        assert not m.all_idle
+        m.worker_finished(1)
+        assert m.all_idle
+
+    def test_not_idle_with_pending_tasks(self):
+        q = GCTaskQueue([GCTask(1.0)])
+        m = GCTaskManager(q, 1)
+        m.worker_started(0)
+        m.worker_finished(0)
+        assert not m.all_idle  # queue not drained
+
+    def test_double_start_rejected(self):
+        m = GCTaskManager(GCTaskQueue(), 2)
+        m.worker_started(0)
+        with pytest.raises(JvmError):
+            m.worker_started(0)
+
+    def test_finish_without_start_rejected(self):
+        m = GCTaskManager(GCTaskQueue(), 1)
+        with pytest.raises(JvmError):
+            m.worker_finished(0)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(JvmError):
+            GCTaskManager(GCTaskQueue(), 0)
+
+
+class TestCostModel:
+    def test_minor_work_monotone_in_bytes(self):
+        a = minor_gc_work(mib(100), mib(10), CM)
+        b = minor_gc_work(mib(200), mib(10), CM)
+        c = minor_gc_work(mib(200), mib(40), CM)
+        assert CM.minor_fixed < a < b < c
+
+    def test_copy_dominates_scan(self):
+        """A surviving byte costs far more than a scanned one."""
+        scan_only = minor_gc_work(mib(100), 0, CM) - CM.minor_fixed
+        copy_only = minor_gc_work(0, mib(100), CM) - CM.minor_fixed
+        assert copy_only > 10 * scan_only
+
+    def test_major_work(self):
+        assert major_gc_work(0, CM) == CM.major_fixed
+        assert major_gc_work(gib(1), CM) > major_gc_work(mib(100), CM)
+
+    def test_negative_rejected(self):
+        with pytest.raises(JvmError):
+            minor_gc_work(-1, 0, CM)
+        with pytest.raises(JvmError):
+            major_gc_work(-1, CM)
+
+    def test_grain_tasks_conserve_work(self):
+        tasks = make_grain_tasks(1.0, 4, CM, kind="minor")
+        assert len(tasks) == 4 * CM.grains_per_thread
+        assert sum(t.work for t in tasks) == pytest.approx(1.0)
+        assert all(t.kind == "minor" for t in tasks)
+
+    def test_grain_tasks_validation(self):
+        with pytest.raises(JvmError):
+            make_grain_tasks(-1.0, 4, CM, kind="x")
+        with pytest.raises(JvmError):
+            make_grain_tasks(1.0, 0, CM, kind="x")
+
+
+class TestWorkInflation:
+    def test_no_inflation_when_fitting(self):
+        assert gc_work_inflation(4, 4.0, CM) == 1.0
+        assert gc_work_inflation(2, 8.0, CM) == 1.0
+
+    def test_inflation_grows_with_oversubscription(self):
+        a = gc_work_inflation(6, 4.0, CM)
+        b = gc_work_inflation(9, 4.0, CM)
+        assert 1.0 < a < b
+
+    def test_inflation_saturates(self):
+        """15 threads and 10 threads on 4 cores are almost equally bad
+        (the Fig. 2(a) auto_JVM8 ~ auto_JVM9 effect)."""
+        b = gc_work_inflation(10, 4.0, CM)
+        c = gc_work_inflation(15, 4.0, CM)
+        assert c == pytest.approx(b, rel=0.12)
+        assert c == 1.0 + CM.lock_holder_preemption * CM.lhp_oversub_cap
+
+    def test_interference_term(self):
+        calm = gc_work_inflation(4, 4.0, CM, domain_pressure=1.0)
+        busy = gc_work_inflation(4, 4.0, CM, domain_pressure=3.0)
+        assert calm == 1.0
+        assert busy == pytest.approx(1.0 + CM.interference_sensitivity * 2.0)
+
+    def test_validation(self):
+        with pytest.raises(JvmError):
+            gc_work_inflation(0, 4.0, CM)
+        with pytest.raises(JvmError):
+            gc_work_inflation(4, 0.0, CM)
+
+
+class TestDynamicActiveWorkers:
+    def test_scales_with_mutators(self):
+        few = dynamic_active_workers(16, 2, mib(10), CM)
+        many = dynamic_active_workers(16, 12, mib(10), CM)
+        assert few < many
+
+    def test_scales_with_heap(self):
+        small = dynamic_active_workers(16, 1, mib(50), CM)
+        big = dynamic_active_workers(16, 1, gib(2), CM)
+        assert small < big
+
+    def test_capped_by_pool(self):
+        assert dynamic_active_workers(4, 100, gib(64), CM) == 4
+
+    def test_at_least_one(self):
+        assert dynamic_active_workers(8, 1, 0, CM) >= 1
+
+    def test_bad_pool_rejected(self):
+        with pytest.raises(JvmError):
+            dynamic_active_workers(0, 1, 0, CM)
+
+
+class TestWorkerPool:
+    def _world(self):
+        world = World(ncpus=4, memory=gib(8))
+        container = world.containers.create(ContainerSpec("c0"))
+        return world, container
+
+    def test_collection_completes_and_calls_back(self):
+        world, c = self._world()
+        pool = GcWorkerPool(c, 4, sync_per_thread=1e-4)
+        done = []
+        tasks = make_grain_tasks(0.4, 2, CM, kind="minor")
+        pool.collect(tasks, 2, lambda: done.append(world.now))
+        world.run(until=10.0)
+        assert len(done) == 1
+        # 0.4 cpu-sec over 2 workers on idle 4 cores: ~0.2s + sync.
+        assert done[0] == pytest.approx(0.2 + 2e-4, rel=0.05)
+        assert not pool.collecting
+
+    def test_single_worker_serializes(self):
+        world, c = self._world()
+        pool = GcWorkerPool(c, 4, sync_per_thread=0.0)
+        done = []
+        pool.collect(make_grain_tasks(0.4, 1, CM, kind="m"), 1,
+                     lambda: done.append(world.now))
+        world.run(until=10.0)
+        assert done[0] == pytest.approx(0.4, rel=0.01)
+
+    def test_team_larger_than_pool_clamped(self):
+        world, c = self._world()
+        pool = GcWorkerPool(c, 2, sync_per_thread=0.0)
+        done = []
+        pool.collect(make_grain_tasks(0.2, 8, CM, kind="m"), 8,
+                     lambda: done.append(True))
+        world.run(until=10.0)
+        assert done
+
+    def test_concurrent_collection_rejected(self):
+        world, c = self._world()
+        pool = GcWorkerPool(c, 2, sync_per_thread=0.0)
+        pool.collect([GCTask(1.0)], 1, lambda: None)
+        with pytest.raises(JvmError):
+            pool.collect([GCTask(1.0)], 1, lambda: None)
+
+    def test_workers_sleep_between_collections(self):
+        world, c = self._world()
+        pool = GcWorkerPool(c, 3, sync_per_thread=0.0)
+        done = []
+        pool.collect([GCTask(0.1)], 2, lambda: done.append(True))
+        world.run(until=5.0)
+        assert done
+        assert all(not w.runnable for w in pool.workers)
+
+    def test_shutdown(self):
+        world, c = self._world()
+        pool = GcWorkerPool(c, 2, sync_per_thread=0.0)
+        pool.shutdown()
+        assert all(w.state.value == "exited" for w in pool.workers)
+
+    def test_empty_pool_rejected(self):
+        world, c = self._world()
+        with pytest.raises(JvmError):
+            GcWorkerPool(c, 0, sync_per_thread=0.0)

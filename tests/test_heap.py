@@ -1,0 +1,150 @@
+"""Tests for the JVM generational heap model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import JvmError
+from repro.jvm.heap import (EDEN_FRACTION, MIN_OLD_COMMITTED, MIN_YOUNG_COMMITTED,
+                            Heap, YOUNG_FRACTION)
+from repro.units import gib, mib
+
+
+def mk(reserved=gib(32), initial=gib(1), vmax=None):
+    return Heap(reserved, initial_committed=initial, virtual_max=vmax)
+
+
+class TestConstruction:
+    def test_initial_split(self):
+        h = mk(initial=mib(900))
+        assert h.young_committed == pytest.approx(mib(300), rel=0.01)
+        assert h.old_committed == pytest.approx(mib(600), rel=0.01)
+        assert h.committed_total == mib(900)
+
+    def test_floors_applied(self):
+        h = mk(initial=0)
+        assert h.young_committed >= MIN_YOUNG_COMMITTED
+        assert h.old_committed >= MIN_OLD_COMMITTED
+
+    def test_virtual_max_defaults_to_reserved(self):
+        h = mk()
+        assert h.virtual_max == gib(32)
+
+    def test_virtual_max_cannot_exceed_reserved(self):
+        with pytest.raises(JvmError):
+            mk(vmax=gib(64))
+
+    def test_bad_reserved(self):
+        with pytest.raises(JvmError):
+            Heap(0, initial_committed=mib(100))
+
+
+class TestDerivedSizes:
+    def test_eden_fraction(self):
+        h = mk(initial=gib(3))
+        assert h.eden_capacity == int(h.young_committed * EDEN_FRACTION)
+        assert h.survivor_capacity == h.young_committed - h.eden_capacity
+
+    def test_eden_free_tracks_usage(self):
+        h = mk(initial=gib(3))
+        h.allocate_eden(mib(100))
+        assert h.eden_free == h.eden_capacity - mib(100)
+        assert h.used_total == mib(100)
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(JvmError):
+            mk().allocate_eden(-1)
+
+    def test_young_max_is_third_of_virtual_max(self):
+        h = mk(vmax=gib(3))
+        assert h.young_max == int(gib(3) * YOUNG_FRACTION)
+
+    def test_old_max_fills_what_young_leaves(self):
+        """The generation boundary is adaptive: old may use everything the
+        young generation has not committed."""
+        h = mk(vmax=gib(3), initial=gib(1))
+        assert h.old_max == gib(3) - h.young_committed
+
+
+class TestResizing:
+    def test_resize_young_within_bounds(self):
+        h = mk(vmax=gib(3), initial=gib(1))
+        h.resize_young(gib(2))
+        assert h.young_committed == h.young_max  # capped at vmax/3
+
+    def test_resize_young_respects_total_budget(self):
+        h = mk(vmax=gib(3), initial=gib(1))
+        h.resize_old(int(gib(2.8)))
+        h.resize_young(gib(1))
+        assert h.committed_total <= h.virtual_max
+
+    def test_resize_never_below_used(self):
+        h = mk(initial=gib(3))
+        h.old_used = mib(900)
+        h.resize_old(mib(100))
+        assert h.old_committed == mib(900)
+
+    def test_resize_old_capped_at_old_max(self):
+        h = mk(vmax=gib(3), initial=gib(1))
+        h.resize_old(gib(10))
+        assert h.old_committed == h.old_max
+
+    def test_set_virtual_max_clamps_to_reserved(self):
+        h = mk(reserved=gib(4))
+        h.set_virtual_max(gib(10))
+        assert h.virtual_max == gib(4)
+
+    def test_set_virtual_max_rejects_nonpositive(self):
+        with pytest.raises(JvmError):
+            mk().set_virtual_max(0)
+
+
+class TestShrinkScenarios:
+    def test_scenario1_limits_only(self):
+        """Committed below the new maxes: only the limits move."""
+        h = mk(vmax=gib(8), initial=gib(1))
+        young, old = h.young_committed, h.old_committed
+        h.set_virtual_max(gib(4))
+        h.clamp_committed_to_maxes()
+        assert (h.young_committed, h.old_committed) == (young, old)
+        assert not h.needs_gc_to_shrink
+
+    def test_scenario2_committed_released(self):
+        """Committed above a new max but used below: sizing releases it."""
+        h = mk(vmax=gib(9), initial=gib(9))
+        h.set_virtual_max(gib(3))
+        assert h.young_committed > h.young_max
+        h.clamp_committed_to_maxes()
+        assert h.young_committed == h.young_max
+        assert h.committed_total <= gib(3) + mib(1)
+        assert not h.needs_gc_to_shrink
+
+    def test_scenario3_needs_gc(self):
+        """Used data above the new max: only a collection can shrink."""
+        h = mk(vmax=gib(9), initial=gib(9))
+        h.eden_used = gib(2)
+        h.set_virtual_max(gib(3))
+        h.clamp_committed_to_maxes()
+        assert h.needs_gc_to_shrink
+        assert h.young_committed >= h.young_used
+
+    def test_snapshot(self):
+        h = mk(initial=gib(1))
+        h.allocate_eden(mib(64))
+        snap = h.snapshot(3.5)
+        assert snap.time == 3.5
+        assert snap.used == mib(64)
+        assert snap.committed == h.committed_total
+        assert snap.virtual_max == h.virtual_max
+
+    @given(vmax_gb=st.integers(min_value=1, max_value=64),
+           young_t=st.integers(min_value=0, max_value=1 << 36),
+           old_t=st.integers(min_value=0, max_value=1 << 36))
+    def test_resize_invariants(self, vmax_gb, young_t, old_t):
+        h = mk(reserved=gib(64), vmax=gib(vmax_gb), initial=gib(vmax_gb) // 4)
+        h.resize_old(old_t)
+        h.resize_young(young_t)
+        assert MIN_YOUNG_COMMITTED <= h.young_committed
+        assert MIN_OLD_COMMITTED <= h.old_committed
+        assert h.young_committed <= max(h.young_max, MIN_YOUNG_COMMITTED)
+        assert h.old_committed <= max(h.old_max, MIN_OLD_COMMITTED)

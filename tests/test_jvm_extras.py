@@ -1,0 +1,146 @@
+"""Tests for JIT compiler threads and workload jitter."""
+
+import pytest
+
+from repro.container.spec import ContainerSpec
+from repro.errors import JvmError
+from repro.jvm.detect import hotspot_ci_compiler_count
+from repro.jvm.flags import JvmConfig
+from repro.jvm.jvm import Jvm
+from repro.units import gib, mib
+from repro.workloads.base import JavaWorkload
+from repro.world import World
+
+
+def toy(**kw):
+    base = dict(name="toy", app_threads=2, total_work=4.0,
+                alloc_rate=mib(50), live_set=mib(20), min_heap=mib(24))
+    base.update(kw)
+    return JavaWorkload(**base)
+
+
+CONFIG = dict(xms=mib(128), xmx=mib(128))
+
+
+class TestCiCompilerCount:
+    @pytest.mark.parametrize("ncpus,expected", [
+        (1, 2), (2, 2), (3, 2),
+        (4, 3), (15, 3),
+        (16, 4), (20, 4), (63, 4),
+        (64, 5),
+    ])
+    def test_log_scaled(self, ncpus, expected):
+        assert hotspot_ci_compiler_count(ncpus) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(JvmError):
+            hotspot_ci_compiler_count(0)
+
+
+class TestJitWarmup:
+    def _run(self, jit_work, *, cpu_detect=None):
+        world = World(ncpus=20, memory=gib(32))
+        c = world.containers.create(ContainerSpec("c0"))
+        cfg = (JvmConfig.vanilla_jdk8(**CONFIG) if cpu_detect is None
+               else JvmConfig.adaptive(**CONFIG))
+        jvm = Jvm(c, toy(), cfg, jit_warmup_work=jit_work)
+        jvm.launch()
+        assert world.run_until(lambda: jvm.finished, timeout=5000)
+        return jvm
+
+    def test_disabled_by_default_spawns_no_threads(self):
+        jvm = self._run(0.0)
+        assert jvm._jit_threads == []
+        assert jvm.stats.jit_threads_created == 4  # 20 host CPUs -> 4
+
+    def test_warmup_threads_run_and_exit(self):
+        jvm = self._run(2.0)
+        assert len(jvm._jit_threads) == 4
+        assert all(t.state.value == "exited" for t in jvm._jit_threads)
+        assert jvm.stats.completed
+
+    def test_detection_mode_affects_jit_count(self):
+        world = World(ncpus=20, memory=gib(32))
+        for i in range(5):
+            world.containers.create(ContainerSpec(f"n{i}"))
+        # Created under a six-way contention set: E_CPU starts at the
+        # lower bound ceil(20/6)=4, so the JVM detects 4 CPUs.
+        c0 = world.containers.create(ContainerSpec("c0"))
+        jvm = Jvm(c0, toy(), JvmConfig.adaptive(**CONFIG))
+        jvm.launch()
+        # Effective CPU under 6 equal containers: ceil(20/6)=4 -> 2-3 JIT.
+        assert jvm.stats.jit_threads_created < 4
+        world.run_until(lambda: jvm.finished, timeout=5000)
+
+    def test_negative_jit_work_rejected(self):
+        world = World(ncpus=4, memory=gib(8))
+        c = world.containers.create(ContainerSpec("c0"))
+        with pytest.raises(JvmError):
+            Jvm(c, toy(), JvmConfig.vanilla_jdk8(**CONFIG), jit_warmup_work=-1)
+
+
+class TestWorkJitter:
+    def _run(self, jitter, seed=0, name="j"):
+        world = World(ncpus=8, memory=gib(16), seed=seed)
+        c = world.containers.create(ContainerSpec("c0"))
+        jvm = Jvm(c, toy(), JvmConfig.vanilla_jdk8(**CONFIG),
+                  work_jitter=jitter, name=name)
+        jvm.launch()
+        assert world.run_until(lambda: jvm.finished, timeout=5000)
+        return jvm.stats
+
+    def test_zero_jitter_exact_work(self):
+        stats = self._run(0.0)
+        assert stats.effective_total_work == 4.0
+
+    def test_jitter_within_bounds_and_deterministic(self):
+        a = self._run(0.1, seed=7)
+        b = self._run(0.1, seed=7)
+        assert a.effective_total_work == b.effective_total_work
+        assert 3.6 <= a.effective_total_work <= 4.4
+        assert a.effective_total_work != 4.0
+
+    def test_different_seeds_differ(self):
+        a = self._run(0.1, seed=1)
+        b = self._run(0.1, seed=2)
+        assert a.effective_total_work != b.effective_total_work
+
+    def test_different_names_differ(self):
+        a = self._run(0.1, name="a")
+        b = self._run(0.1, name="b")
+        assert a.effective_total_work != b.effective_total_work
+
+    def test_invalid_jitter_rejected(self):
+        world = World(ncpus=4, memory=gib(8))
+        c = world.containers.create(ContainerSpec("c0"))
+        for bad in (-0.1, 1.0, 2.0):
+            with pytest.raises(JvmError):
+                Jvm(c, toy(), JvmConfig.vanilla_jdk8(**CONFIG),
+                    work_jitter=bad)
+
+
+class TestGcPauseStats:
+    def test_pauses_recorded_per_collection(self):
+        jvm = TestJitWarmup()._run(0.0)
+        stats = jvm.stats
+        assert len(stats.gc_pauses) == stats.minor_gcs + stats.major_gcs
+        assert sum(stats.gc_pauses) == pytest.approx(stats.gc_time)
+        assert stats.max_gc_pause >= stats.gc_pause_percentile(50) > 0
+
+    def test_percentile_ordering_and_bounds(self):
+        jvm = TestJitWarmup()._run(0.0)
+        s = jvm.stats
+        p50 = s.gc_pause_percentile(50)
+        p95 = s.gc_pause_percentile(95)
+        assert p50 <= p95 <= s.max_gc_pause
+        assert s.gc_pause_percentile(0) == min(s.gc_pauses)
+        assert s.gc_pause_percentile(100) == max(s.gc_pauses)
+        from repro.errors import JvmError
+        with pytest.raises(JvmError):
+            s.gc_pause_percentile(101)
+
+    def test_empty_pauses(self):
+        from repro.jvm.jvm import JvmStats
+        s = JvmStats()
+        assert s.gc_pause_percentile(95) == 0.0
+        assert s.max_gc_pause == 0.0

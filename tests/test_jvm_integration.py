@@ -1,0 +1,220 @@
+"""End-to-end JVM tests: mutation phases, GC, OOM, elastic heap."""
+
+import dataclasses
+
+import pytest
+
+from repro.container.spec import ContainerSpec
+from repro.errors import JvmError
+from repro.jvm.flags import GcThreadMode, HeapDetectMode, JvmConfig
+from repro.jvm.jvm import Jvm
+from repro.units import gib, mib
+from repro.workloads.base import JavaWorkload
+from repro.workloads.dacapo import dacapo
+from repro.world import World
+
+
+def small_workload(**overrides) -> JavaWorkload:
+    base = dict(name="toy", app_threads=2, total_work=4.0, alloc_rate=mib(100),
+                live_set=mib(40), survivor_frac=0.1, promote_frac=0.4,
+                min_heap=mib(48))
+    base.update(overrides)
+    return JavaWorkload(**base)
+
+
+def run_jvm(workload, config, *, ncpus=8, memory=gib(16), spec=None,
+            timeout=5000.0, trace=False):
+    world = World(ncpus=ncpus, memory=memory)
+    container = world.containers.create(spec or ContainerSpec("c0"))
+    jvm = Jvm(container, workload, config, trace_heap=trace)
+    jvm.launch()
+    assert world.run_until(lambda: jvm.finished, timeout=timeout)
+    return world, container, jvm
+
+
+class TestBasicExecution:
+    def test_completes_and_accounts_work(self):
+        wl = small_workload()
+        _, _, jvm = run_jvm(wl, JvmConfig.vanilla_jdk8(xms=mib(144), xmx=mib(144)))
+        stats = jvm.stats
+        assert stats.completed and not stats.oom
+        assert stats.mutator_work_done == pytest.approx(wl.total_work)
+        assert stats.minor_gcs > 0
+        assert stats.gc_time > 0
+        # Wall time >= pure compute time (2 threads on idle cores).
+        assert stats.execution_time >= wl.total_work / wl.app_threads
+
+    def test_no_allocation_means_no_gc(self):
+        wl = small_workload(alloc_rate=0.0, live_set=0, min_heap=0)
+        _, _, jvm = run_jvm(wl, JvmConfig.vanilla_jdk8(xms=mib(64), xmx=mib(64)))
+        assert jvm.stats.completed
+        assert jvm.stats.minor_gcs == 0
+        assert jvm.stats.execution_time == pytest.approx(2.0, rel=0.01)
+
+    def test_memory_charged_and_released(self):
+        wl = small_workload()
+        world, container, jvm = run_jvm(
+            wl, JvmConfig.vanilla_jdk8(xms=mib(144), xmx=mib(144)))
+        # After completion the JVM exits and releases its charge.
+        assert container.cgroup.memory.usage_in_bytes == 0
+        assert world.mm.free == world.mm.available_capacity
+
+    def test_double_launch_rejected(self):
+        world = World(ncpus=4, memory=gib(8))
+        c = world.containers.create(ContainerSpec("c0"))
+        jvm = Jvm(c, small_workload(), JvmConfig.vanilla_jdk8(xms=mib(144)))
+        jvm.launch()
+        with pytest.raises(JvmError):
+            jvm.launch()
+
+    def test_gc_thread_history_recorded(self):
+        _, _, jvm = run_jvm(small_workload(),
+                            JvmConfig.vanilla_jdk8(xms=mib(144), xmx=mib(144)))
+        assert len(jvm.stats.gc_thread_history) == (
+            jvm.stats.minor_gcs + jvm.stats.major_gcs)
+
+    def test_heap_trace_recorded_when_enabled(self):
+        _, _, jvm = run_jvm(small_workload(),
+                            JvmConfig.vanilla_jdk8(xms=mib(144), xmx=mib(144)),
+                            trace=True)
+        assert len(jvm.stats.heap_trace) >= 2
+        times = [s.time for s in jvm.stats.heap_trace]
+        assert times == sorted(times)
+
+
+class TestGcThreadPolicies:
+    def test_static_uses_full_pool(self):
+        _, _, jvm = run_jvm(
+            small_workload(),
+            JvmConfig.vanilla_jdk8(xms=mib(144), xmx=mib(144)))
+        teams = {n for _, n in jvm.stats.gc_thread_history}
+        assert teams == {jvm.stats.gc_threads_created}
+
+    def test_explicit_gc_threads_flag(self):
+        _, _, jvm = run_jvm(
+            small_workload(),
+            JvmConfig.vanilla_jdk8(xms=mib(144), xmx=mib(144), gc_threads=3))
+        assert jvm.stats.gc_threads_created == 3
+
+    def test_adaptive_never_exceeds_e_cpu(self):
+        world = World(ncpus=8, memory=gib(16))
+        c0 = world.containers.create(ContainerSpec("c0"))
+        c1 = world.containers.create(ContainerSpec("c1"))
+        for i in range(8):
+            c1.spawn_thread(f"noise{i}").assign_work(1e9)
+        wl = small_workload(app_threads=8, total_work=8.0)
+        jvm = Jvm(c0, wl, JvmConfig.adaptive(xms=mib(144), xmx=mib(144)))
+        e_cpu_at_gc = []
+        orig = jvm._gc_team_size
+
+        def spy(heap_used):
+            e_cpu_at_gc.append(c0.e_cpu)
+            return orig(heap_used)
+
+        jvm._gc_team_size = spy
+        jvm.launch()
+        assert world.run_until(lambda: jvm.finished, timeout=5000)
+        teams = [n for _, n in jvm.stats.gc_thread_history]
+        # N_gc = min(N, N_active, E_CPU): never above the E_CPU observed
+        # at the moment the collection started.
+        for team, e_cpu in zip(teams, e_cpu_at_gc):
+            assert team <= e_cpu
+        assert all(t <= c0.sys_ns.bounds.upper for t in teams)
+
+    def test_dynamic_team_below_pool_for_few_mutators(self):
+        _, _, jvm = run_jvm(
+            small_workload(app_threads=2),
+            JvmConfig.dynamic_jdk8(xms=mib(144), xmx=mib(144)),
+            ncpus=20, memory=gib(32))
+        assert jvm.stats.gc_threads_created == 15
+        assert all(n < 15 for _, n in jvm.stats.gc_thread_history)
+
+
+class TestOom:
+    def test_live_set_exceeding_heap_ooms(self):
+        """A JDK9-style tiny heap kills h2 — the Fig. 2(b) missing bar."""
+        wl = small_workload(live_set=mib(200), min_heap=mib(220),
+                            total_work=20.0, promote_frac=0.8,
+                            survivor_frac=0.5)
+        _, _, jvm = run_jvm(wl, JvmConfig.vanilla_jdk8(xms=mib(64), xmx=mib(64)))
+        assert jvm.stats.oom
+        assert not jvm.stats.completed
+        assert "OutOfMemoryError" in jvm.stats.oom_reason
+
+    def test_oom_releases_memory(self):
+        wl = small_workload(live_set=mib(200), min_heap=mib(220),
+                            total_work=20.0, promote_frac=0.8,
+                            survivor_frac=0.5)
+        world, container, jvm = run_jvm(
+            wl, JvmConfig.vanilla_jdk8(xms=mib(64), xmx=mib(64)))
+        assert jvm.stats.oom
+        assert container.cgroup.memory.usage_in_bytes == 0
+
+    def test_fits_exactly_at_sufficient_heap(self):
+        wl = small_workload(live_set=mib(200), min_heap=mib(220),
+                            total_work=20.0, promote_frac=0.8,
+                            survivor_frac=0.5)
+        _, _, jvm = run_jvm(wl, JvmConfig.vanilla_jdk8(xms=mib(660),
+                                                       xmx=mib(660)))
+        assert jvm.stats.completed
+
+
+class TestSwapBehaviour:
+    def test_heap_beyond_hard_limit_swaps_and_slows(self):
+        """A 32GB-auto-heap JVM in a small container collapses (Fig. 11)."""
+        wl = dacapo("lusearch")
+        wl = dataclasses.replace(wl, total_work=10.0)
+        spec = ContainerSpec("c0", memory_limit=gib(1))
+        _, container_v, jvm_v = run_jvm(
+            wl, JvmConfig.vanilla_jdk8(xms=mib(500)), ncpus=20,
+            memory=gib(64), spec=spec, timeout=50000)
+        spec2 = ContainerSpec("c0", memory_limit=gib(1))
+        _, _, jvm_e = run_jvm(
+            wl, JvmConfig.adaptive(xms=mib(500)), ncpus=20,
+            memory=gib(64), spec=spec2, timeout=50000)
+        assert container_v.cgroup.memory.swapout_total > 0
+        assert jvm_e.stats.execution_time < 0.5 * jvm_v.stats.execution_time
+
+
+class TestElasticHeap:
+    def test_virtual_max_tracks_effective_memory(self):
+        wl = small_workload(total_work=30.0, alloc_rate=mib(300),
+                            live_set=mib(600), min_heap=mib(660),
+                            promote_frac=0.8, survivor_frac=0.4)
+        spec = ContainerSpec("c0", memory_limit=gib(4),
+                             memory_soft_limit=gib(1))
+        _, container, jvm = run_jvm(wl, JvmConfig.adaptive(), ncpus=8,
+                                    memory=gib(16), spec=spec, trace=True,
+                                    timeout=50000)
+        assert jvm.stats.completed
+        vmaxes = [s.virtual_max for s in jvm.stats.heap_trace]
+        # Starts from the soft limit, grows with effective memory.
+        assert vmaxes[0] <= gib(1)
+        assert max(vmaxes) > gib(1)
+        assert max(s.committed for s in jvm.stats.heap_trace) <= gib(4)
+
+    def test_elastic_shrinks_on_pressure(self):
+        """When a host hog causes a shortage, effective memory resets to
+        the soft limit and the elastic heap shrinks (scenarios 2/3)."""
+        world = World(ncpus=8, memory=gib(16))
+        spec = ContainerSpec("c0", memory_limit=gib(8),
+                             memory_soft_limit=gib(2))
+        container = world.containers.create(spec)
+        wl = small_workload(total_work=200.0, alloc_rate=mib(200),
+                            live_set=mib(500), min_heap=mib(550),
+                            promote_frac=0.6, survivor_frac=0.3)
+        jvm = Jvm(container, wl, JvmConfig.adaptive(), trace_heap=True)
+        jvm.launch()
+        world.run(until=40.0)
+        grown_vmax = jvm.heap.virtual_max
+        assert grown_vmax > gib(2)
+        hog = world.cgroups.root.create_child("hog")
+        world.mm.charge(hog, world.mm.free - mib(128))
+        world.run(until=80.0)
+        assert jvm.heap.virtual_max < grown_vmax
+        assert jvm.heap.committed_total <= grown_vmax
+
+    def test_elastic_without_limits_behaves_like_host_heap(self):
+        wl = small_workload()
+        _, _, jvm = run_jvm(wl, JvmConfig.adaptive(), ncpus=8, memory=gib(16))
+        assert jvm.stats.completed

@@ -1,0 +1,132 @@
+"""Tests for promotion-pressure handling: generation rebalancing, the
+elastic grow-and-retry loop, and genuine OOM."""
+
+import pytest
+
+from repro.container.spec import ContainerSpec
+from repro.jvm.adaptive_sizing import AdaptiveSizePolicy
+from repro.jvm.flags import JvmConfig
+from repro.jvm.heap import MIN_YOUNG_COMMITTED, Heap
+from repro.jvm.jvm import Jvm
+from repro.units import gib, mib
+from repro.workloads.base import JavaWorkload
+from repro.world import World
+
+
+def promoting_workload(live=mib(300), min_heap=None, work=30.0):
+    """A workload that pushes most allocation into the old generation."""
+    return JavaWorkload(name="promoter", app_threads=2, total_work=work,
+                        alloc_rate=mib(80), live_set=live,
+                        survivor_frac=0.5, promote_frac=0.9,
+                        min_heap=min_heap or int(live * 1.1))
+
+
+class TestShrinkYoungForPromotion:
+    def test_rebalances_generation_boundary(self):
+        policy = AdaptiveSizePolicy()
+        h = Heap(gib(1), initial_committed=mib(512), virtual_max=mib(512))
+        # Old data wants more than old_max with the current young size.
+        h.old_used = h.old_max - mib(1)
+        incoming = mib(60)
+        assert not policy.ensure_promotion_room(h, incoming)
+        assert policy.shrink_young_for_promotion(h, incoming)
+        assert h.old_committed >= h.old_used + incoming
+        assert h.young_committed < mib(512) // 3 + mib(1)
+
+    def test_fails_when_even_floor_insufficient(self):
+        policy = AdaptiveSizePolicy()
+        h = Heap(gib(1), initial_committed=mib(64), virtual_max=mib(64))
+        h.old_used = h.virtual_max - MIN_YOUNG_COMMITTED - mib(1)
+        assert not policy.shrink_young_for_promotion(h, mib(32))
+
+    def test_static_jvm_survives_tight_heap_by_rebalancing(self):
+        """A fixed 1.2x-live heap completes: young shrinks so old fits."""
+        world = World(ncpus=8, memory=gib(16))
+        c = world.containers.create(ContainerSpec("c0"))
+        wl = promoting_workload(live=mib(300))
+        size = int(mib(300) * 1.3)
+        jvm = Jvm(c, wl, JvmConfig.vanilla_jdk8(xms=size, xmx=size))
+        jvm.launch()
+        assert world.run_until(lambda: jvm.finished, timeout=50000)
+        assert jvm.stats.completed
+        # The boundary moved: old owns most of the heap now.
+        assert jvm.heap.old_committed > 2 * jvm.heap.young_committed
+
+    def test_static_jvm_ooms_when_live_exceeds_heap(self):
+        world = World(ncpus=8, memory=gib(16))
+        c = world.containers.create(ContainerSpec("c0"))
+        wl = promoting_workload(live=mib(300))
+        jvm = Jvm(c, wl, JvmConfig.vanilla_jdk8(xms=mib(200), xmx=mib(200)))
+        jvm.launch()
+        assert world.run_until(lambda: jvm.finished, timeout=50000)
+        assert jvm.stats.oom
+        assert "OutOfMemoryError" in jvm.stats.oom_reason
+
+
+class TestElasticGrowAndRetry:
+    def test_waits_for_effective_memory_growth(self):
+        """Old data outgrows the soft-limit-derived VirtualMax; the
+        elastic JVM parks, its committed demand drives Algorithm 2, and
+        the run completes once effective memory expands."""
+        world = World(ncpus=8, memory=gib(16))
+        c = world.containers.create(ContainerSpec(
+            "c0", memory_limit=gib(4), memory_soft_limit=mib(512)))
+        wl = promoting_workload(live=gib(1), work=60.0)
+        jvm = Jvm(c, wl, JvmConfig.adaptive(), trace_heap=True)
+        jvm.launch()
+        assert world.run_until(lambda: jvm.finished, timeout=500000)
+        assert jvm.stats.completed, jvm.stats.oom_reason
+        assert jvm._promotion_retries == 0  # reset after success
+        vmaxes = [s.virtual_max for s in jvm.stats.heap_trace]
+        assert vmaxes[0] <= mib(512)
+        assert max(vmaxes) > gib(1)
+
+    def test_ooms_when_hard_limit_too_small(self):
+        """Even elasticity cannot conjure memory past the hard limit."""
+        world = World(ncpus=8, memory=gib(16))
+        c = world.containers.create(ContainerSpec(
+            "c0", memory_limit=mib(512), memory_soft_limit=mib(256)))
+        wl = promoting_workload(live=gib(1), work=60.0)
+        jvm = Jvm(c, wl, JvmConfig.adaptive())
+        jvm.launch()
+        assert world.run_until(lambda: jvm.finished, timeout=500000)
+        assert jvm.stats.oom
+
+    def test_retry_is_noop_after_teardown(self):
+        world = World(ncpus=8, memory=gib(16))
+        c = world.containers.create(ContainerSpec("c0"))
+        wl = promoting_workload()
+        jvm = Jvm(c, wl, JvmConfig.adaptive())
+        jvm.launch()
+        jvm._teardown()
+        jvm._retry_promotion()  # must not raise
+
+
+class TestPromotionAccounting:
+    def test_old_live_capped_at_target(self):
+        world = World(ncpus=8, memory=gib(16))
+        c = world.containers.create(ContainerSpec("c0"))
+        wl = promoting_workload(live=mib(200))
+        size = mib(800)
+        jvm = Jvm(c, wl, JvmConfig.vanilla_jdk8(xms=size, xmx=size))
+        jvm.launch()
+        assert world.run_until(lambda: jvm.finished, timeout=50000)
+        target = int(wl.live_set * wl.old_live_frac)
+        assert jvm.heap.old_live <= target
+
+    def test_major_gc_reclaims_old_garbage(self):
+        world = World(ncpus=8, memory=gib(16))
+        c = world.containers.create(ContainerSpec("c0"))
+        wl = promoting_workload(live=mib(100), work=40.0)
+        size = mib(400)
+        jvm = Jvm(c, wl, JvmConfig.vanilla_jdk8(xms=size, xmx=size))
+        jvm.launch()
+        assert world.run_until(lambda: jvm.finished, timeout=50000)
+        assert jvm.stats.completed
+        # Promotions (~0.5*0.9 of 2.4GB allocation) far exceed the live
+        # set, so majors must have run to reclaim old-generation garbage.
+        assert jvm.stats.major_gcs >= 1
+        # Only live data survives a major; garbage may re-accumulate
+        # afterwards but never past the committed size.
+        assert jvm.heap.old_live <= int(wl.live_set * wl.old_live_frac)
+        assert jvm.heap.old_used <= jvm.heap.old_committed

@@ -1,0 +1,91 @@
+"""Tests for CpuSet parsing/formatting and host topology."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CgroupError
+from repro.kernel.cpu import CpuSet, HostCpus
+
+
+class TestCpuSetParse:
+    @pytest.mark.parametrize("spec,expected", [
+        ("0", {0}),
+        ("0-3", {0, 1, 2, 3}),
+        ("0-2,5", {0, 1, 2, 5}),
+        ("1,3,5-7", {1, 3, 5, 6, 7}),
+        ("", set()),
+        (" 2 , 4-5 ", {2, 4, 5}),
+    ])
+    def test_parse(self, spec, expected):
+        assert set(CpuSet.parse(spec)) == expected
+
+    @pytest.mark.parametrize("bad", ["a", "1-", "-3", "3-1", "1,,2", "1-2-3"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(CgroupError):
+            CpuSet.parse(bad)
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(CgroupError):
+            CpuSet([-1])
+
+    def test_duplicates_collapse(self):
+        assert len(CpuSet([1, 1, 2])) == 2
+
+
+class TestCpuSetOps:
+    def test_full(self):
+        s = CpuSet.full(4)
+        assert set(s) == {0, 1, 2, 3}
+
+    def test_contains(self):
+        s = CpuSet([1, 5])
+        assert 5 in s and 2 not in s
+
+    def test_eq_hash(self):
+        assert CpuSet([1, 2]) == CpuSet.parse("1-2")
+        assert hash(CpuSet([1, 2])) == hash(CpuSet([2, 1]))
+
+    def test_intersection(self):
+        assert set(CpuSet([1, 2, 3]).intersection(CpuSet([2, 3, 4]))) == {2, 3}
+
+    def test_issubset(self):
+        assert CpuSet([1]).issubset(CpuSet([0, 1]))
+        assert not CpuSet([5]).issubset(CpuSet([0, 1]))
+
+    def test_bool(self):
+        assert CpuSet([0])
+        assert not CpuSet([])
+
+    @pytest.mark.parametrize("cpus,spec", [
+        ([0], "0"),
+        ([0, 1, 2], "0-2"),
+        ([0, 2], "0,2"),
+        ([0, 1, 3, 4, 5, 9], "0-1,3-5,9"),
+        ([], ""),
+    ])
+    def test_to_spec(self, cpus, spec):
+        assert CpuSet(cpus).to_spec() == spec
+
+    @given(st.sets(st.integers(min_value=0, max_value=200), max_size=40))
+    def test_roundtrip_property(self, cpus):
+        s = CpuSet(cpus)
+        assert set(CpuSet.parse(s.to_spec())) == cpus
+
+
+class TestHostCpus:
+    def test_capacity(self):
+        assert HostCpus(20).capacity == 20.0
+
+    def test_online(self):
+        assert HostCpus(4).online.to_spec() == "0-3"
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(CgroupError):
+            HostCpus(0)
+
+    def test_validate_mask(self):
+        host = HostCpus(4)
+        host.validate_mask(CpuSet([0, 3]))
+        with pytest.raises(CgroupError):
+            host.validate_mask(CpuSet([4]))

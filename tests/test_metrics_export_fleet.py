@@ -1,0 +1,187 @@
+"""Tests for metrics recording, result export, and fleet deployment."""
+
+import json
+
+import pytest
+
+from repro.container.fleet import deploy_fleet, parse_size
+from repro.container.spec import ContainerSpec
+from repro.errors import ContainerError, ReproError
+from repro.harness.export import result_to_json, table_to_csv, write_result
+from repro.harness.results import ExperimentResult, ResultTable
+from repro.metrics import MetricsRecorder, Series
+from repro.units import GiB, KiB, MiB, gib, mib
+from repro.world import World
+
+
+class TestSeries:
+    def test_stats(self):
+        s = Series("x", times=[0.0, 1.0, 2.0], values=[1.0, 3.0, 2.0])
+        assert s.mean() == 2.0
+        assert s.minimum() == 1.0
+        assert s.maximum() == 3.0
+        assert s.last == 2.0
+        assert len(s) == 3
+
+    def test_time_weighted_mean(self):
+        # value 0 for 1s, then 10 for 9s -> weighted mean 9... wait:
+        # intervals: [0,1)->0, [1,10)->10; mean = (0*1 + 10*9)/10 = 9.
+        s = Series("x", times=[0.0, 1.0, 10.0], values=[0.0, 10.0, 10.0])
+        assert s.time_weighted_mean() == pytest.approx(9.0)
+
+    def test_empty_series_errors(self):
+        s = Series("x", times=[], values=[])
+        for fn in (s.mean, s.minimum, s.maximum, lambda: s.last):
+            with pytest.raises(ReproError):
+                fn()
+
+    def test_single_sample_weighted_mean(self):
+        s = Series("x", times=[5.0], values=[7.0])
+        assert s.time_weighted_mean() == 7.0
+
+
+class TestMetricsRecorder:
+    def test_samples_container_probes(self):
+        world = World(ncpus=4, memory=gib(8))
+        c = world.containers.create(ContainerSpec("c0"))
+        for i in range(2):
+            c.spawn_thread(f"b{i}").assign_work(1e9)
+        rec = MetricsRecorder(world, period=0.5)
+        rec.watch_container(c)
+        rec.watch_host()
+        rec.start()
+        world.run(until=5.0)
+        assert rec.samples_taken == 10
+        cpu = rec.series("c0.cpu_rate")
+        assert cpu.mean() == pytest.approx(2.0)
+        idle = rec.series("host.idle_capacity")
+        assert idle.mean() == pytest.approx(2.0)
+        assert rec.series("c0.runnable").last == 2.0
+
+    def test_summary(self):
+        world = World(ncpus=4, memory=gib(8))
+        rec = MetricsRecorder(world, period=0.5)
+        rec.watch_host()
+        rec.start()
+        world.containers.create(ContainerSpec("c0"))  # keeps events flowing
+        world.run(until=2.0)
+        summary = rec.summary()
+        assert "host.free_memory" in summary
+        assert summary["host.free_memory"]["last"] > 0
+
+    def test_stop_freezes_series(self):
+        world = World(ncpus=4, memory=gib(8))
+        world.containers.create(ContainerSpec("c0"))
+        rec = MetricsRecorder(world, period=0.5)
+        rec.watch_host()
+        rec.start()
+        world.run(until=2.0)
+        rec.stop()
+        n = rec.samples_taken
+        world.run(until=4.0)
+        assert rec.samples_taken == n
+
+    def test_custom_probe_and_validation(self):
+        world = World(ncpus=4, memory=gib(8))
+        rec = MetricsRecorder(world, period=0.5)
+        rec.add_probe("steps", lambda: float(world.steps))
+        with pytest.raises(ReproError):
+            rec.add_probe("steps", lambda: 0.0)
+        with pytest.raises(ReproError):
+            rec.series("nope")
+        with pytest.raises(ReproError):
+            MetricsRecorder(world, period=0.0)
+
+    def test_double_start_rejected(self):
+        world = World(ncpus=4, memory=gib(8))
+        rec = MetricsRecorder(world)
+        rec.start()
+        with pytest.raises(ReproError):
+            rec.start()
+
+
+class TestExport:
+    def _result(self):
+        r = ExperimentResult(experiment="figXX", description="demo")
+        t = r.add_table("main", ResultTable("T", ["name", "value"]))
+        t.add(name="a", value=1.5)
+        t.add(name="b", value=2.5)
+        r.note("a note")
+        return r
+
+    def test_csv(self):
+        csv_text = table_to_csv(self._result().tables["main"])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1] == "a,1.5"
+
+    def test_json_roundtrip(self):
+        payload = json.loads(result_to_json(self._result()))
+        assert payload["experiment"] == "figXX"
+        assert payload["tables"]["main"]["rows"][1]["value"] == 2.5
+        assert payload["notes"] == ["a note"]
+
+    def test_write_result(self, tmp_path):
+        paths = write_result(self._result(), tmp_path / "out")
+        names = {p.name for p in paths}
+        assert names == {"figXX.json", "figXX_main.csv"}
+        for p in paths:
+            assert p.exists() and p.stat().st_size > 0
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        (None, None),
+        (123, 123),
+        ("512", 512),
+        ("4k", 4 * KiB),
+        ("1.5m", int(1.5 * MiB)),
+        ("2G", 2 * GiB),
+        ("3gib", 3 * GiB),
+        ("100MB", 100 * MiB),
+        ("7b", 7),
+    ])
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "g", "12x", "1..2m", "-1g"])
+    def test_invalid(self, bad):
+        with pytest.raises(ContainerError):
+            parse_size(bad)
+
+
+class TestDeployFleet:
+    def test_deploys_replicas_with_specs(self):
+        world = World(ncpus=8, memory=gib(32))
+        fleet = deploy_fleet(world, {
+            "web": {"replicas": 2, "cpu_shares": 2048,
+                    "memory_limit": "4g", "memory_soft_limit": "2g"},
+            "batch": {"cpus": 2.0},
+        })
+        assert [c.name for c in fleet["web"]] == ["web-0", "web-1"]
+        assert fleet["batch"][0].name == "batch"
+        assert fleet["web"][0].cgroup.cpu.shares == 2048
+        assert fleet["web"][1].cgroup.memory.limit_in_bytes == 4 * GiB
+        assert fleet["batch"][0].cgroup.quota_cores == 2.0
+        assert len(world.containers) == 3
+
+    def test_bounds_rebalanced_across_fleet(self):
+        world = World(ncpus=8, memory=gib(32))
+        fleet = deploy_fleet(world, {"a": {"replicas": 4}})
+        for c in fleet["a"]:
+            assert c.sys_ns.bounds.lower == 2  # 8 cpus / 4 equal containers
+
+    def test_unknown_key_rejected(self):
+        world = World(ncpus=4, memory=gib(8))
+        with pytest.raises(ContainerError):
+            deploy_fleet(world, {"x": {"volumes": ["/data"]}})
+
+    def test_bad_replicas_rejected(self):
+        world = World(ncpus=4, memory=gib(8))
+        with pytest.raises(ContainerError):
+            deploy_fleet(world, {"x": {"replicas": 0}})
+
+    def test_cpuset_service(self):
+        world = World(ncpus=8, memory=gib(8))
+        fleet = deploy_fleet(world, {"pinned": {"cpuset": "0-1"}})
+        assert fleet["pinned"][0].cgroup.effective_cpuset().to_spec() == "0-1"

@@ -1,0 +1,60 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.harness.plot import ascii_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        assert sparkline([3.0, 3.0, 3.0]) == "▁▁▁"
+
+    def test_monotone(self):
+        s = sparkline([0, 1, 2, 3])
+        assert s[0] == "▁" and s[-1] == "█"
+        assert len(s) == 4
+
+    def test_explicit_bounds(self):
+        s = sparkline([5.0], lo=0.0, hi=10.0)
+        assert s == "▅"  # midpoint rounds to level 4 of 0-7
+
+    def test_values_clamped_to_levels(self):
+        s = sparkline([0.0, 100.0])
+        assert s == "▁█"
+
+
+class TestAsciiChart:
+    def test_renders_title_axes_legend(self):
+        chart = ascii_chart({"a": [(0, 0), (10, 5)]}, title="T", y_label="GiB")
+        assert chart.startswith("T\n")
+        assert "*=a" in chart
+        assert "(y: GiB)" in chart
+        assert "5" in chart and "0" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+        assert "*" in chart and "o" in chart
+        assert "*=a" in chart and "o=b" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart({"a": []}, title="x")
+
+    def test_flat_line_does_not_crash(self):
+        chart = ascii_chart({"a": [(0, 2.0), (5, 2.0)]})
+        assert "*" in chart
+
+    def test_size_validation(self):
+        with pytest.raises(ReproError):
+            ascii_chart({"a": [(0, 0)]}, width=2)
+        with pytest.raises(ReproError):
+            ascii_chart({"a": [(0, 0)]}, height=1)
+
+    def test_dimensions(self):
+        chart = ascii_chart({"a": [(0, 0), (1, 1)]}, width=20, height=5)
+        plot_lines = [ln for ln in chart.splitlines() if "|" in ln]
+        assert len(plot_lines) == 5
+        assert all(len(ln.split("|", 1)[1]) == 20 for ln in plot_lines)

@@ -1,0 +1,149 @@
+"""Tests for processes, namespaces, and the execve ownership handoff."""
+
+import pytest
+
+from repro.errors import NamespaceError
+from repro.kernel.cgroup import CgroupRoot
+from repro.kernel.cpu import HostCpus
+from repro.kernel.namespace import (Namespace, NamespaceKind, NamespaceSet,
+                                    PidNamespace)
+from repro.kernel.proc import ProcessState, ProcessTable
+
+
+@pytest.fixture
+def table():
+    root = CgroupRoot(HostCpus(4))
+    return ProcessTable(root.root), root
+
+
+class TestNamespaceSet:
+    def test_init_set_has_no_sys_namespace(self):
+        ns = NamespaceSet.init_set()
+        assert NamespaceKind.SYS not in ns
+        assert NamespaceKind.PID in ns
+
+    def test_with_namespace_replaces(self):
+        base = NamespaceSet.init_set()
+        new_pid = PidNamespace()
+        derived = base.with_namespace(new_pid)
+        assert derived.get(NamespaceKind.PID) is new_pid
+        assert base.get(NamespaceKind.PID) is not new_pid
+
+    def test_clone_shares_namespaces(self):
+        base = NamespaceSet.init_set()
+        clone = base.clone()
+        assert clone.get(NamespaceKind.PID) is base.get(NamespaceKind.PID)
+
+
+class TestPidNamespace:
+    def test_vpids_start_at_one(self):
+        ns = PidNamespace()
+        assert ns.map_pid(4242) == 1
+        assert ns.map_pid(4243) == 2
+        assert ns.map_pid(4242) == 1  # stable
+
+    def test_vpid_lookup_missing(self):
+        ns = PidNamespace()
+        with pytest.raises(NamespaceError):
+            ns.vpid_of(999)
+
+
+class TestProcessLifecycle:
+    def test_init_is_pid_1(self, table):
+        t, _ = table
+        assert t.init.pid == 1
+        assert t.init.in_init_namespaces
+
+    def test_fork_inherits(self, table):
+        t, _ = table
+        child = t.fork(t.init, "child")
+        assert child.parent is t.init
+        assert child.namespaces.get(NamespaceKind.PID) is \
+            t.init.namespaces.get(NamespaceKind.PID)
+        assert child.cgroup is t.init.cgroup
+
+    def test_fork_into_cgroup(self, table):
+        t, root = table
+        cg = root.root.create_child("c")
+        child = t.fork(t.init, "child", cgroup=cg)
+        assert child.cgroup is cg
+
+    def test_fork_from_dead_rejected(self, table):
+        t, _ = table
+        child = t.fork(t.init, "child")
+        t.exit(child)
+        with pytest.raises(NamespaceError):
+            t.fork(child, "grandchild")
+
+    def test_exit_reparents_children(self, table):
+        t, _ = table
+        a = t.fork(t.init, "a")
+        b = t.fork(a, "b")
+        t.exit(a)
+        assert b.parent is t.init
+        assert a.state is ProcessState.TASK_DEAD
+
+    def test_live_processes(self, table):
+        t, _ = table
+        a = t.fork(t.init, "a")
+        t.exit(a)
+        assert a not in t.live_processes()
+        assert t.init in t.live_processes()
+
+    def test_unshare_sets_owner(self, table):
+        t, _ = table
+        a = t.fork(t.init, "a")
+        ns = PidNamespace()
+        t.unshare(a, ns)
+        assert ns.owner is a
+        assert a.namespaces.get(NamespaceKind.PID) is ns
+        assert t.init.namespaces.get(NamespaceKind.PID) is not ns
+
+
+class TestExecOwnershipTransfer:
+    """The §3.2 mechanism: sys_namespace survives its creator's death."""
+
+    def test_transfer_on_exec_when_owner_dead(self, table):
+        t, _ = table
+        init0 = t.fork(t.init, "c:init0")
+        sys_ns = Namespace(NamespaceKind.SYS, owner=init0)
+        t.unshare(init0, sys_ns)
+        entry = t.fork(init0, "c:entry")
+        t.exit(init0)
+        assert not sys_ns.owner_alive
+        t.exec(entry, new_name="c:init")
+        assert sys_ns.owner is entry
+        assert sys_ns.owner_alive
+        assert entry.name == "c:init"
+
+    def test_no_transfer_when_owner_alive(self, table):
+        t, _ = table
+        init0 = t.fork(t.init, "c:init0")
+        sys_ns = Namespace(NamespaceKind.SYS, owner=init0)
+        t.unshare(init0, sys_ns)
+        entry = t.fork(init0, "c:entry")
+        t.exec(entry)
+        assert sys_ns.owner is init0  # owner still alive: untouched
+
+    def test_exec_dead_process_rejected(self, table):
+        t, _ = table
+        a = t.fork(t.init, "a")
+        t.exit(a)
+        with pytest.raises(NamespaceError):
+            t.exec(a)
+
+    def test_transfer_to_dead_target_rejected(self, table):
+        t, _ = table
+        a = t.fork(t.init, "a")
+        ns = Namespace(NamespaceKind.SYS, owner=None)
+        t.exit(a)
+        with pytest.raises(NamespaceError):
+            ns.transfer_ownership(a)
+
+    def test_container_process_not_in_init_namespaces(self, table):
+        t, _ = table
+        init0 = t.fork(t.init, "c:init0")
+        t.unshare(init0, Namespace(NamespaceKind.SYS, owner=init0))
+        assert not init0.in_init_namespaces
+        assert init0.sys_namespace() is not None
+        assert t.init.sys_namespace() is None

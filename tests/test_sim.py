@@ -1,0 +1,212 @@
+"""Tests for the discrete-event substrate (clock, events, RNG)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventLoop, RngFactory, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(-1.0)
+
+    def test_advance(self):
+        c = SimClock()
+        c.advance_to(3.5)
+        assert c.now == 3.5
+
+    def test_advance_backwards_rejected(self):
+        c = SimClock(2.0)
+        with pytest.raises(SimulationError):
+            c.advance_to(1.0)
+
+    def test_advance_to_same_time_ok(self):
+        c = SimClock(2.0)
+        c.advance_to(2.0)
+        assert c.now == 2.0
+
+
+class TestEventLoop:
+    def setup_method(self):
+        self.clock = SimClock()
+        self.loop = EventLoop(self.clock)
+        self.fired: list = []
+
+    def test_call_at_fires_in_order(self):
+        self.loop.call_at(2.0, lambda: self.fired.append("b"))
+        self.loop.call_at(1.0, lambda: self.fired.append("a"))
+        self.loop.run_until(3.0)
+        assert self.fired == ["a", "b"]
+        assert self.clock.now == 3.0
+
+    def test_ties_fire_in_insertion_order(self):
+        for tag in "abc":
+            self.loop.call_at(1.0, lambda t=tag: self.fired.append(t))
+        self.loop.run_until(1.0)
+        assert self.fired == ["a", "b", "c"]
+
+    def test_call_after(self):
+        self.clock.advance_to(1.0)
+        self.loop.call_after(0.5, lambda: self.fired.append(self.clock.now))
+        self.loop.run_until(2.0)
+        assert self.fired == [1.5]
+
+    def test_scheduling_in_the_past_rejected(self):
+        self.clock.advance_to(1.0)
+        with pytest.raises(SimulationError):
+            self.loop.call_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            self.loop.call_after(-0.1, lambda: None)
+
+    def test_cancel_one_shot(self):
+        h = self.loop.call_at(1.0, lambda: self.fired.append("x"))
+        h.cancel()
+        self.loop.run_until(2.0)
+        assert self.fired == []
+        assert not h.active
+
+    def test_periodic_timer(self):
+        self.loop.call_every(1.0, lambda: self.fired.append(self.clock.now))
+        self.loop.run_until(3.5)
+        assert self.fired == [1.0, 2.0, 3.0]
+
+    def test_periodic_first_after(self):
+        self.loop.call_every(1.0, lambda: self.fired.append(self.clock.now),
+                             first_after=0.25)
+        self.loop.run_until(2.5)
+        assert self.fired == [0.25, 1.25, 2.25]
+
+    def test_periodic_timer_cancel_stops_firing(self):
+        h = self.loop.call_every(1.0, lambda: self.fired.append(self.clock.now))
+        self.loop.run_until(1.5)
+        h.cancel()
+        self.loop.run_until(5.0)
+        assert self.fired == [1.0]
+
+    def test_timer_period_mutation(self):
+        """The sys_namespace timer adjusts its own period between firings."""
+        h = self.loop.call_every(1.0, lambda: self.fired.append(self.clock.now))
+
+        def widen():
+            h.period = 2.0
+        self.loop.call_at(1.5, widen)
+        self.loop.run_until(6.0)
+        # Fires at 1.0 (then re-arms +1.0 -> 2.0), at 2.0 period becomes ...
+        assert self.fired[0] == 1.0
+        assert self.fired[1] == 2.0
+        # After the mutation the timer re-arms at +2.0 intervals.
+        assert self.fired[2] == pytest.approx(4.0)
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(SimulationError):
+            self.loop.call_every(0.0, lambda: None)
+
+    def test_next_event_time_skips_cancelled(self):
+        h = self.loop.call_at(1.0, lambda: None)
+        self.loop.call_at(2.0, lambda: None)
+        h.cancel()
+        assert self.loop.next_event_time() == 2.0
+
+    def test_len_counts_active_events(self):
+        h = self.loop.call_at(1.0, lambda: None)
+        self.loop.call_at(2.0, lambda: None)
+        assert len(self.loop) == 2
+        h.cancel()
+        assert len(self.loop) == 1
+
+    def test_step_returns_false_when_empty(self):
+        assert self.loop.step() is False
+
+    def test_callback_scheduling_more_events(self):
+        def chain():
+            if len(self.fired) < 3:
+                self.fired.append(self.clock.now)
+                self.loop.call_after(1.0, chain)
+        self.loop.call_at(1.0, chain)
+        self.loop.run_until(10.0)
+        assert self.fired == [1.0, 2.0, 3.0]
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        f = RngFactory(42)
+        a = f.stream("x")
+        b = f.stream("x")
+        assert a is b
+
+    def test_different_names_independent(self):
+        f = RngFactory(42)
+        xs = f.stream("x").random(5)
+        ys = f.stream("y").random(5)
+        assert not (xs == ys).all()
+
+    def test_reproducible_across_factories(self):
+        a = RngFactory(7).stream("w").random(10)
+        b = RngFactory(7).stream("w").random(10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(1).stream("w").random(10)
+        b = RngFactory(2).stream("w").random(10)
+        assert not (a == b).all()
+
+    def test_fork_is_deterministic(self):
+        a = RngFactory(3).fork(5).stream("s").random(4)
+        b = RngFactory(3).fork(5).stream("s").random(4)
+        assert (a == b).all()
+        c = RngFactory(3).fork(6).stream("s").random(4)
+        assert not (a == c).all()
+
+
+class TestEventLoopProperties:
+    """Hypothesis: arbitrary schedules fire in time order, deterministically."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=50, deadline=None)
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                     allow_nan=False), min_size=1,
+                           max_size=30))
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        from repro.sim import EventLoop, SimClock
+        clock = SimClock()
+        loop = EventLoop(clock)
+        fired: list[tuple[float, int]] = []
+        for i, d in enumerate(delays):
+            loop.call_at(d, lambda i=i: fired.append((clock.now, i)))
+        loop.run_until(101.0)
+        assert len(fired) == len(delays)
+        times = [t for t, _ in fired]
+        assert times == sorted(times)
+        # Ties fire in insertion order.
+        for (t1, i1), (t2, i2) in zip(fired, fired[1:]):
+            if t1 == t2:
+                assert i1 < i2
+
+    @settings(max_examples=30, deadline=None)
+    @given(periods=st.lists(st.floats(min_value=0.1, max_value=5.0),
+                            min_size=1, max_size=5),
+           horizon=st.floats(min_value=1.0, max_value=20.0))
+    def test_periodic_firing_counts(self, periods, horizon):
+        import math
+        from repro.sim import EventLoop, SimClock
+        clock = SimClock()
+        loop = EventLoop(clock)
+        counts = [0] * len(periods)
+        for i, p in enumerate(periods):
+            loop.call_every(p, lambda i=i: counts.__setitem__(
+                i, counts[i] + 1))
+        loop.run_until(horizon)
+        for p, c in zip(periods, counts):
+            expected = math.floor(horizon / p + 1e-9)
+            assert abs(c - expected) <= 1  # float boundary tolerance

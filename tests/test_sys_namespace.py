@@ -1,0 +1,266 @@
+"""Integration tests: sys_namespace + ns_monitor + virtual sysfs on a World."""
+
+import pytest
+
+from repro import ContainerSpec, World, gib, mib
+from repro.kernel.sysfs import Sysconf
+from repro.units import PAGE_SIZE
+
+
+def world20():
+    return World(ncpus=20, memory=gib(128))
+
+
+def busy(container, n):
+    """Spawn n always-busy threads in the container."""
+    threads = []
+    for i in range(n):
+        t = container.spawn_thread(f"busy{i}")
+        t.assign_work(1e9)
+        threads.append(t)
+    return threads
+
+
+class TestRegistration:
+    def test_bounds_single_container(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec("c0"))
+        assert c.sys_ns.bounds.lower == 20
+        assert c.sys_ns.bounds.upper == 20
+        assert c.e_cpu == 20
+
+    def test_bounds_rebalance_on_new_containers(self):
+        w = world20()
+        c0 = w.containers.create(ContainerSpec("c0"))
+        for i in range(1, 5):
+            w.containers.create(ContainerSpec(f"c{i}"))
+        # Five equal containers: lower = ceil(20/5) = 4 for all.
+        assert c0.sys_ns.bounds.lower == 4
+        for c in w.containers:
+            assert c.sys_ns.bounds.lower == 4
+
+    def test_bounds_rebalance_on_destroy(self):
+        w = world20()
+        c0 = w.containers.create(ContainerSpec("c0"))
+        c1 = w.containers.create(ContainerSpec("c1"))
+        assert c0.sys_ns.bounds.lower == 10
+        w.containers.destroy(c1)
+        assert c0.sys_ns.bounds.lower == 20
+
+    def test_share_edit_rebalances_everyone(self):
+        w = world20()
+        c0 = w.containers.create(ContainerSpec("c0"))
+        c1 = w.containers.create(ContainerSpec("c1"))
+        c1.cgroup.set_cpu_shares(3072)
+        assert c0.sys_ns.bounds.lower == 5   # 1024/4096*20
+        assert c1.sys_ns.bounds.lower == 15
+
+    def test_memory_limit_edit_refreshes(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec("c0"))
+        c.cgroup.set_memory_limit(gib(2))
+        c.cgroup.set_memory_soft_limit(gib(1))
+        assert c.sys_ns.hard_limit == gib(2)
+        assert c.sys_ns.soft_limit == gib(1)
+
+    def test_e_mem_initialized_to_soft(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec(
+            "c0", memory_limit=gib(1), memory_soft_limit=mib(500)))
+        assert c.e_mem == mib(500)
+
+    def test_no_limits_means_host_capacity(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec("c0"))
+        assert c.sys_ns.hard_limit == w.mm.available_capacity
+        assert c.e_mem == w.mm.available_capacity
+
+
+class TestDynamicEffectiveCpu:
+    def test_grows_with_slack_and_demand(self):
+        w = world20()
+        c0 = w.containers.create(ContainerSpec("c0"))
+        w.containers.create(ContainerSpec("c1"))  # idle competitor
+        assert c0.sys_ns.bounds.lower == 10
+        busy(c0, 20)
+        w.run(until=5.0)
+        # c1 idle -> slack... no: c0 runs 20 threads on 20 cpus, zero idle.
+        # Utilization of E=10 capacity is 200%>95% but slack==0 -> E stays.
+        # Actually c0 consumes all 20 cores; no slack; E stays at lower=10?
+        assert c0.e_cpu == 10
+
+    def test_grows_toward_upper_with_idle_competitor_present(self):
+        w = world20()
+        c0 = w.containers.create(ContainerSpec("c0"))
+        c1 = w.containers.create(ContainerSpec("c1"))
+        busy(c1, 15)  # demand 15 < 20 cores -> slack 5 cores
+        w.run(until=5.0)
+        # c1 was initialized at lower=10 (both containers registered).
+        # Slack exists and c1 is >95% busy on its effective CPUs, so it
+        # grows one per update period; growth stops at 16 where
+        # utilization 15/16 drops below the 95% threshold.
+        assert c1.e_cpu == 16
+
+    def test_shrinks_when_competitor_wakes(self):
+        w = world20()
+        c0 = w.containers.create(ContainerSpec("c0"))
+        c1 = w.containers.create(ContainerSpec("c1"))
+        busy(c1, 15)
+        w.run(until=5.0)
+        assert c1.e_cpu == 16
+        busy(c0, 15)  # now the host is saturated: no slack
+        w.run(until=10.0)
+        assert c1.e_cpu == 10  # decayed back to the share lower bound
+
+    def test_respects_upper_bound_with_quota(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec("c0", cpus=4))
+        busy(c, 10)
+        w.run(until=5.0)
+        assert c.e_cpu == 4
+
+    def test_idle_container_stays_at_lower(self):
+        w = world20()
+        w.containers.create(ContainerSpec("c0"))
+        c1 = w.containers.create(ContainerSpec("c1"))
+        w.run(until=2.0)
+        # c1 was initialized to LOWER=10 under the two-container contention
+        # set; idle + slack means neither the growth nor the decay rule
+        # fires, so it stays there.
+        assert c1.e_cpu == 10
+
+    def test_early_container_keeps_view_until_slack_vanishes(self):
+        """Faithful Algorithm 1 behaviour: bounds updates clamp E_CPU but do
+        not re-initialize it; E only decays when the host has no slack."""
+        w = world20()
+        c0 = w.containers.create(ContainerSpec("c0"))  # alone: E=20
+        w.containers.create(ContainerSpec("c1"))       # bounds become [10,20]
+        w.run(until=2.0)
+        assert c0.e_cpu == 20  # still slack, so no decay
+        assert c0.sys_ns.bounds.lower == 10
+
+    def test_update_counter_advances(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec("c0"))
+        w.run(until=1.0)
+        # Scheduling period is 24ms with <=8 tasks: ~41 updates in 1s.
+        assert 30 <= c.sys_ns.update_count <= 50
+
+
+class TestDynamicEffectiveMemory:
+    def test_grows_toward_hard_when_used(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec(
+            "c0", memory_limit=gib(30), memory_soft_limit=gib(15)))
+        w.mm.charge(c.cgroup, gib(15))
+        w.run(until=1.0)
+        assert c.e_mem > gib(15)
+
+    def test_static_when_usage_below_threshold(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec(
+            "c0", memory_limit=gib(30), memory_soft_limit=gib(15)))
+        w.mm.charge(c.cgroup, gib(5))
+        w.run(until=1.0)
+        assert c.e_mem == gib(15)
+
+    def test_resets_to_soft_on_host_pressure(self):
+        w = World(ncpus=4, memory=gib(16))
+        c = w.containers.create(ContainerSpec(
+            "c0", memory_limit=gib(8), memory_soft_limit=gib(2)))
+        w.mm.charge(c.cgroup, gib(4))
+        w.run(until=1.0)
+        grown = c.e_mem
+        assert grown > gib(2)
+        # A host hog eats nearly all free memory.
+        hog = w.cgroups.root.create_child("hog")
+        w.mm.charge(hog, w.mm.free - mib(64))
+        w.run(until=2.0)
+        assert c.e_mem == gib(2)
+
+
+class TestVirtualSysfs:
+    def test_container_sees_effective_cpu(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec("c0", cpus=4))
+        busy(c, 8)
+        w.run(until=2.0)
+        view = c.resource_view()
+        assert view.ncpus() == 4
+        assert view.online_cpus() == "0-3"
+
+    def test_host_process_sees_host_values(self):
+        w = world20()
+        w.containers.create(ContainerSpec("c0", cpus=4))
+        host_view = w.sysfs_registry
+        assert host_view.sysconf(w.procs.init, Sysconf.NPROCESSORS_ONLN) == 20
+
+    def test_container_sees_effective_memory(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec(
+            "c0", memory_limit=gib(1), memory_soft_limit=mib(500)))
+        view = c.resource_view()
+        # _SC_PHYS_PAGES * _SC_PAGESIZE == effective memory (500 MiB).
+        assert view.total_memory() == (mib(500) // PAGE_SIZE) * PAGE_SIZE
+
+    def test_meminfo_in_container(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec(
+            "c0", memory_limit=gib(1), memory_soft_limit=mib(512)))
+        text = c.resource_view().meminfo()
+        assert f"MemTotal: {mib(512) // 1024} kB" in text
+
+    def test_available_memory_subtracts_usage(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec(
+            "c0", memory_limit=gib(1), memory_soft_limit=mib(512)))
+        w.mm.charge(c.cgroup, mib(100))
+        avail = c.resource_view().available_memory()
+        assert avail == ((mib(512) - mib(100)) // PAGE_SIZE) * PAGE_SIZE
+
+    def test_virtual_sysfs_cached_per_namespace(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec("c0"))
+        v1 = w.sysfs_registry.view_for(c.init_process)
+        v2 = w.sysfs_registry.view_for(c.init_process)
+        assert v1 is v2
+
+    def test_loadavg_passthrough(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec("c0"))
+        busy(c, 5)
+        w.run(until=20.0)
+        l1, _, l15 = c.resource_view().loadavg()
+        assert l1 == pytest.approx(5.0, rel=0.05)
+        assert 0 < l15 <= 5.0
+
+
+class TestOwnershipLifecycle:
+    def test_sys_ns_owner_is_new_init(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec("c0"))
+        assert c.sys_ns.owner is c.init_process
+        assert c.sys_ns.owner_alive
+        assert c.init_process.name == "c0:init"
+
+    def test_original_init_is_dead(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec("c0"))
+        init0 = [p for p in w.procs.processes.values()
+                 if p.name == "c0:init0"]
+        assert len(init0) == 1 and not init0[0].alive
+
+    def test_forked_processes_share_sys_ns(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec("c0"))
+        child = c.spawn_process("app")
+        assert child.sys_namespace() is c.sys_ns
+
+    def test_destroy_stops_updates(self):
+        w = world20()
+        c = w.containers.create(ContainerSpec("c0"))
+        w.run(until=1.0)
+        n = c.sys_ns.update_count
+        w.containers.destroy(c)
+        w.run(until=2.0)
+        assert c.sys_ns.update_count == n

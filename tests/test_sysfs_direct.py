@@ -1,0 +1,110 @@
+"""Direct tests for host/virtual sysfs and the query dispatch."""
+
+import pytest
+
+from repro.container.spec import ContainerSpec
+from repro.errors import NamespaceError
+from repro.kernel.sysfs import Sysconf
+from repro.units import PAGE_SIZE, gib, mib
+from repro.world import World
+
+
+@pytest.fixture
+def world():
+    return World(ncpus=8, memory=gib(16))
+
+
+class TestHostSysfs:
+    def test_sysconf_values(self, world):
+        fs = world.host_sysfs
+        assert fs.sysconf(Sysconf.NPROCESSORS_ONLN) == 8
+        assert fs.sysconf(Sysconf.NPROCESSORS_CONF) == 8
+        assert fs.sysconf(Sysconf.PAGESIZE) == PAGE_SIZE
+        assert fs.sysconf(Sysconf.PHYS_PAGES) == gib(16) // PAGE_SIZE
+        assert fs.sysconf(Sysconf.AVPHYS_PAGES) == world.mm.free // PAGE_SIZE
+
+    def test_online_cpus(self, world):
+        assert world.host_sysfs.read("/sys/devices/system/cpu/online") == "0-7"
+
+    def test_meminfo_format(self, world):
+        text = world.host_sysfs.read("/proc/meminfo")
+        assert f"MemTotal: {gib(16) // 1024} kB" in text
+        assert "SwapTotal:" in text
+
+    def test_loadavg_format(self, world):
+        parts = world.host_sysfs.read("/proc/loadavg").split()
+        assert len(parts) == 3
+        assert all(float(p) >= 0 for p in parts)
+
+    def test_unknown_path_rejected(self, world):
+        with pytest.raises(NamespaceError):
+            world.host_sysfs.read("/proc/nonexistent")
+
+
+class TestVirtualSysfs:
+    def test_effective_values(self, world):
+        c = world.containers.create(ContainerSpec(
+            "c0", cpus=2.0, memory_limit=gib(2), memory_soft_limit=gib(1)))
+        view = world.sysfs_registry.view_for(c.init_process)
+        assert view.sysconf(Sysconf.NPROCESSORS_ONLN) == 2
+        assert view.sysconf(Sysconf.PHYS_PAGES) == gib(1) // PAGE_SIZE
+        assert view.sysconf(Sysconf.PAGESIZE) == PAGE_SIZE
+
+    def test_avphys_subtracts_usage(self, world):
+        c = world.containers.create(ContainerSpec(
+            "c0", memory_limit=gib(2), memory_soft_limit=gib(1)))
+        world.mm.charge(c.cgroup, mib(100))
+        view = world.sysfs_registry.view_for(c.init_process)
+        assert view.sysconf(Sysconf.AVPHYS_PAGES) == \
+            (gib(1) - mib(100)) // PAGE_SIZE
+
+    def test_avphys_never_negative(self, world):
+        c = world.containers.create(ContainerSpec(
+            "c0", memory_limit=gib(2), memory_soft_limit=mib(64)))
+        world.mm.charge(c.cgroup, mib(512))  # beyond effective memory
+        view = world.sysfs_registry.view_for(c.init_process)
+        assert view.sysconf(Sysconf.AVPHYS_PAGES) == 0
+
+    def test_single_cpu_online_format(self, world):
+        c = world.containers.create(ContainerSpec("c0", cpus=0.5))
+        view = world.sysfs_registry.view_for(c.init_process)
+        assert view.read("/sys/devices/system/cpu/online") == "0"
+
+    def test_loadavg_falls_through_to_host(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        view = world.sysfs_registry.view_for(c.init_process)
+        assert view.read("/proc/loadavg") == \
+            world.host_sysfs.read("/proc/loadavg")
+
+
+class TestRegistryDispatch:
+    def test_redirect_counted(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        before = world.sysfs_registry.redirect_count
+        world.sysfs_registry.sysconf(c.init_process, Sysconf.NPROCESSORS_ONLN)
+        world.sysfs_registry.sysconf(world.procs.init,
+                                     Sysconf.NPROCESSORS_ONLN)
+        # Only the containerized query counts as a redirect.
+        assert world.sysfs_registry.redirect_count == before + 1
+
+    def test_drop_forgets_cached_view(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        v1 = world.sysfs_registry.view_for(c.init_process)
+        world.sysfs_registry.drop(c.sys_ns.ns_id)
+        v2 = world.sysfs_registry.view_for(c.init_process)
+        assert v1 is not v2
+
+
+class TestWorldDescribe:
+    def test_describe_contains_everything(self, world):
+        c = world.containers.create(ContainerSpec(
+            "web", memory_limit=gib(1), memory_soft_limit=mib(256)))
+        for i in range(3):
+            c.spawn_thread(f"w{i}").assign_work(1e9)
+        world.mm.charge(c.cgroup, int(gib(1.5)))  # forces some swap
+        world.run(until=1.0)
+        text = world.describe()
+        assert "web" in text
+        assert "E_CPU=" in text and "E_MEM=" in text
+        assert "swapped" in text
+        assert "8 CPUs" in text

@@ -1,0 +1,44 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro.units import GiB, KiB, MiB, fmt_bytes, fmt_time, gib, kib, mib
+
+
+class TestConstants:
+    def test_scaling(self):
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_helpers_are_ints(self):
+        assert kib(1.5) == 1536
+        assert mib(2) == 2 * MiB
+        assert gib(0.5) == GiB // 2
+        assert isinstance(gib(1.25), int)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("n,expected", [
+        (0, "0B"),
+        (512, "512B"),
+        (2048, "2.00KiB"),
+        (3 * MiB, "3.00MiB"),
+        (int(1.5 * GiB), "1.50GiB"),
+    ])
+    def test_fmt_bytes(self, n, expected):
+        assert fmt_bytes(n) == expected
+
+    def test_fmt_bytes_negative(self):
+        assert fmt_bytes(-2048) == "-2.00KiB"
+
+    @pytest.mark.parametrize("t,expected", [
+        (12.345, "12.35s"),
+        (0.005, "5.0ms"),
+        (3.2e-6, "3.2us"),
+    ])
+    def test_fmt_time(self, t, expected):
+        assert fmt_time(t) == expected
+
+    def test_fmt_time_negative(self):
+        assert fmt_time(-0.005) == "-5.0ms"

@@ -1,0 +1,80 @@
+"""Tests for the view ablation knobs: static bounds, update period."""
+
+import pytest
+
+from repro.container.spec import ContainerSpec
+from repro.core.effective_cpu import CpuBounds, CpuViewParams, step_effective_cpu
+from repro.core.effective_memory import (MemorySample, MemViewParams,
+                                         step_effective_memory)
+from repro.units import gib
+from repro.world import World
+
+
+class TestStaticCpuView:
+    def test_step_pins_at_lower_bound(self):
+        bounds = CpuBounds(lower=4, upper=10)
+        params = CpuViewParams(dynamic=False)
+        # Busy + slack would normally grow: static stays at lower.
+        e = step_effective_cpu(7, bounds, usage=100.0, capacity_window=7.0,
+                               slack=50.0, params=params)
+        assert e == 4
+
+    def test_world_integration(self):
+        world = World(ncpus=8, memory=gib(16),
+                      cpu_view_params=CpuViewParams(dynamic=False))
+        c0 = world.containers.create(ContainerSpec("c0"))
+        world.containers.create(ContainerSpec("c1"))
+        for i in range(6):
+            c0.spawn_thread(f"b{i}").assign_work(1e9)
+        world.run(until=5.0)
+        # Dynamic view would grow past the share bound with slack;
+        # static stays at ceil(8/2) = 4.
+        assert c0.e_cpu == 4
+
+
+class TestStaticMemView:
+    def test_step_pins_at_soft_limit(self):
+        params = MemViewParams(dynamic=False)
+        e = step_effective_memory(
+            gib(3), soft_limit=gib(1), hard_limit=gib(4),
+            sample=MemorySample(cfree=gib(50), pfree=gib(50),
+                                cmem=gib(3), pmem=gib(3)),
+            low_mark=gib(1), high_mark=gib(2), params=params)
+        assert e == gib(1)
+
+    def test_world_integration(self):
+        world = World(ncpus=4, memory=gib(16),
+                      mem_view_params=MemViewParams(dynamic=False))
+        c = world.containers.create(ContainerSpec(
+            "c0", memory_limit=gib(4), memory_soft_limit=gib(1)))
+        world.mm.charge(c.cgroup, int(gib(0.95)))
+        world.run(until=3.0)
+        assert c.e_mem == gib(1)  # would have grown with dynamic=True
+
+
+class TestUpdatePeriodOverride:
+    def test_update_count_scales_with_period(self):
+        def count(period):
+            world = World(ncpus=4, memory=gib(8),
+                          sys_ns_update_period=period)
+            c = world.containers.create(ContainerSpec("c0"))
+            world.run(until=2.0)
+            return c.sys_ns.update_count
+        fast = count(0.01)
+        slow = count(0.5)
+        assert fast == pytest.approx(200, rel=0.05)
+        assert slow == pytest.approx(4, abs=1)
+
+    def test_default_tracks_scheduling_period(self):
+        world = World(ncpus=4, memory=gib(8))
+        c = world.containers.create(ContainerSpec("c0"))
+        # <=8 runnable tasks: 24ms period.
+        world.run(until=1.0)
+        assert c.sys_ns.update_count == pytest.approx(41, abs=2)
+        # Spawn many tasks: the period stretches to 3ms * n.
+        for i in range(20):
+            c.spawn_thread(f"b{i}").assign_work(1e9)
+        before = c.sys_ns.update_count
+        world.run(until=2.0)
+        per_second = c.sys_ns.update_count - before
+        assert per_second < 30  # ~1/(3ms*20) = 16.7/s plus transition

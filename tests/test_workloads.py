@@ -1,0 +1,246 @@
+"""Tests for workload descriptors, catalogs, and native runners."""
+
+import pytest
+
+from repro.container.spec import ContainerSpec
+from repro.errors import WorkloadError
+from repro.units import gib, mib
+from repro.workloads.base import JavaWorkload, NativeWorkload, OmpRegion, OmpWorkload
+from repro.workloads.dacapo import DACAPO, DACAPO_NAMES, PAPER_DACAPO, dacapo
+from repro.workloads.dockerhub import (LANGUAGES, TOP_100_IMAGES,
+                                       census_by_language, total_affected)
+from repro.workloads.hibench import HIBENCH_NAMES, hibench
+from repro.workloads.micro import (MICRO_ALLOC_PER_ITER, MICRO_FREE_PER_ITER,
+                                   MICRO_ITERATIONS, heap_micro_benchmark)
+from repro.workloads.native_runner import MemoryHog, NativeProcess
+from repro.workloads.specjvm import PAPER_SPECJVM, SPECJVM_NAMES, specjvm
+from repro.workloads.sysbench import sysbench_cpu, sysbench_mix
+from repro.world import World
+
+
+class TestJavaWorkloadValidation:
+    def test_valid(self):
+        JavaWorkload(name="x", app_threads=1, total_work=1.0,
+                     alloc_rate=0.0, live_set=0)
+
+    @pytest.mark.parametrize("kw", [
+        dict(app_threads=0),
+        dict(total_work=0.0),
+        dict(alloc_rate=-1.0),
+        dict(survivor_frac=1.5),
+        dict(promote_frac=-0.1),
+        dict(live_set=-1),
+        dict(old_live_frac=2.0),
+    ])
+    def test_invalid(self, kw):
+        base = dict(name="x", app_threads=1, total_work=1.0,
+                    alloc_rate=0.0, live_set=0)
+        base.update(kw)
+        with pytest.raises(WorkloadError):
+            JavaWorkload(**base)
+
+    def test_total_allocation(self):
+        wl = JavaWorkload(name="x", app_threads=1, total_work=10.0,
+                          alloc_rate=mib(100), live_set=0)
+        assert wl.total_allocation == 10 * mib(100)
+
+
+class TestOmpValidation:
+    def test_region_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            OmpRegion(serial_work=-1.0, parallel_work=0.0)
+
+    def test_workload_needs_regions(self):
+        with pytest.raises(WorkloadError):
+            OmpWorkload(name="x", regions=(), iterations=1)
+
+    def test_workload_iteration_minimum(self):
+        with pytest.raises(WorkloadError):
+            OmpWorkload(name="x", regions=(OmpRegion(0, 1),), iterations=0)
+
+
+class TestCatalogs:
+    def test_dacapo_names(self):
+        assert set(PAPER_DACAPO) == {"h2", "jython", "lusearch", "sunflow",
+                                     "xalan"}
+        assert set(PAPER_DACAPO) <= set(DACAPO_NAMES)
+        assert len(DACAPO_NAMES) == 13  # full DaCapo-9.12 suite
+        for name in DACAPO_NAMES:
+            assert dacapo(name) is DACAPO[name]
+
+    def test_unknown_rejected(self):
+        for fn in (dacapo, specjvm, hibench):
+            with pytest.raises(WorkloadError):
+                fn("nope")
+
+    def test_specjvm_names(self):
+        assert set(PAPER_SPECJVM) == {"compiler.compiler", "derby", "mpegaudio",
+                                      "xml.validation", "xml.transform"}
+        assert set(PAPER_SPECJVM) <= set(SPECJVM_NAMES)
+        assert len(SPECJVM_NAMES) == 16
+        # scimark carries resident data, not churn.
+        assert specjvm("scimark.lu").alloc_rate < specjvm("serial").alloc_rate
+
+    def test_hibench_have_big_heaps(self):
+        """HiBench needs multi-GiB live sets (the §5.2 motivation)."""
+        for name in HIBENCH_NAMES:
+            assert hibench(name).live_set >= gib(2)
+        for name in DACAPO_NAMES:
+            assert dacapo(name).live_set < gib(1)
+
+    def test_h2_has_largest_paper_live_set(self):
+        assert dacapo("h2").live_set == max(dacapo(n).live_set
+                                            for n in PAPER_DACAPO)
+
+    def test_lusearch_is_allocation_heaviest(self):
+        assert dacapo("lusearch").alloc_rate == max(dacapo(n).alloc_rate
+                                                    for n in DACAPO_NAMES)
+        assert dacapo("eclipse").live_set == max(dacapo(n).live_set
+                                                 for n in DACAPO_NAMES)
+
+
+class TestMicroBenchmark:
+    def test_matches_paper_arithmetic(self):
+        wl = heap_micro_benchmark()
+        assert wl.total_allocation == pytest.approx(
+            MICRO_ITERATIONS * MICRO_ALLOC_PER_ITER, rel=0.001)
+        assert wl.live_set == MICRO_ITERATIONS * (MICRO_ALLOC_PER_ITER
+                                                  - MICRO_FREE_PER_ITER)
+        # 20 GB working set, 40 GB touched.
+        assert wl.live_set == pytest.approx(gib(19.5), rel=0.01)
+        assert wl.total_allocation == pytest.approx(gib(39.1), rel=0.01)
+
+    def test_work_scaling_preserves_totals(self):
+        a = heap_micro_benchmark(total_work=100.0)
+        b = heap_micro_benchmark(total_work=400.0)
+        assert a.total_allocation == pytest.approx(b.total_allocation, rel=1e-6)
+
+
+class TestDockerHubCatalog:
+    def test_headline_numbers(self):
+        assert len(TOP_100_IMAGES) == 100
+        assert total_affected() == 62
+
+    def test_language_constraints(self):
+        census = census_by_language()
+        assert set(census) == set(LANGUAGES)
+        assert census["java"][1] == 0          # all Java affected
+        assert census["php"][1] == 0           # all PHP affected
+        a, u = census["c"]
+        assert a == u                          # half of C
+        a, u = census["c++"]
+        assert a > u                           # majority of C++
+
+    def test_names_unique(self):
+        names = [img.name for img in TOP_100_IMAGES]
+        assert len(names) == len(set(names))
+
+    def test_affected_have_probe_descriptions(self):
+        for img in TOP_100_IMAGES:
+            if img.affected:
+                assert img.probe
+
+
+class TestSysbench:
+    def test_mix_is_staggered(self):
+        mix = sysbench_mix(5, base_work=10.0, step_work=5.0)
+        works = [w.total_work for w in mix]
+        assert works == [10.0, 15.0, 20.0, 25.0, 30.0]
+        assert len({w.name for w in mix}) == 5
+
+    def test_empty_mix(self):
+        assert sysbench_mix(0) == []
+
+    def test_negative_mix_rejected(self):
+        with pytest.raises(WorkloadError):
+            sysbench_mix(-1)
+
+    def test_cpu_instance(self):
+        wl = sysbench_cpu(threads=4, total_work=8.0)
+        assert wl.threads == 4 and wl.total_work == 8.0
+
+
+class TestNativeProcess:
+    def test_runs_to_completion(self):
+        world = World(ncpus=4, memory=gib(8))
+        c = world.containers.create(ContainerSpec("c0"))
+        done = []
+        proc = NativeProcess.in_container(
+            c, NativeWorkload(name="w", threads=2, total_work=4.0),
+            on_done=lambda p: done.append(p))
+        proc.start()
+        world.run(until=10.0)
+        assert proc.finished and done == [proc]
+        assert proc.duration == pytest.approx(2.0, rel=0.01)
+
+    def test_memory_charged_while_running(self):
+        world = World(ncpus=4, memory=gib(8))
+        c = world.containers.create(ContainerSpec("c0"))
+        proc = NativeProcess.in_container(
+            c, NativeWorkload(name="w", threads=1, total_work=1.0,
+                              resident_memory=mib(256)))
+        proc.start()
+        assert c.cgroup.memory.resident == mib(256)
+        world.run(until=5.0)
+        assert c.cgroup.memory.resident == 0
+
+    def test_double_start_rejected(self):
+        world = World(ncpus=4, memory=gib(8))
+        c = world.containers.create(ContainerSpec("c0"))
+        proc = NativeProcess.in_container(
+            c, NativeWorkload(name="w", total_work=1.0))
+        proc.start()
+        with pytest.raises(WorkloadError):
+            proc.start()
+
+    def test_cancel_releases_everything(self):
+        world = World(ncpus=4, memory=gib(8))
+        c = world.containers.create(ContainerSpec("c0"))
+        proc = NativeProcess.in_container(
+            c, NativeWorkload(name="w", threads=2, total_work=100.0,
+                              resident_memory=mib(64)))
+        proc.start()
+        world.run(until=1.0)
+        proc.cancel()
+        assert proc.finished
+        assert c.cgroup.memory.resident == 0
+        assert c.cgroup.n_runnable() == 0
+
+    def test_duration_before_finish_rejected(self):
+        world = World(ncpus=4, memory=gib(8))
+        c = world.containers.create(ContainerSpec("c0"))
+        proc = NativeProcess.in_container(
+            c, NativeWorkload(name="w", total_work=100.0))
+        proc.start()
+        with pytest.raises(WorkloadError):
+            _ = proc.duration
+
+
+class TestMemoryHog:
+    def test_grows_to_target(self):
+        world = World(ncpus=4, memory=gib(8))
+        hog = MemoryHog(world, target=gib(2), step=mib(512), interval=0.1)
+        hog.start()
+        world.run(until=2.0)
+        assert hog.charged == gib(2)
+
+    def test_respects_min_watermark(self):
+        world = World(ncpus=4, memory=gib(8))
+        hog = MemoryHog(world, target=gib(64), interval=0.1)
+        hog.start()
+        world.run(until=10.0)
+        assert world.mm.free >= world.mm.watermarks.min
+
+    def test_release(self):
+        world = World(ncpus=4, memory=gib(8))
+        hog = MemoryHog(world, target=gib(1), interval=0.1)
+        hog.start()
+        world.run(until=5.0)
+        hog.release()
+        assert hog.charged == 0
+        assert world.mm.free == world.mm.available_capacity
+
+    def test_bad_target_rejected(self):
+        world = World(ncpus=4, memory=gib(8))
+        with pytest.raises(WorkloadError):
+            MemoryHog(world, target=0)

@@ -1,0 +1,191 @@
+"""Tests for the World main loop and container lifecycle."""
+
+import pytest
+
+from repro.container.container import ContainerState
+from repro.container.spec import ContainerSpec
+from repro.errors import ContainerError
+from repro.units import gib, mib
+from repro.world import World
+
+
+@pytest.fixture
+def world():
+    return World(ncpus=4, memory=gib(8))
+
+
+class TestContainerSpec:
+    def test_quota_conversion(self):
+        spec = ContainerSpec("c", cpus=2.5)
+        assert spec.cpu_quota_us == 250_000
+        assert ContainerSpec("c").cpu_quota_us is None
+
+    @pytest.mark.parametrize("kw", [
+        dict(name=""),
+        dict(cpu_shares=1),
+        dict(cpus=0),
+        dict(memory_limit=0),
+        dict(memory_soft_limit=-1),
+        dict(memory_limit=mib(1), memory_soft_limit=mib(2)),
+    ])
+    def test_validation(self, kw):
+        base = dict(name="c")
+        base.update(kw)
+        with pytest.raises(ContainerError):
+            ContainerSpec(**base)
+
+
+class TestContainerLifecycle:
+    def test_create_applies_spec(self, world):
+        c = world.containers.create(ContainerSpec(
+            "c0", cpu_shares=2048, cpus=2.0, cpuset="0-1",
+            memory_limit=gib(1), memory_soft_limit=mib(256)))
+        cg = c.cgroup
+        assert cg.cpu.shares == 2048
+        assert cg.quota_cores == 2.0
+        assert cg.effective_cpuset().to_spec() == "0-1"
+        assert cg.memory.limit_in_bytes == gib(1)
+        assert cg.memory.soft_limit_in_bytes == mib(256)
+        assert cg.path == "/docker/c0"
+
+    def test_duplicate_name_rejected(self, world):
+        world.containers.create(ContainerSpec("c0"))
+        with pytest.raises(ContainerError):
+            world.containers.create(ContainerSpec("c0"))
+
+    def test_get_and_iter(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        assert world.containers.get("c0") is c
+        assert list(world.containers) == [c]
+        assert len(world.containers) == 1
+        with pytest.raises(ContainerError):
+            world.containers.get("nope")
+
+    def test_destroy_cleans_up(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        t = c.spawn_thread("w")
+        t.assign_work(100.0)
+        world.mm.charge(c.cgroup, mib(64))
+        world.containers.destroy(c)
+        assert c.state is ContainerState.STOPPED
+        assert "c0" not in world.containers.containers
+        assert world.mm.free == world.mm.available_capacity
+        assert c.sys_ns not in world.ns_monitor.namespaces
+        # Destroy is idempotent.
+        world.containers.destroy(c)
+
+    def test_spawn_after_destroy_rejected(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        world.containers.destroy(c)
+        with pytest.raises(ContainerError):
+            c.spawn_thread("w")
+        with pytest.raises(ContainerError):
+            c.spawn_process("p")
+
+    def test_name_reusable_after_destroy(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        world.containers.destroy(c)
+        c2 = world.containers.create(ContainerSpec("c0"))
+        assert c2 is not c
+
+
+class TestWorldLoop:
+    def test_idle_world_run_reaches_deadline(self, world):
+        # sys_namespace timers exist only per container; an empty world
+        # has no events at all.
+        world.run(until=3.0)
+        assert world.now == 3.0
+
+    def test_step_false_when_nothing_to_do(self, world):
+        assert world.step() is False
+
+    def test_thread_completion_order(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        order = []
+        a = c.spawn_thread("a")
+        b = c.spawn_thread("b")
+        a.assign_work(1.0, lambda t: order.append("a"))
+        b.assign_work(2.0, lambda t: order.append("b"))
+        world.run(until=5.0)
+        assert order == ["a", "b"]
+
+    def test_completion_without_callback_parks_thread(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        t = c.spawn_thread("a")
+        t.assign_work(0.5)
+        world.run(until=2.0)
+        assert not t.runnable
+        assert t.remaining == 0.0
+
+    def test_chained_segments(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        t = c.spawn_thread("a")
+        hops = []
+
+        def next_hop(thread):
+            hops.append(world.now)
+            if len(hops) < 3:
+                thread.assign_work(1.0, next_hop)
+            else:
+                thread.exit()
+        t.assign_work(1.0, next_hop)
+        world.run(until=10.0)
+        assert hops == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_run_until_predicate(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        t = c.spawn_thread("a")
+        t.assign_work(2.0, lambda th: th.block())
+        assert world.run_until(lambda: not t.runnable, timeout=100.0)
+        assert world.now == pytest.approx(2.0)
+
+    def test_run_until_timeout(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        t = c.spawn_thread("a")
+        t.assign_work(1e9)
+        assert not world.run_until(lambda: False, timeout=1.5)
+        assert world.now == pytest.approx(1.5)
+
+    def test_run_until_deadline_accrues_usage(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        t = c.spawn_thread("a")
+        t.assign_work(1e9)
+        world.run(until=2.0)
+        assert c.cgroup.total_cpu_time == pytest.approx(2.0, rel=0.01)
+
+    def test_contended_threads_slower(self, world):
+        # 8 always-busy threads from another container on 4 cores halve
+        # the progress of a measured 4-thread container.
+        c0 = world.containers.create(ContainerSpec("c0"))
+        c1 = world.containers.create(ContainerSpec("c1"))
+        for i in range(8):
+            c1.spawn_thread(f"n{i}").assign_work(1e9)
+        done = []
+        for i in range(4):
+            t = c0.spawn_thread(f"w{i}")
+            t.assign_work(1.0, lambda th: done.append(world.now))
+        world.run(until=20.0)
+        assert len(done) == 4
+        # Fair share 2 cores for 4 threads -> rate 0.5 minus penalties.
+        assert done[-1] > 2.0
+
+    def test_loadavg_tracks_runnable(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        for i in range(6):
+            c.spawn_thread(f"w{i}").assign_work(1e9)
+        world.run(until=60.0)
+        l1, _, _ = world.loadavg.as_tuple()
+        assert l1 == pytest.approx(6.0, rel=0.05)
+
+    def test_host_thread_outside_containers(self, world):
+        t = world.spawn_host_thread("daemon")
+        t.assign_work(1.0, lambda th: th.exit())
+        world.run(until=5.0)
+        assert t.state.value == "exited"
+
+    def test_n_live_threads(self, world):
+        c = world.containers.create(ContainerSpec("c0"))
+        c.spawn_thread("a")
+        t = c.spawn_thread("b")
+        t.exit()
+        assert world.n_live_threads() == 1

@@ -1,7 +1,6 @@
 """Benchmark: regenerate Figure 12 (heap micro-benchmark traces)."""
 
 from repro.harness.experiments.fig12_heap_traces import Fig12Params, run
-from repro.units import gib
 
 PARAMS = Fig12Params(scale=0.25)
 

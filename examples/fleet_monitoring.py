@@ -9,7 +9,7 @@ Grafana panel during the run.
 Run:  python examples/fleet_monitoring.py
 """
 
-from repro import ContainerSpec, MetricsRecorder, World, deploy_fleet, gib
+from repro import MetricsRecorder, World, deploy_fleet, gib
 from repro.harness.plot import sparkline
 from repro.workloads import NativeProcess, sysbench_cpu
 

@@ -6,6 +6,7 @@ Subcommands::
     python -m repro census               # the Fig. 1 DockerHub census
     python -m repro run [EXPERIMENTS]    # forwards to repro.harness.run_all
     python -m repro demo                 # the quickstart scenario
+    python -m repro serve                # the SLO-autoscaling comparison
 """
 
 from __future__ import annotations
@@ -61,6 +62,15 @@ def _cmd_demo(_args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.harness.experiments.exp_serve import ServeParams, run
+    from repro.harness.run_all import _QUICK_KWARGS
+    kwargs = dict(_QUICK_KWARGS["exp_serve"]) if args.quick else {}
+    kwargs["seed"] = args.seed
+    print(run(ServeParams(**kwargs)).to_text())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command")
@@ -71,9 +81,14 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--quick", action="store_true")
     run_p.add_argument("--output", type=str, default=None)
     sub.add_parser("demo", help="run the quickstart scenario")
+    serve_p = sub.add_parser(
+        "serve", help="serving latency: SLO autoscaler vs static quotas")
+    serve_p.add_argument("--quick", action="store_true",
+                         help="scaled-down scenario for a fast smoke run")
+    serve_p.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
     handlers = {"info": _cmd_info, "census": _cmd_census,
-                "run": _cmd_run, "demo": _cmd_demo}
+                "run": _cmd_run, "demo": _cmd_demo, "serve": _cmd_serve}
     if args.command is None:
         parser.print_help()
         return 2

@@ -16,6 +16,7 @@ mirroring Docker's flag syntax.
 
 from __future__ import annotations
 
+import difflib
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.container.container import Container
@@ -35,8 +36,18 @@ _SUFFIXES = {"k": KiB, "kb": KiB, "kib": KiB,
 
 
 def parse_size(value: int | str | None) -> int | None:
-    """Parse ``"4g"`` / ``"512m"`` / ``1024`` into bytes (None passes)."""
-    if value is None or isinstance(value, int):
+    """Parse ``"4g"`` / ``"512m"`` / ``1024`` into bytes (None passes).
+
+    Sizes must be non-negative; anything unparseable (bad suffix,
+    multiple dots, a float, the empty string) raises ContainerError.
+    """
+    if value is None:
+        return None
+    if isinstance(value, (bool, float)):
+        raise ContainerError(f"cannot parse memory size {value!r}")
+    if isinstance(value, int):
+        if value < 0:
+            raise ContainerError(f"memory size cannot be negative: {value}")
         return value
     text = str(value).strip().lower()
     number = text
@@ -47,9 +58,12 @@ def parse_size(value: int | str | None) -> int | None:
             break
     try:
         scale = _SUFFIXES[suffix.strip()]
-        return int(float(number) * scale)
+        parsed = int(float(number) * scale)
     except (KeyError, ValueError):
         raise ContainerError(f"cannot parse memory size {value!r}") from None
+    if parsed < 0:
+        raise ContainerError(f"memory size cannot be negative: {value!r}")
+    return parsed
 
 
 _SPEC_KEYS = {"cpu_shares", "cpus", "cpuset", "cpu_period_us"}
@@ -74,8 +88,18 @@ def deploy_fleet(world: "World", services: Mapping[str, Mapping[str, Any]],
         mem_soft = parse_size(cfg.pop("memory_soft_limit", None))
         unknown = set(cfg) - _SPEC_KEYS
         if unknown:
+            known = _SPEC_KEYS | {"replicas", "memory_limit",
+                                  "memory_soft_limit"}
+            hints = []
+            for key in sorted(unknown):
+                close = difflib.get_close_matches(key, known, n=1)
+                if close:
+                    hints.append(f"{key!r} (did you mean {close[0]!r}?)")
+                else:
+                    hints.append(repr(key))
             raise ContainerError(
-                f"service {service!r}: unknown keys {sorted(unknown)}")
+                f"service {service!r}: unknown keys {', '.join(hints)}; "
+                f"valid keys are {sorted(known)}")
         containers = []
         for i in range(replicas):
             name = service if replicas == 1 else f"{service}-{i}"

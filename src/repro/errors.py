@@ -19,6 +19,7 @@ __all__ = [
     "JvmError",
     "OpenMpError",
     "WorkloadError",
+    "ServeError",
 ]
 
 
@@ -73,3 +74,7 @@ class OpenMpError(ReproError):
 
 class WorkloadError(ReproError):
     """Unknown benchmark name or inconsistent workload parameters."""
+
+
+class ServeError(ReproError):
+    """Invalid serving-stack configuration or misuse (repro.serve)."""

@@ -8,10 +8,9 @@ their respective minimum heap sizes".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import replace
 
 from repro.container.container import Container
-from repro.container.spec import ContainerSpec
 from repro.errors import ReproError
 from repro.jvm.flags import JvmConfig
 from repro.jvm.jvm import Jvm

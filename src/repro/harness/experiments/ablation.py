@@ -136,8 +136,7 @@ def mem_increment_sweep(params: AblationParams,
     risks overshooting free memory in one window (the watermark guard
     has less prediction accuracy per step).
     """
-    from repro.harness.experiments.fig12_heap_traces import (Fig12Params,
-                                                             run_single)
+    from repro.harness.experiments.fig12_heap_traces import Fig12Params
     from repro.units import gib
     table = ResultTable(
         "Ablation: Algorithm 2 increment fraction (paper: 0.10)",

@@ -30,7 +30,7 @@ from repro.harness.common import testbed
 from repro.harness.results import ExperimentResult, ResultTable
 from repro.jvm.flags import JvmConfig
 from repro.jvm.jvm import Jvm, JvmStats
-from repro.units import gib, mib
+from repro.units import gib
 from repro.workloads.micro import heap_micro_benchmark
 
 __all__ = ["Fig12Params", "run", "run_single", "run_five"]

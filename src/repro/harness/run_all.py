@@ -31,6 +31,8 @@ _QUICK_KWARGS = {
     "fig12": dict(scale=0.25),
     "overhead": dict(iterations=2_000),
     "ablation": dict(scale=0.5),
+    "exp_serve": dict(ncpus=8, replicas=2, workers=2, base_rate=20.0,
+                      warm=5.0, spike_len=8.0, cool=12.0, max_cores=3.0),
 }
 
 
@@ -42,7 +44,9 @@ def run_experiment(key: str, *, quick: bool = False):
     kwargs = _QUICK_KWARGS.get(key)
     if kwargs is None:
         return module.run()
-    params_cls = next(
+    # Experiments that import foreign *Params classes pin theirs via a
+    # PARAMS attribute; the dir() scan is the legacy fallback.
+    params_cls = getattr(module, "PARAMS", None) or next(
         (getattr(module, name) for name in dir(module)
          if name.endswith("Params")), None)
     if params_cls is None:

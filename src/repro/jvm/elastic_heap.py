@@ -20,7 +20,7 @@ scenarios:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
 from repro.sim.events import EventHandle, EventLoop
 from repro.units import mib

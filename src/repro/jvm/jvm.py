@@ -36,7 +36,7 @@ from repro.jvm.detect import (detect_cpus, detect_max_heap,
                               hotspot_ci_compiler_count,
                               hotspot_parallel_gc_threads)
 from repro.jvm.elastic_heap import MIN_VIRTUAL_MAX, ElasticHeapController
-from repro.jvm.flags import CpuDetectMode, GcThreadMode, HeapDetectMode, JvmConfig
+from repro.jvm.flags import GcThreadMode, HeapDetectMode, JvmConfig
 from repro.jvm.gc.parallel_scavenge import (GcCostModel, dynamic_active_workers,
                                             gc_work_inflation, major_gc_work,
                                             make_grain_tasks, minor_gc_work)

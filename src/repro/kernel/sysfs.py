@@ -26,7 +26,6 @@ from repro.errors import NamespaceError
 from repro.kernel.cpu import HostCpus
 from repro.kernel.loadavg import LoadTracker
 from repro.kernel.mm.memcg import MemoryManager
-from repro.kernel.namespace import NamespaceKind
 from repro.kernel.proc import Process
 from repro.units import PAGE_SIZE
 

@@ -82,6 +82,7 @@ class MetricsRecorder:
         self.period = period
         self._probes: dict[str, Callable[[], float]] = {}
         self._series: dict[str, Series] = {}
+        self._watched: dict[str, list[str]] = {}
         self._timer = None
         self.samples_taken = 0
 
@@ -96,15 +97,36 @@ class MetricsRecorder:
     def watch_container(self, container) -> None:
         """Attach the standard per-container probes."""
         name = container.name
+        if name in self._watched:
+            raise ReproError(f"container {name!r} already watched")
         cg = container.cgroup
-        self.add_probe(f"{name}.cpu_rate", lambda: cg.cpu_rate)
-        self.add_probe(f"{name}.e_cpu", lambda: float(container.e_cpu))
-        self.add_probe(f"{name}.e_mem", lambda: float(container.e_mem))
-        self.add_probe(f"{name}.mem_resident",
-                       lambda: float(cg.memory.resident))
-        self.add_probe(f"{name}.mem_swapped",
-                       lambda: float(cg.memory.swapped))
-        self.add_probe(f"{name}.runnable", lambda: float(cg.n_runnable()))
+        probes = {
+            f"{name}.cpu_rate": lambda: cg.cpu_rate,
+            f"{name}.e_cpu": lambda: float(container.e_cpu),
+            f"{name}.e_mem": lambda: float(container.e_mem),
+            f"{name}.mem_resident": lambda: float(cg.memory.resident),
+            f"{name}.mem_swapped": lambda: float(cg.memory.swapped),
+            f"{name}.runnable": lambda: float(cg.n_runnable()),
+        }
+        for probe_name, fn in probes.items():
+            self.add_probe(probe_name, fn)
+        self._watched[name] = list(probes)
+
+    def unwatch_container(self, name: str) -> None:
+        """Stop sampling a container; its recorded series stay readable.
+
+        Call this before (or right after) destroying a watched
+        container: a destroyed container's probes do not fail, but they
+        report host-wide fallback views that would silently pollute the
+        series.  Unwatching freezes the series at its current length.
+        """
+        try:
+            probe_names = self._watched.pop(name)
+        except KeyError:
+            raise ReproError(f"container {name!r} is not watched; have "
+                             f"{sorted(self._watched)}") from None
+        for probe_name in probe_names:
+            self._probes.pop(probe_name, None)
 
     def watch_host(self) -> None:
         """Attach host-wide probes."""

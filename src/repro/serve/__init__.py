@@ -1,0 +1,27 @@
+"""repro.serve — latency-oriented serving on adaptive resource views.
+
+Everything the throughput-oriented paper evaluation lacks: open-loop
+request traffic (:class:`LoadGenerator`), request-serving container
+replicas (:class:`ServiceReplica`), least-outstanding-requests routing
+with load shedding (:class:`Balancer`), latency percentiles and SLOs
+(:class:`LatencyRecorder`, :class:`Slo`), and an SLO-driven vertical
+:class:`Autoscaler` that rescales cgroup quotas and lets ``ns_monitor``
+propagate the change back into every container's ``sys_namespace``
+view — the paper's adaptation loop, driven from a control plane.
+"""
+
+from repro.serve.autoscaler import Autoscaler, AutoscalerParams, ManagedService
+from repro.serve.balancer import Balancer
+from repro.serve.latency import LatencyRecorder, LatencySummary, percentile
+from repro.serve.loadgen import LoadGenerator, Phase
+from repro.serve.slo import Slo
+from repro.serve.workload import Request, ServiceReplica, ServiceWorkload
+
+__all__ = [
+    "Autoscaler", "AutoscalerParams", "ManagedService",
+    "Balancer",
+    "LatencyRecorder", "LatencySummary", "percentile",
+    "LoadGenerator", "Phase",
+    "Slo",
+    "Request", "ServiceReplica", "ServiceWorkload",
+]

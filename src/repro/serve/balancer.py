@@ -1,0 +1,71 @@
+"""Request routing across replicas with admission control.
+
+The balancer routes each arrival to the replica with the fewest
+outstanding requests (queued + in service), breaking ties by replica
+order so routing is deterministic.  Admission control is by queue
+depth: when even the least-loaded replica's FIFO is full, the request
+is shed instead of enqueued — bounded queues keep tail latency bounded
+at the price of availability, which is the trade a latency-oriented
+service makes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServeError
+from repro.serve.workload import Request, ServiceReplica
+
+__all__ = ["Balancer"]
+
+
+class Balancer:
+    """Least-outstanding-requests router with queue-depth shedding.
+
+    ``shed_at`` bounds the *queued* depth per replica; ``None`` uses the
+    workload's ``queue_capacity``.
+    """
+
+    def __init__(self, replicas: list[ServiceReplica], *,
+                 shed_at: int | None = None):
+        if not replicas:
+            raise ServeError("balancer needs at least one replica")
+        self.replicas = list(replicas)
+        if shed_at is None:
+            shed_at = replicas[0].workload.queue_capacity
+        if shed_at < 0:
+            raise ServeError(f"shed_at cannot be negative, got {shed_at}")
+        self.shed_at = shed_at
+        self.dispatched = 0
+        self.shed = 0
+        self.peak_queue_depth = 0
+        self.peak_outstanding = 0
+
+    def dispatch(self, request: Request) -> bool:
+        """Route ``request``; returns False when it was shed."""
+        target = min(self.replicas, key=lambda r: r.outstanding)
+        if target.queue_depth >= self.shed_at:
+            self.shed += 1
+            return False
+        target.submit(request)
+        self.dispatched += 1
+        self.peak_queue_depth = max(self.peak_queue_depth, target.queue_depth)
+        self.peak_outstanding = max(self.peak_outstanding, target.outstanding)
+        return True
+
+    @property
+    def outstanding(self) -> int:
+        """Total in-flight requests across all replicas."""
+        return sum(r.outstanding for r in self.replicas)
+
+    @property
+    def completed(self) -> int:
+        return sum(r.completed for r in self.replicas)
+
+    def max_queue_depth(self) -> int:
+        return max(r.queue_depth for r in self.replicas)
+
+    def max_outstanding(self) -> int:
+        return max(r.outstanding for r in self.replicas)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Balancer replicas={len(self.replicas)} "
+                f"outstanding={self.outstanding} shed={self.shed}>")

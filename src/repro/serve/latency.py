@@ -1,0 +1,101 @@
+"""Latency bookkeeping for serving workloads.
+
+Per-request latencies stream into a :class:`LatencyRecorder` keyed by
+completion time; summaries (p50/p95/p99, mean, max) are computed with
+the deterministic nearest-rank method, optionally restricted to a
+trailing time window (the autoscaler's burn-rate window).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ServeError
+
+__all__ = ["percentile", "LatencySummary", "LatencyRecorder"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (need not be sorted)."""
+    if not values:
+        raise ServeError("percentile of an empty sample")
+    if not 0.0 < q <= 100.0:
+        raise ServeError(f"percentile must be in (0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution snapshot over one set of request latencies."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "LatencySummary":
+        if not values:
+            return cls.empty()
+        return cls(count=len(values),
+                   mean=sum(values) / len(values),
+                   p50=percentile(values, 50.0),
+                   p95=percentile(values, 95.0),
+                   p99=percentile(values, 99.0),
+                   max=max(values))
+
+
+class LatencyRecorder:
+    """Append-only store of (completion time, latency) samples.
+
+    Completion times arrive monotonically from the event loop, so
+    windowed queries are a binary search over the time column.
+    """
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._latencies: list[float] = []
+
+    def record(self, now: float, latency: float) -> None:
+        if latency < 0:
+            raise ServeError(f"negative latency {latency!r}")
+        if self._times and now < self._times[-1]:
+            raise ServeError("latency samples must arrive in time order")
+        self._times.append(now)
+        self._latencies.append(latency)
+
+    def __len__(self) -> int:
+        return len(self._latencies)
+
+    @property
+    def latencies(self) -> list[float]:
+        """All recorded latencies, in completion order (a copy)."""
+        return list(self._latencies)
+
+    def window(self, since: float, until: float | None = None) -> list[float]:
+        """Latencies of requests completed in ``[since, until)``."""
+        lo = bisect_left(self._times, since)
+        hi = len(self._times) if until is None else bisect_left(self._times, until)
+        return self._latencies[lo:hi]
+
+    def summary(self, since: float = 0.0, until: float | None = None,
+                ) -> LatencySummary:
+        return LatencySummary.of(self.window(since, until))
+
+    def percentile_since(self, since: float, q: float) -> float | None:
+        """Nearest-rank percentile over the window, None when empty."""
+        values = self.window(since)
+        if not values:
+            return None
+        return percentile(values, q)

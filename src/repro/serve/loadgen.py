@@ -1,0 +1,161 @@
+"""Open-loop traffic generation with phased rate schedules.
+
+The generator emits requests as an open-loop (non-closed) Poisson
+process: inter-arrival gaps are exponential draws from a named
+:class:`~repro.sim.rng.RngFactory` stream, so a slow service does not
+slow down arrivals — the backlog grows instead, which is what makes
+tail latency interesting.  The instantaneous rate follows a schedule of
+:class:`Phase` segments (steady, linear ramp, diurnal-style wave, load
+spike).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ServeError
+from repro.serve.workload import Request, ServiceWorkload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.world import World
+
+__all__ = ["Phase", "LoadGenerator"]
+
+#: Floor on the instantaneous rate so the next-arrival draw stays finite.
+_MIN_RATE = 1e-9
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One segment of the traffic schedule.
+
+    Build phases through the constructors (:meth:`steady`, :meth:`ramp`,
+    :meth:`wave`, :meth:`spike`); ``rate_at`` evaluates the instantaneous
+    arrival rate at an offset into the phase.
+    """
+
+    kind: str
+    duration: float
+    rate: float
+    rate_end: float | None = None   # ramp target
+    amplitude: float = 0.0          # wave amplitude, as a fraction of rate
+    period: float = 60.0            # wave period in seconds
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ServeError(f"phase duration must be positive, got {self.duration}")
+        if self.rate <= 0:
+            raise ServeError(f"phase rate must be positive, got {self.rate}")
+        if self.rate_end is not None and self.rate_end <= 0:
+            raise ServeError(f"ramp target must be positive, got {self.rate_end}")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ServeError(f"wave amplitude must be in [0, 1), got {self.amplitude}")
+        if self.period <= 0:
+            raise ServeError(f"wave period must be positive, got {self.period}")
+
+    @classmethod
+    def steady(cls, duration: float, rate: float) -> "Phase":
+        """Constant arrival rate."""
+        return cls(kind="steady", duration=duration, rate=rate)
+
+    @classmethod
+    def ramp(cls, duration: float, rate: float, rate_end: float) -> "Phase":
+        """Linear ramp from ``rate`` to ``rate_end``."""
+        return cls(kind="ramp", duration=duration, rate=rate, rate_end=rate_end)
+
+    @classmethod
+    def wave(cls, duration: float, rate: float, *, amplitude: float = 0.5,
+             period: float = 60.0) -> "Phase":
+        """Diurnal-style sinusoid around ``rate``."""
+        return cls(kind="wave", duration=duration, rate=rate,
+                   amplitude=amplitude, period=period)
+
+    @classmethod
+    def spike(cls, duration: float, rate: float, multiplier: float) -> "Phase":
+        """Sudden flat overload at ``rate * multiplier``."""
+        if multiplier <= 0:
+            raise ServeError(f"spike multiplier must be positive, got {multiplier}")
+        return cls(kind="spike", duration=duration, rate=rate * multiplier)
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous rate at offset ``t`` into the phase."""
+        if self.kind == "ramp":
+            frac = min(max(t / self.duration, 0.0), 1.0)
+            return self.rate + (self.rate_end - self.rate) * frac
+        if self.kind == "wave":
+            return self.rate * (1.0 + self.amplitude
+                                * math.sin(2.0 * math.pi * t / self.period))
+        return self.rate
+
+
+class LoadGenerator:
+    """Emits a deterministic open-loop request stream into a sink.
+
+    ``sink`` is typically :meth:`repro.serve.balancer.Balancer.dispatch`.
+    Inter-arrival gaps and per-request demands are drawn from the world's
+    seeded RNG streams ``serve.arrivals.<service>`` and
+    ``serve.demand.<service>``, so two worlds with the same seed replay
+    the identical request sequence regardless of what the serving side
+    does with it.
+    """
+
+    def __init__(self, world: "World", workload: ServiceWorkload,
+                 phases: list[Phase], sink: Callable[[Request], None]):
+        if not phases:
+            raise ServeError("load generator needs at least one phase")
+        self.world = world
+        self.workload = workload
+        self.phases = list(phases)
+        self.sink = sink
+        self.generated = 0
+        self.done = False
+        self._started_at: float | None = None
+        self._arrivals = world.rng.stream(f"serve.arrivals.{workload.name}")
+        self._demands = world.rng.stream(f"serve.demand.{workload.name}")
+        # Lognormal(mu, sigma) with the configured mean and CV.
+        cv = workload.demand_cv
+        self._sigma = math.sqrt(math.log1p(cv * cv))
+        self._mu = math.log(workload.mean_demand) - 0.5 * self._sigma ** 2
+
+    @property
+    def total_duration(self) -> float:
+        return sum(p.duration for p in self.phases)
+
+    def rate_at(self, t: float) -> float:
+        """Scheduled rate at offset ``t`` from the start of the schedule."""
+        for phase in self.phases:
+            if t < phase.duration:
+                return phase.rate_at(t)
+            t -= phase.duration
+        return 0.0
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise ServeError("load generator already started")
+        self._started_at = self.world.clock.now
+        self._schedule_next()
+
+    def _draw_demand(self) -> float:
+        if self.workload.demand_cv == 0.0:
+            return self.workload.mean_demand
+        return float(self._demands.lognormal(self._mu, self._sigma))
+
+    def _schedule_next(self) -> None:
+        offset = self.world.clock.now - self._started_at
+        rate = max(self.rate_at(offset), _MIN_RATE)
+        gap = float(self._arrivals.exponential(1.0 / rate))
+        self.world.events.call_after(gap, self._arrive,
+                                     name=f"arrival:{self.workload.name}")
+
+    def _arrive(self) -> None:
+        offset = self.world.clock.now - self._started_at
+        if offset >= self.total_duration:
+            self.done = True
+            return
+        self.generated += 1
+        request = Request(rid=self.generated, arrival=self.world.clock.now,
+                          demand=self._draw_demand())
+        self.sink(request)
+        self._schedule_next()

@@ -1,0 +1,182 @@
+"""Latency-serving workloads: request-handling replicas inside containers.
+
+A :class:`ServiceReplica` models one container of a replicated service:
+a fixed pool of worker threads (spawned in the container's cgroup, so
+they are scheduled — and throttled — by the fluid CFS model) pulling
+requests off a per-replica FIFO queue.  Each request carries a service
+demand in CPU-seconds; its latency is queueing delay plus a service time
+that stretches under CPU contention, which is exactly the coupling the
+adaptive resource view is supposed to manage.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ServeError
+from repro.kernel.task import SimThread, ThreadState
+from repro.serve.latency import LatencyRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.container.container import Container
+
+__all__ = ["ServiceWorkload", "Request", "ServiceReplica"]
+
+
+@dataclass(frozen=True)
+class ServiceWorkload:
+    """Resource shape of a request-serving service.
+
+    Attributes
+    ----------
+    mean_demand:
+        Mean service demand per request, in CPU-seconds.
+    demand_cv:
+        Coefficient of variation of the demand distribution; 0 means
+        every request costs exactly ``mean_demand``, otherwise demands
+        are lognormal with this CV (drawn from a named RNG stream by the
+        load generator).
+    workers_per_replica:
+        Worker threads per replica; also the replica's service
+        concurrency limit.
+    queue_capacity:
+        FIFO slots per replica (excluding requests in service); the
+        balancer sheds load once the least-loaded replica is at
+        capacity.
+    resident_memory:
+        Bytes of RSS one replica charges while running (its in-memory
+        state: caches, connection buffers, the application itself).
+    """
+
+    name: str
+    mean_demand: float = 0.040
+    demand_cv: float = 0.0
+    workers_per_replica: int = 4
+    queue_capacity: int = 64
+    resident_memory: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServeError("service name cannot be empty")
+        if self.mean_demand <= 0:
+            raise ServeError(f"{self.name}: mean_demand must be positive")
+        if self.demand_cv < 0:
+            raise ServeError(f"{self.name}: demand_cv cannot be negative")
+        if self.workers_per_replica < 1:
+            raise ServeError(f"{self.name}: workers_per_replica must be >= 1")
+        if self.queue_capacity < 0:
+            raise ServeError(f"{self.name}: queue_capacity cannot be negative")
+        if self.resident_memory < 0:
+            raise ServeError(f"{self.name}: resident_memory cannot be negative")
+
+
+class Request:
+    """One request travelling through the serving stack."""
+
+    __slots__ = ("rid", "arrival", "demand", "started_at", "finished_at")
+
+    def __init__(self, rid: int, arrival: float, demand: float):
+        self.rid = rid
+        self.arrival = arrival
+        self.demand = demand
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+
+    @property
+    def latency(self) -> float:
+        if self.finished_at is None:
+            raise ServeError(f"request {self.rid} not finished")
+        return self.finished_at - self.arrival
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Request {self.rid} arrival={self.arrival:.4f} demand={self.demand:.4f}>"
+
+
+class ServiceReplica:
+    """One container's worth of a service: worker pool + FIFO queue."""
+
+    def __init__(self, container: "Container", workload: ServiceWorkload,
+                 recorder: LatencyRecorder):
+        self.container = container
+        self.workload = workload
+        self.recorder = recorder
+        self.queue: deque[Request] = deque()
+        self.completed = 0
+        self.accepted = 0
+        self._idle: list[SimThread] = []
+        self._busy = 0
+        self._charged = 0
+        self._started = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker pool and charge the replica's RSS."""
+        if self._started:
+            raise ServeError(f"replica {self.container.name!r} already started")
+        self._started = True
+        world = self.container.world
+        if self.workload.resident_memory > 0:
+            world.mm.charge(self.container.cgroup, self.workload.resident_memory)
+            self._charged = self.workload.resident_memory
+        for i in range(self.workload.workers_per_replica):
+            self._idle.append(self.container.spawn_thread(f"worker{i}"))
+
+    def stop(self) -> None:
+        """Tear the worker pool down and release the replica's RSS."""
+        for t in list(self._idle):
+            if t.state is not ThreadState.EXITED:
+                t.exit()
+        self._idle.clear()
+        if self._charged:
+            world = self.container.world
+            world.mm.uncharge(self.container.cgroup, self._charged)
+            self._charged = 0
+            world.mm.rebalance()
+        self._started = False
+
+    # -- request flow -----------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting in the FIFO (excludes requests in service)."""
+        return len(self.queue)
+
+    @property
+    def outstanding(self) -> int:
+        """Queued plus in-service requests."""
+        return len(self.queue) + self._busy
+
+    def submit(self, request: Request) -> None:
+        """Accept a request: dispatch to an idle worker or enqueue."""
+        if not self._started:
+            raise ServeError(f"replica {self.container.name!r} not started")
+        self.accepted += 1
+        if self._idle:
+            self._dispatch(self._idle.pop(), request)
+        else:
+            self.queue.append(request)
+
+    def _dispatch(self, worker: SimThread, request: Request) -> None:
+        request.started_at = self.container.world.clock.now
+        self._busy += 1
+        worker.assign_work(request.demand,
+                           lambda t, r=request: self._on_done(t, r))
+
+    def _on_done(self, worker: SimThread, request: Request) -> None:
+        now = self.container.world.clock.now
+        request.finished_at = now
+        self._busy -= 1
+        self.completed += 1
+        self.recorder.record(now, request.latency)
+        if self.queue:
+            self._dispatch(worker, self.queue.popleft())
+        else:
+            self._idle.append(worker)
+            worker.block()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ServiceReplica {self.container.name!r} "
+                f"queued={len(self.queue)} busy={self._busy}>")

@@ -13,7 +13,7 @@ half of everything allocated stays live (survivor_frac × promote-path ≈
 
 from __future__ import annotations
 
-from repro.units import gib, mib
+from repro.units import mib
 from repro.workloads.base import JavaWorkload
 
 __all__ = ["heap_micro_benchmark", "MICRO_ITERATIONS", "MICRO_ALLOC_PER_ITER",

@@ -4,7 +4,7 @@ import pytest
 
 from repro.container.spec import ContainerSpec
 from repro.errors import CgroupError
-from repro.kernel.cgroupfs import UNLIMITED_BYTES, CgroupFs
+from repro.kernel.cgroupfs import UNLIMITED_BYTES
 from repro.units import gib, mib
 from repro.world import World
 

@@ -1,6 +1,5 @@
 """Tests for Algorithm 1 (effective CPU)."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

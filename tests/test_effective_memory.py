@@ -1,6 +1,5 @@
 """Tests for Algorithm 2 (effective memory)."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

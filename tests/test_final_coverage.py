@@ -1,9 +1,7 @@
 """Remaining behavioral corners: elastic shrink GCs, OMP env override
 end-to-end, vpid mapping, explicit GC-thread flags under adaptive mode."""
 
-import dataclasses
 
-import pytest
 
 from repro.container.spec import ContainerSpec
 from repro.jvm.flags import GcThreadMode, JvmConfig

@@ -6,7 +6,7 @@ import pytest
 
 from repro.container.spec import ContainerSpec
 from repro.errors import JvmError
-from repro.jvm.flags import GcThreadMode, HeapDetectMode, JvmConfig
+from repro.jvm.flags import JvmConfig
 from repro.jvm.jvm import Jvm
 from repro.units import gib, mib
 from repro.workloads.base import JavaWorkload

@@ -1,8 +1,6 @@
 """Tests for promotion-pressure handling: generation rebalancing, the
 elastic grow-and-retry loop, and genuine OOM."""
 
-import pytest
-
 from repro.container.spec import ContainerSpec
 from repro.jvm.adaptive_sizing import AdaptiveSizePolicy
 from repro.jvm.flags import JvmConfig

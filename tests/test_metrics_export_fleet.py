@@ -10,7 +10,7 @@ from repro.errors import ContainerError, ReproError
 from repro.harness.export import result_to_json, table_to_csv, write_result
 from repro.harness.results import ExperimentResult, ResultTable
 from repro.metrics import MetricsRecorder, Series
-from repro.units import GiB, KiB, MiB, gib, mib
+from repro.units import GiB, KiB, MiB, gib
 from repro.world import World
 
 
@@ -99,6 +99,55 @@ class TestMetricsRecorder:
         with pytest.raises(ReproError):
             rec.start()
 
+    def test_container_churn_does_not_corrupt_series(self):
+        """Create/destroy containers mid-recording; series stay sane."""
+        world = World(ncpus=4, memory=gib(8))
+        first = world.containers.create(ContainerSpec("first"))
+        first.spawn_thread("w").assign_work(1e9)
+        rec = MetricsRecorder(world, period=0.5)
+        rec.watch_container(first)
+        rec.watch_host()
+        rec.start()
+        world.run(until=2.0)
+
+        # A container joins mid-recording...
+        second = world.containers.create(ContainerSpec("second"))
+        second.spawn_thread("w").assign_work(1e9)
+        rec.watch_container(second)
+        world.run(until=4.0)
+
+        # ...and the original is torn down: unwatch, then destroy.
+        frozen_len = len(rec.series("first.cpu_rate"))
+        rec.unwatch_container("first")
+        world.containers.destroy(first)
+        world.run(until=6.0)
+
+        # The frozen series kept its pre-destroy samples, nothing more.
+        frozen = rec.series("first.cpu_rate")
+        assert len(frozen) == frozen_len
+        assert frozen.mean() == pytest.approx(1.0)   # 1 busy thread
+        assert max(frozen.times) < 4.5
+        # The survivor and the host kept sampling on every tick; the
+        # late joiner's series starts at its join, not at t=0.
+        assert len(rec.series("second.cpu_rate")) == 8   # t in (2, 6]
+        assert len(rec.series("host.runnable")) == 12    # t in (0, 6]
+        host = rec.series("host.runnable")
+        assert host.times == sorted(host.times)
+        assert rec.series("second.cpu_rate").last == pytest.approx(1.0)
+
+    def test_unwatch_validation(self):
+        world = World(ncpus=4, memory=gib(8))
+        c = world.containers.create(ContainerSpec("c0"))
+        rec = MetricsRecorder(world)
+        with pytest.raises(ReproError):
+            rec.unwatch_container("c0")      # never watched
+        rec.watch_container(c)
+        with pytest.raises(ReproError):
+            rec.watch_container(c)           # double watch
+        rec.unwatch_container("c0")
+        with pytest.raises(ReproError):
+            rec.unwatch_container("c0")      # double unwatch
+
 
 class TestExport:
     def _result(self):
@@ -144,10 +193,32 @@ class TestParseSize:
     def test_valid(self, text, expected):
         assert parse_size(text) == expected
 
-    @pytest.mark.parametrize("bad", ["", "g", "12x", "1..2m", "-1g"])
+    @pytest.mark.parametrize("bad", ["", "g", "12x", "1..2m", "-1g",
+                                     "-512", "nan", "infg", "4 gigs"])
     def test_invalid(self, bad):
         with pytest.raises(ContainerError):
             parse_size(bad)
+
+    @pytest.mark.parametrize("bad", [-1, -512, 1.5, True, False])
+    def test_invalid_non_strings(self, bad):
+        with pytest.raises(ContainerError):
+            parse_size(bad)
+
+    @pytest.mark.parametrize("n_bytes", [0, 1, 512, KiB, 3 * MiB,
+                                         7 * GiB, 5 * GiB // 2])
+    def test_round_trip(self, n_bytes):
+        """bytes -> human string -> parse_size recovers the bytes."""
+        if n_bytes % GiB == 0 and n_bytes:
+            text = f"{n_bytes // GiB}g"
+        elif n_bytes % MiB == 0 and n_bytes:
+            text = f"{n_bytes // MiB}m"
+        elif n_bytes % KiB == 0 and n_bytes:
+            text = f"{n_bytes // KiB}k"
+        else:
+            text = str(n_bytes)
+        assert parse_size(text) == n_bytes
+        # Integers always pass through unchanged.
+        assert parse_size(n_bytes) == n_bytes
 
 
 class TestDeployFleet:
@@ -173,8 +244,16 @@ class TestDeployFleet:
 
     def test_unknown_key_rejected(self):
         world = World(ncpus=4, memory=gib(8))
-        with pytest.raises(ContainerError):
+        with pytest.raises(ContainerError) as err:
             deploy_fleet(world, {"x": {"volumes": ["/data"]}})
+        assert "volumes" in str(err.value)
+        assert "x" in str(err.value)
+
+    def test_unknown_key_suggests_close_match(self):
+        world = World(ncpus=4, memory=gib(8))
+        with pytest.raises(ContainerError) as err:
+            deploy_fleet(world, {"x": {"cpu_share": 1024}})
+        assert "did you mean 'cpu_shares'" in str(err.value)
 
     def test_bad_replicas_rejected(self):
         world = World(ncpus=4, memory=gib(8))

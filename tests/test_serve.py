@@ -1,0 +1,258 @@
+"""Tests for the serving stack: latency math, traffic, replicas, routing."""
+
+import pytest
+
+from repro.container.spec import ContainerSpec
+from repro.errors import ServeError
+from repro.serve import (Balancer, LatencyRecorder, LatencySummary,
+                         LoadGenerator, Phase, Request, ServiceReplica,
+                         ServiceWorkload, Slo, percentile)
+from repro.units import mib
+from repro.world import World
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))          # 1..100
+        assert percentile(values, 50.0) == 50
+        assert percentile(values, 95.0) == 95
+        assert percentile(values, 99.0) == 99
+        assert percentile(values, 100.0) == 100
+
+    def test_small_samples(self):
+        assert percentile([7.0], 99.0) == 7.0
+        assert percentile([3.0, 1.0], 50.0) == 1.0
+        assert percentile([3.0, 1.0], 99.0) == 3.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ServeError):
+            percentile([], 50.0)
+        with pytest.raises(ServeError):
+            percentile([1.0], 0.0)
+        with pytest.raises(ServeError):
+            percentile([1.0], 101.0)
+
+
+class TestLatencyRecorder:
+    def test_windowed_summary(self):
+        rec = LatencyRecorder()
+        for i in range(10):
+            rec.record(float(i), 0.1 * (i + 1))
+        assert len(rec) == 10
+        assert rec.summary().count == 10
+        # [5, 10): latencies 0.6..1.0
+        win = rec.summary(5.0, 10.0)
+        assert win.count == 5
+        assert win.p50 == pytest.approx(0.8)
+        assert rec.percentile_since(8.0, 99.0) == pytest.approx(1.0)
+        assert rec.percentile_since(99.0, 99.0) is None
+
+    def test_empty_summary(self):
+        assert LatencyRecorder().summary() == LatencySummary.empty()
+
+    def test_rejects_disorder_and_negatives(self):
+        rec = LatencyRecorder()
+        rec.record(1.0, 0.5)
+        with pytest.raises(ServeError):
+            rec.record(0.5, 0.1)
+        with pytest.raises(ServeError):
+            rec.record(2.0, -0.1)
+
+
+class TestSlo:
+    def test_burn_rate(self):
+        rec = LatencyRecorder()
+        slo = Slo(target=0.2, percentile=99.0, window=5.0)
+        assert slo.burn_rate(rec, now=10.0) == 0.0   # empty window
+        rec.record(9.0, 0.4)
+        assert slo.burn_rate(rec, now=10.0) == pytest.approx(2.0)
+        # Sample ages out of the trailing window.
+        assert slo.burn_rate(rec, now=20.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            Slo(target=0.0)
+        with pytest.raises(ServeError):
+            Slo(target=0.1, percentile=0.0)
+        with pytest.raises(ServeError):
+            Slo(target=0.1, window=0.0)
+
+
+class TestPhase:
+    def test_schedule_shapes(self):
+        ramp = Phase.ramp(10.0, 10.0, 30.0)
+        assert ramp.rate_at(0.0) == 10.0
+        assert ramp.rate_at(5.0) == pytest.approx(20.0)
+        assert ramp.rate_at(10.0) == 30.0
+        spike = Phase.spike(5.0, 10.0, multiplier=4.0)
+        assert spike.rate_at(2.0) == 40.0
+        wave = Phase.wave(60.0, 10.0, amplitude=0.5, period=60.0)
+        assert wave.rate_at(15.0) == pytest.approx(15.0)   # sin peak
+        assert wave.rate_at(45.0) == pytest.approx(5.0)    # sin trough
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            Phase.steady(0.0, 10.0)
+        with pytest.raises(ServeError):
+            Phase.steady(5.0, -1.0)
+        with pytest.raises(ServeError):
+            Phase.spike(5.0, 10.0, multiplier=0.0)
+        with pytest.raises(ServeError):
+            Phase.wave(5.0, 10.0, amplitude=1.5)
+
+
+class TestServiceWorkload:
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            ServiceWorkload(name="")
+        with pytest.raises(ServeError):
+            ServiceWorkload(name="x", mean_demand=0.0)
+        with pytest.raises(ServeError):
+            ServiceWorkload(name="x", demand_cv=-0.1)
+        with pytest.raises(ServeError):
+            ServiceWorkload(name="x", workers_per_replica=0)
+        with pytest.raises(ServeError):
+            ServiceWorkload(name="x", resident_memory=-1)
+
+
+def _replica(world, name="svc", **kwargs):
+    workload = ServiceWorkload(name=name, **kwargs)
+    container = world.containers.create(ContainerSpec(name))
+    replica = ServiceReplica(container, workload, LatencyRecorder())
+    replica.start()
+    return replica
+
+
+class TestServiceReplica:
+    def test_serves_and_records_latency(self):
+        world = World(ncpus=4, seed=0)
+        replica = _replica(world, workers_per_replica=2, mean_demand=0.5)
+        replica.submit(Request(1, arrival=world.now, demand=0.5))
+        assert replica.outstanding == 1 and replica.queue_depth == 0
+        world.run(until=2.0)
+        assert replica.completed == 1
+        # Uncontended on 4 cpus: service time == demand.
+        assert replica.recorder.latencies == [pytest.approx(0.5)]
+
+    def test_queues_beyond_worker_pool(self):
+        world = World(ncpus=4, seed=0)
+        replica = _replica(world, workers_per_replica=2, mean_demand=0.5)
+        for rid in range(4):
+            replica.submit(Request(rid, arrival=world.now, demand=0.5))
+        assert replica.queue_depth == 2 and replica.outstanding == 4
+        world.run(until=5.0)
+        assert replica.completed == 4 and replica.outstanding == 0
+
+    def test_rss_charged_and_released(self):
+        world = World(ncpus=4, seed=0)
+        replica = _replica(world, resident_memory=mib(128))
+        assert replica.container.cgroup.memory.resident == mib(128)
+        replica.stop()
+        assert replica.container.cgroup.memory.resident == 0
+
+    def test_submit_before_start_rejected(self):
+        world = World(ncpus=4, seed=0)
+        workload = ServiceWorkload(name="cold")
+        container = world.containers.create(ContainerSpec("cold"))
+        replica = ServiceReplica(container, workload, LatencyRecorder())
+        with pytest.raises(ServeError):
+            replica.submit(Request(1, arrival=0.0, demand=0.1))
+
+
+def _service(world, n_replicas, *, shed_at=None, **workload_kwargs):
+    workload = ServiceWorkload(name="svc", **workload_kwargs)
+    recorder = LatencyRecorder()
+    replicas = []
+    for i in range(n_replicas):
+        c = world.containers.create(ContainerSpec(f"svc-{i}"))
+        r = ServiceReplica(c, workload, recorder)
+        r.start()
+        replicas.append(r)
+    return replicas, Balancer(replicas, shed_at=shed_at), recorder
+
+
+class TestBalancer:
+    def test_least_outstanding_routing(self):
+        world = World(ncpus=8, seed=0)
+        replicas, balancer, _ = _service(world, 2, workers_per_replica=1)
+        for rid in range(4):
+            assert balancer.dispatch(Request(rid, arrival=world.now, demand=1.0))
+        # Round-robin-like spread: 2 outstanding per replica.
+        assert [r.outstanding for r in replicas] == [2, 2]
+        assert balancer.dispatched == 4
+
+    def test_sheds_at_configured_queue_depth(self):
+        world = World(ncpus=8, seed=0)
+        shed_at = 3
+        replicas, balancer, _ = _service(
+            world, 2, shed_at=shed_at, workers_per_replica=1)
+        accepted = sum(
+            balancer.dispatch(Request(rid, arrival=world.now, demand=1.0))
+            for rid in range(20))
+        # Each replica holds 1 in service + shed_at queued, then drops.
+        assert accepted == 2 * (1 + shed_at)
+        assert balancer.shed == 20 - accepted
+        assert all(r.queue_depth == shed_at for r in replicas)
+        # Accepted work still completes.
+        world.run(until=30.0)
+        assert balancer.completed == accepted
+        assert balancer.outstanding == 0
+
+    def test_needs_replicas(self):
+        with pytest.raises(ServeError):
+            Balancer([])
+
+
+class TestLoadGenerator:
+    def test_open_loop_poisson_rate(self):
+        world = World(ncpus=4, seed=0)
+        workload = ServiceWorkload(name="svc")
+        seen = []
+        gen = LoadGenerator(world, workload, [Phase.steady(50.0, 20.0)],
+                            seen.append)
+        gen.start()
+        world.run(until=60.0)
+        assert gen.done
+        assert gen.generated == len(seen)
+        # ~1000 expected arrivals; Poisson 5-sigma band.
+        assert 800 < gen.generated < 1200
+        arrivals = [r.arrival for r in seen]
+        assert arrivals == sorted(arrivals)
+        assert all(r.demand == workload.mean_demand for r in seen)
+
+    def test_same_seed_same_stream_p99_identical(self):
+        def run_once(seed):
+            world = World(ncpus=8, seed=seed)
+            _, balancer, recorder = _service(
+                world, 2, mean_demand=0.02, demand_cv=0.5,
+                workers_per_replica=2)
+            workload = balancer.replicas[0].workload
+            gen = LoadGenerator(world, workload,
+                                [Phase.steady(5.0, 30.0),
+                                 Phase.spike(5.0, 30.0, multiplier=3.0)],
+                                balancer.dispatch)
+            gen.start()
+            world.run(until=15.0)
+            return recorder.summary()
+
+        first, second, other = run_once(0), run_once(0), run_once(1)
+        assert first == second                     # bit-identical summaries
+        assert first.count > 100
+        assert first != other                      # the seed actually matters
+
+    def test_rate_at_walks_phases(self):
+        world = World(ncpus=4, seed=0)
+        workload = ServiceWorkload(name="svc")
+        gen = LoadGenerator(world, workload,
+                            [Phase.steady(10.0, 5.0),
+                             Phase.spike(5.0, 5.0, multiplier=4.0)],
+                            lambda r: None)
+        assert gen.total_duration == 15.0
+        assert gen.rate_at(3.0) == 5.0
+        assert gen.rate_at(12.0) == 20.0
+        assert gen.rate_at(99.0) == 0.0
+
+    def test_needs_phases(self):
+        world = World(ncpus=4, seed=0)
+        with pytest.raises(ServeError):
+            LoadGenerator(world, ServiceWorkload(name="svc"), [], lambda r: None)

@@ -27,8 +27,10 @@ from repro.errors import (ContainerError, JvmError, OpenMpError, OutOfMemoryErro
 from repro.kernel import CpuSet, Sysconf
 from repro.kernel.mm import MmParams
 from repro.kernel.sched import SchedParams
-from repro.metrics import MetricsRecorder, Series
-from repro.tracelog import TraceEvent, TraceLog
+from repro.metrics import Histogram, MetricsRecorder, Series
+from repro.obs import (CgroupPressure, PressureStall, jsonl_export,
+                       jsonl_import, prometheus_text)
+from repro.tracelog import TraceEvent, TraceLog, TraceSpan
 from repro.units import GiB, KiB, MiB, gib, kib, mib
 from repro.world import World
 
@@ -37,8 +39,10 @@ __version__ = "1.0.0"
 __all__ = [
     "World",
     "Container", "ContainerRuntime", "ContainerSpec", "ContainerState",
-    "deploy_fleet", "parse_size", "MetricsRecorder", "Series",
-    "TraceEvent", "TraceLog",
+    "deploy_fleet", "parse_size", "MetricsRecorder", "Series", "Histogram",
+    "TraceEvent", "TraceLog", "TraceSpan",
+    "PressureStall", "CgroupPressure",
+    "prometheus_text", "jsonl_export", "jsonl_import",
     "CpuBounds", "CpuViewParams", "MemorySample", "MemViewParams",
     "NsMonitor", "ResourceView", "SysNamespace",
     "ReproError", "ContainerError", "JvmError", "OpenMpError",

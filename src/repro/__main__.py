@@ -7,6 +7,7 @@ Subcommands::
     python -m repro run [EXPERIMENTS]    # forwards to repro.harness.run_all
     python -m repro demo                 # the quickstart scenario
     python -m repro serve                # the SLO-autoscaling comparison
+    python -m repro obs                  # observability demo + exporters
 """
 
 from __future__ import annotations
@@ -71,6 +72,46 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    from repro.errors import ReproError
+    from repro.obs import jsonl_export, jsonl_import, prometheus_text
+    from repro.obs.demo import run_demo
+
+    telemetry = run_demo(args.seed, quick=args.quick)
+    world = telemetry.world
+
+    jsonl = jsonl_export(telemetry.recorder, histograms=telemetry.histograms,
+                         tracelog=world.trace, world=world)
+    # Round-trip self-check: reload must reproduce the dump byte for
+    # byte, so a broken exporter fails the CI smoke run loudly.
+    if jsonl_import(jsonl).to_jsonl() != jsonl:
+        raise ReproError("obs self-check failed: JSONL did not round-trip")
+
+    throttled = world.cgroupfs.read(
+        "/sys/fs/cgroup/cpu/docker/throttled/cpu.pressure")
+    if "some avg10=" not in throttled:
+        raise ReproError("obs self-check failed: malformed cpu.pressure")
+
+    if args.format == "jsonl":
+        text = jsonl
+    else:
+        text = prometheus_text(telemetry.recorder,
+                               histograms=telemetry.histograms,
+                               tracelog=world.trace, world=world)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {len(text.splitlines())} lines to {args.output}")
+    else:
+        print(text, end="")
+        if args.format == "prometheus":
+            print()
+            print("# throttled container cpu.pressure:")
+            for line in throttled.splitlines():
+                print(f"#   {line}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command")
@@ -86,9 +127,19 @@ def main(argv: list[str] | None = None) -> int:
     serve_p.add_argument("--quick", action="store_true",
                          help="scaled-down scenario for a fast smoke run")
     serve_p.add_argument("--seed", type=int, default=0)
+    obs_p = sub.add_parser(
+        "obs", help="observability demo: pressure, histograms, exporters")
+    obs_p.add_argument("--quick", action="store_true",
+                       help="short run + self-checks (the CI smoke path)")
+    obs_p.add_argument("--seed", type=int, default=0)
+    obs_p.add_argument("--format", choices=("prometheus", "jsonl"),
+                       default="prometheus")
+    obs_p.add_argument("--output", type=str, default=None,
+                       help="write the export to a file instead of stdout")
     args = parser.parse_args(argv)
     handlers = {"info": _cmd_info, "census": _cmd_census,
-                "run": _cmd_run, "demo": _cmd_demo, "serve": _cmd_serve}
+                "run": _cmd_run, "demo": _cmd_demo, "serve": _cmd_serve,
+                "obs": _cmd_obs}
     if args.command is None:
         parser.print_help()
         return 2

@@ -43,6 +43,8 @@ class Container:
         self.state = ContainerState.RUNNING
         self.threads: list[SimThread] = []
         self.started_at = world.clock.now
+        #: Lifetime span id, owned by the runtime (0 when tracing is off).
+        self.life_span = 0
 
     @property
     def name(self) -> str:

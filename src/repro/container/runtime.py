@@ -85,6 +85,8 @@ class ContainerRuntime:
         world.trace.emit("container.create", spec.name,
                          shares=spec.cpu_shares, cpus=spec.cpus,
                          cpuset=spec.cpuset, memory_limit=spec.memory_limit)
+        container.life_span = world.trace.begin_span(
+            "container.lifetime", spec.name, shares=spec.cpu_shares)
         return container
 
     def destroy(self, container: Container) -> None:
@@ -105,6 +107,7 @@ class ContainerRuntime:
         world.mm.rebalance()
         del self.containers[container.name]
         world.trace.emit("container.destroy", container.name)
+        world.trace.end_span(container.life_span)
 
     def get(self, name: str) -> Container:
         try:

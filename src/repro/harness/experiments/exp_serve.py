@@ -9,6 +9,10 @@ request sequence):
 * ``adaptive``     — the SLO-driven vertical autoscaler, reading each
   container's ``sys_namespace`` view plus serving signals and rescaling
   cgroup quotas; ``ns_monitor`` folds every change back into all views.
+* ``adaptive-psi`` — the same autoscaler with PSI cpu pressure enabled
+  as an extra capacity-bound signal (``use_pressure=True``): stall
+  time, not just utilization/queueing, unlocks the burn-rate trigger.
+  The ablation for the obs layer's pressure accounting.
 * ``static-equal`` — a fixed quota equal to the *time-averaged* cores
   the adaptive run reserved (the equal-budget baseline).
 * ``static-peak``  — a fixed quota equal to the adaptive run's *peak*
@@ -26,7 +30,7 @@ from dataclasses import dataclass
 
 from repro.container.spec import ContainerSpec
 from repro.harness.results import ExperimentResult, ResultTable
-from repro.metrics import MetricsRecorder
+from repro.metrics import Histogram, MetricsRecorder
 from repro.serve import autoscaler as vertical
 from repro.serve.balancer import Balancer
 from repro.serve.latency import LatencyRecorder
@@ -83,7 +87,7 @@ class RunStats:
     generated: int
     completed: int
     shed: int
-    latencies: list[float]
+    hist: Histogram                  # streaming latency distribution
     p50: float
     p95: float
     p99: float
@@ -93,6 +97,7 @@ class RunStats:
     reserved_peak: float
     metrics: dict[str, dict[str, float]]
     cores_trace: list[tuple[float, float]]   # adaptive only, else []
+    pressure_avg10: float = 0.0      # worst replica cpu some-stall at end
 
 
 def _workload(params: ServeParams) -> ServiceWorkload:
@@ -110,10 +115,13 @@ def _phases(params: ServeParams) -> list[Phase]:
             Phase.steady(params.cool, params.base_rate)]
 
 
-def run_one(params: ServeParams, *, static_cores: float | None) -> RunStats:
+def run_one(params: ServeParams, *, static_cores: float | None,
+            use_pressure: bool = False) -> RunStats:
     """One full scenario; ``static_cores=None`` runs the autoscaler.
 
     ``static_cores`` is the *total* quota, split evenly over replicas.
+    ``use_pressure`` lets the autoscaler treat PSI cpu stall as
+    capacity-bound evidence (the obs-layer ablation).
     """
     world = World(ncpus=params.ncpus, seed=params.seed)
     workload = _workload(params)
@@ -146,7 +154,7 @@ def run_one(params: ServeParams, *, static_cores: float | None) -> RunStats:
         scaler = vertical.Autoscaler(world, vertical.AutoscalerParams(
             period=params.autoscale_period, min_cores=params.min_cores,
             max_cores=params.max_cores, host_reserve=params.host_reserve,
-            queue_high=params.queue_high))
+            queue_high=params.queue_high, use_pressure=use_pressure))
         slo = Slo(target=params.slo_target, percentile=99.0,
                   window=max(2.0, 3 * params.autoscale_period))
         service = scaler.manage(workload.name, replicas, balancer, recorder,
@@ -181,14 +189,16 @@ def run_one(params: ServeParams, *, static_cores: float | None) -> RunStats:
         generated=loadgen.generated,
         completed=balancer.completed,
         shed=balancer.shed,
-        latencies=recorder.latencies,
+        hist=recorder.hist,
         p50=summary.p50, p95=summary.p95, p99=summary.p99,
         spike_p99=spike.p99 if spike.count else summary.p99,
         mean_latency=summary.mean,
         reserved_avg=reserved_avg,
         reserved_peak=reserved_peak,
         metrics=metrics.summary(),
-        cores_trace=trace)
+        cores_trace=trace,
+        pressure_avg10=max(c.cgroup.pressure.cpu.avg("some", 10.0)
+                           for c in containers))
 
 
 def run(params: ServeParams | None = None) -> ExperimentResult:
@@ -199,6 +209,8 @@ def run(params: ServeParams | None = None) -> ExperimentResult:
                     "under a load spike")
 
     adaptive = run_one(params, static_cores=None)
+    psi = run_one(params, static_cores=None, use_pressure=True)
+    psi.mode = "adaptive-psi"
     equal = run_one(params, static_cores=adaptive.reserved_avg)
     equal.mode = "static-equal"
     peak = run_one(params, static_cores=adaptive.reserved_peak)
@@ -209,7 +221,7 @@ def run(params: ServeParams | None = None) -> ExperimentResult:
         ["mode", "generated", "completed", "shed", "p50", "p95", "p99",
          "spike_p99", "mean_latency", "reserved_avg_cores",
          "reserved_peak_cores"]))
-    for stats in (adaptive, equal, peak):
+    for stats in (adaptive, psi, equal, peak):
         lat.add(mode=stats.mode, generated=stats.generated,
                 completed=stats.completed, shed=stats.shed,
                 p50=stats.p50, p95=stats.p95, p99=stats.p99,
@@ -227,13 +239,23 @@ def run(params: ServeParams | None = None) -> ExperimentResult:
     mtab = result.add_table("metrics", ResultTable(
         "Per-container metrics (MetricsRecorder summaries)",
         ["mode", "container", "cpu_rate_mean", "e_cpu_mean", "quota_max"]))
-    for stats in (adaptive, equal, peak):
+    for stats in (adaptive, psi, equal, peak):
         for i in range(params.replicas):
             name = f"frontend-{i}"
             mtab.add(mode=stats.mode, container=name,
                      cpu_rate_mean=stats.metrics[f"{name}.cpu_rate"]["mean"],
                      e_cpu_mean=stats.metrics[f"{name}.e_cpu"]["mean"],
                      quota_max=stats.metrics[f"{name}.quota_cores"]["max"])
+
+    psi_tab = result.add_table("pressure_ablation", ResultTable(
+        "PSI signal ablation (cpu some-stall as capacity-bound evidence)",
+        ["mode", "p99", "spike_p99", "reserved_avg_cores",
+         "end_pressure_avg10"]))
+    for stats in (adaptive, psi):
+        psi_tab.add(mode=stats.mode, p99=stats.p99,
+                    spike_p99=stats.spike_p99,
+                    reserved_avg_cores=stats.reserved_avg,
+                    end_pressure_avg10=stats.pressure_avg10)
 
     result.note(
         f"headline: adaptive p99 {adaptive.p99:.3f}s vs static-equal "

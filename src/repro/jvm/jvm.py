@@ -162,6 +162,7 @@ class Jvm:
         self._phase_started_at = 0.0
         self._last_gc_end = 0.0
         self._gc_started_at = 0.0
+        self._gc_span = 0
         self._pending_promote: int | None = None
         self._promotion_retries = 0
         self._shrink_gc_requested = False
@@ -341,6 +342,8 @@ class Jvm:
         self.stats.minor_gcs += 1
         self.stats.gc_thread_history.append((now, n_gc))
         self._gc_started_at = now
+        self._gc_span = self.world.trace.begin_span(
+            "jvm.gc", f"{self.name} minor GC", team=n_gc)
         surviving = self._surviving_bytes(heap.eden_used)
         work = minor_gc_work(heap.eden_used, surviving, self.cost_model)
         work *= gc_work_inflation(n_gc, self._gc_cores_available(), self.cost_model,
@@ -368,6 +371,7 @@ class Jvm:
         self.world.trace.emit("jvm.gc", f"{self.name} minor GC",
                               wall=round(gc_wall, 6), surviving=surviving,
                               team=self.stats.gc_thread_history[-1][1])
+        self.world.trace.end_span(self._gc_span, surviving=surviving)
 
         # Scavenge: eden empties; survivors either stay in survivor space
         # or are promoted (tenuring + overflow).
@@ -404,6 +408,8 @@ class Jvm:
         self.stats.major_gcs += 1
         self.stats.gc_thread_history.append((now, n_gc))
         self._gc_started_at = now
+        self._gc_span = self.world.trace.begin_span(
+            "jvm.gc", f"{self.name} major GC", team=n_gc)
         work = major_gc_work(heap.old_used, self.cost_model)
         work *= gc_work_inflation(n_gc, self._gc_cores_available(), self.cost_model,
                                   domain_pressure=self._gc_domain_pressure())
@@ -423,6 +429,8 @@ class Jvm:
                               wall=round(gc_wall, 6),
                               reclaimed=heap.old_used - heap.old_live,
                               team=self.stats.gc_thread_history[-1][1])
+        self.world.trace.end_span(self._gc_span,
+                                  reclaimed=heap.old_used - heap.old_live)
 
         # A full collection leaves only live data in the old generation.
         heap.old_used = heap.old_live

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.errors import CgroupError
 from repro.kernel.cpu import CpuSet, HostCpus
+from repro.obs.pressure import CgroupPressure
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.task import SimThread, ThreadState
@@ -156,6 +157,14 @@ class Cgroup:
         #: Integral of demand the CFS quota clipped (core-seconds): the
         #: fluid analogue of cpu.stat's throttled_time.
         self.throttled_time = 0.0
+        #: Wall seconds spent with the quota actively clipping demand;
+        #: cpu.stat derives nr_throttled from this at the configured
+        #: period (every period inside a throttled stretch counts).
+        self.throttled_wall = 0.0
+        #: PSI-style stall accounting (cpu/memory some+full).  On the
+        #: root cgroup this holds the *host-wide* pressure, mirroring
+        #: how /proc/pressure reads the root group in Linux.
+        self.pressure = CgroupPressure()
 
     # -- hierarchy ---------------------------------------------------------
 

@@ -78,6 +78,9 @@ class MemoryManager:
         #: The world installs its TraceLog here (mm has no clock of its
         #: own, so timestamps are the sink's job).
         self.event_hook = None
+        #: Optional TraceLog for reclaim-episode spans (set by the world).
+        self.trace = None
+        self._reclaim_span = 0
         #: True while kswapd is actively reclaiming (Algorithm 2 resets
         #: effective memory to the soft limit in that state).
         self.reclaiming = False
@@ -176,7 +179,7 @@ class MemoryManager:
             return
         # Background reclaim: bring free memory back up to high.
         self.kswapd_runs += 1
-        self.reclaiming = True
+        self._set_reclaiming(True)
         target = (wm.high + need) - self.free
         plan = plan_background_reclaim(self._all_groups(), target)
         if self.event_hook:
@@ -200,7 +203,29 @@ class MemoryManager:
             for victim, take in plan:
                 self._swap_out(victim, take)
         if self.free >= wm.high:
-            self.reclaiming = False
+            self._set_reclaiming(False)
+
+    def _set_reclaiming(self, active: bool) -> None:
+        """Flip the kswapd-active flag, spanning each reclaim episode.
+
+        An episode runs from the first charge that dips below the low
+        watermark until free memory recovers to high — possibly across
+        many charges and swap-ins — so its span duration is the length
+        of the pressured stretch, not of one reclaim pass.
+        """
+        if active == self.reclaiming:
+            return
+        self.reclaiming = active
+        if self.trace is None:
+            return
+        if active:
+            self._reclaim_span = self.trace.begin_span(
+                "mm.reclaim", "reclaim episode", free=self.free)
+        else:
+            self.trace.end_span(self._reclaim_span, free=self.free,
+                                kswapd_runs=self.kswapd_runs,
+                                direct_reclaims=self.direct_reclaims)
+            self._reclaim_span = 0
 
     def _swap_out(self, cg: Cgroup, nbytes: int) -> int:
         """Move up to ``nbytes`` of ``cg``'s resident memory to swap."""
@@ -246,7 +271,7 @@ class MemoryManager:
             want = min(mem.swapped, headroom)
             self._swap_in(cg, want)
         if self.free >= wm.high:
-            self.reclaiming = False
+            self._set_reclaiming(False)
 
     # -- pressure propagation -----------------------------------------------------
 

@@ -259,23 +259,72 @@ class FairScheduler:
         idle = self.idle_capacity()
         self.total_idle_time += idle * dt
         self.window_idle += idle * dt
+        total_demand = 0.0
+        busy = set()
         for g in self._snapshot:
             cg = g.cgroup
             used = g.rate * dt
             cg.total_cpu_time += used
             cg.window_usage += used
+            demand = min(float(g.n_threads), float(len(cg.effective_cpuset())))
+            total_demand += demand
             # Throttling: demand the quota clipped (the fluid analogue of
             # cpu.stat's throttled_time).
             quota = cg.quota_cores
             if quota != float("inf"):
-                demand = min(float(g.n_threads),
-                             float(len(cg.effective_cpuset())))
                 clipped = max(0.0, demand - quota)
                 if clipped > 0.0 and g.rate >= quota - 1e-9:
                     cg.throttled_time += clipped * dt
+                    cg.throttled_wall += dt
+            self._accrue_pressure(g, cg, demand, dt, busy)
             occupancy = g.per_thread_occupancy
             for t in list(cg.runnable_threads):
                 t.advance(dt, occupancy)
+        self._accrue_idle_and_host_pressure(dt, total_demand, busy)
+
+    # -- PSI-style pressure accrual ----------------------------------------
+
+    def _accrue_pressure(self, g: GroupAlloc, cg: Cgroup, demand: float,
+                         dt: float, busy: set[int]) -> None:
+        """Stall accounting for one snapshot group over ``dt`` seconds.
+
+        CPU ``some`` is the unmet share of the group's runnable demand
+        (quota throttling, share contention, cpuset limits alike); CPU
+        ``full`` is a group with runnable threads making zero progress.
+        Memory stall is the swap/reclaim slowdown: the fluid model slows
+        every thread of a pressured group uniformly, so some == full —
+        "all non-idle tasks stalled" exactly as much as "some task".
+        """
+        busy.add(id(cg))
+        if cg.parent is None:
+            return  # the root carries host-wide pressure, accrued below
+        some = max(0.0, demand - g.rate) / demand if demand > 0 else 0.0
+        full = 1.0 if (g.n_threads > 0 and g.rate <= self.params.eps) else 0.0
+        cg.pressure.cpu.advance(dt, some, full)
+        mem_frac = max(0.0, 1.0 - cg.progress_multiplier)
+        cg.pressure.memory.advance(dt, mem_frac, mem_frac)
+
+    def _accrue_idle_and_host_pressure(self, dt: float, total_demand: float,
+                                       busy: set[int]) -> None:
+        """Decay idle groups and accrue host-wide pressure into the root."""
+        mem_some = 0.0
+        mem_full = 1.0 if self._snapshot else 0.0
+        for g in self._snapshot:
+            frac = max(0.0, 1.0 - g.cgroup.progress_multiplier)
+            mem_some = max(mem_some, frac)
+            mem_full = min(mem_full, frac)
+        for cg in self.cgroups.walk():
+            if cg.parent is None:
+                allocated = self.total_allocated()
+                some = (max(0.0, total_demand - allocated) / total_demand
+                        if total_demand > 0 else 0.0)
+                full = 1.0 if (total_demand > 0
+                               and allocated <= self.params.eps) else 0.0
+                cg.pressure.cpu.advance(dt, some, full)
+                cg.pressure.memory.advance(dt, mem_some, mem_full)
+            elif id(cg) not in busy:
+                cg.pressure.cpu.advance(dt, 0.0, 0.0)
+                cg.pressure.memory.advance(dt, 0.0, 0.0)
 
     def next_completion(self) -> float:
         """Seconds until the earliest runnable segment completes (inf if none)."""

@@ -9,6 +9,8 @@ testbed run.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
@@ -17,7 +19,7 @@ from repro.errors import ReproError
 if TYPE_CHECKING:  # pragma: no cover
     from repro.world import World
 
-__all__ = ["Series", "MetricsRecorder"]
+__all__ = ["Series", "Histogram", "MetricsRecorder"]
 
 
 @dataclass
@@ -66,6 +68,132 @@ class Series:
             total += self.values[i] * (self.times[i + 1] - self.times[i])
         return total / span
 
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the sample values."""
+        if not self.values:
+            raise ReproError(f"series {self.name!r} is empty")
+        # serve.latency owns the canonical nearest-rank implementation;
+        # imported lazily because serve sits above metrics in the stack.
+        from repro.serve.latency import percentile
+        return percentile(self.values, q)
+
+
+class Histogram:
+    """Fixed log-spaced-bucket histogram (an HdrHistogram-lite).
+
+    Buckets are ``per_decade`` geometrically-spaced upper bounds from
+    ``lo`` to at least ``hi``, plus an underflow bucket ``(0, lo]``
+    (bounds[0]) and an overflow bucket above the last bound.  Because
+    the bucket layout is fixed at construction, merging, exporting, and
+    comparing histograms across runs is exact, and memory stays O(1)
+    however many samples stream in — unlike keeping raw sample lists.
+
+    Quantiles are deterministic nearest-rank over bucket upper bounds
+    (clamped to the observed max), so same-seed runs export identical
+    values.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str, *, lo: float = 1e-4, hi: float = 1e3,
+                 per_decade: int = 5):
+        if lo <= 0 or hi <= lo:
+            raise ReproError(f"need 0 < lo < hi, got [{lo}, {hi}]")
+        if per_decade < 1:
+            raise ReproError(f"per_decade must be >= 1, got {per_decade}")
+        self.name = name
+        n = math.ceil(math.log10(hi / lo) * per_decade)
+        self.bounds = [lo * 10.0 ** (i / per_decade) for i in range(n + 1)]
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ReproError(f"histogram {self.name!r}: negative value {value}")
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (self.bounds == other.bounds and self.counts == other.counts
+                and self.total == other.total and self.vmin == other.vmin
+                and self.vmax == other.vmax)
+
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ReproError(f"histogram {self.name!r} is empty")
+        return self.total / self.count
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile, reported as the bucket's upper bound."""
+        if self.count == 0:
+            raise ReproError(f"histogram {self.name!r} is empty")
+        if not 0.0 < q <= 100.0:
+            raise ReproError(f"quantile must be in (0, 100], got {q}")
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                bound = self.bounds[i] if i < len(self.bounds) else self.vmax
+                return min(bound, self.vmax)
+        raise AssertionError("unreachable: rank <= count")  # pragma: no cover
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram with the same bucket layout into this."""
+        if self.bounds != other.bounds:
+            raise ReproError(
+                f"cannot merge histograms with different bucket layouts "
+                f"({self.name!r}, {other.name!r})")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+
+    def nonzero_buckets(self) -> list[tuple[float, int]]:
+        """(upper_bound, count) for occupied buckets (inf = overflow)."""
+        out = []
+        for i, n in enumerate(self.counts):
+            if n:
+                bound = self.bounds[i] if i < len(self.bounds) else math.inf
+                out.append((bound, n))
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot; inverse of :meth:`from_dict`."""
+        return {"name": self.name, "bounds": list(self.bounds),
+                "counts": list(self.counts), "count": self.count,
+                "total": self.total,
+                "min": self.vmin if self.count else None,
+                "max": self.vmax if self.count else None}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        hist = cls.__new__(cls)
+        hist.name = data["name"]
+        hist.bounds = list(data["bounds"])
+        hist.counts = list(data["counts"])
+        hist.count = int(data["count"])
+        hist.total = float(data["total"])
+        hist.vmin = math.inf if data["min"] is None else float(data["min"])
+        hist.vmax = -math.inf if data["max"] is None else float(data["max"])
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name!r} n={self.count}>"
+
 
 class MetricsRecorder:
     """Samples registered probes on a fixed period.
@@ -91,11 +219,25 @@ class MetricsRecorder:
     def add_probe(self, name: str, fn: Callable[[], float]) -> None:
         if name in self._probes:
             raise ReproError(f"probe {name!r} already registered")
+        if name in self._series:
+            # A frozen series from an earlier watch/probe: clobbering it
+            # here would silently discard recorded data.
+            raise ReproError(
+                f"series {name!r} already exists (frozen by an earlier "
+                f"unwatch?); use watch_container(..., resume=True) to "
+                f"append to it")
         self._probes[name] = fn
         self._series[name] = Series(name=name, times=[], values=[])
 
-    def watch_container(self, container) -> None:
-        """Attach the standard per-container probes."""
+    def watch_container(self, container, *, resume: bool = False) -> None:
+        """Attach the standard per-container probes.
+
+        Re-watching a name that was previously watched and unwatched
+        raises unless ``resume=True``, in which case sampling appends to
+        the frozen series (with a gap over the unwatched stretch) — the
+        churn-safe semantics for containers that restart under the same
+        name.
+        """
         name = container.name
         if name in self._watched:
             raise ReproError(f"container {name!r} already watched")
@@ -109,7 +251,12 @@ class MetricsRecorder:
             f"{name}.runnable": lambda: float(cg.n_runnable()),
         }
         for probe_name, fn in probes.items():
-            self.add_probe(probe_name, fn)
+            if resume and probe_name in self._series:
+                if probe_name in self._probes:
+                    raise ReproError(f"probe {probe_name!r} already registered")
+                self._probes[probe_name] = fn
+            else:
+                self.add_probe(probe_name, fn)
         self._watched[name] = list(probes)
 
     def unwatch_container(self, name: str) -> None:
@@ -172,11 +319,12 @@ class MetricsRecorder:
         return sorted(self._series)
 
     def summary(self) -> dict[str, dict[str, float]]:
-        """min/mean/max/last for every non-empty series."""
+        """min/mean/p50/p99/max/last for every non-empty series."""
         out = {}
         for name, s in sorted(self._series.items()):
             if len(s) == 0:
                 continue
             out[name] = {"min": s.minimum(), "mean": s.mean(),
+                         "p50": s.percentile(50.0), "p99": s.percentile(99.0),
                          "max": s.maximum(), "last": s.last}
         return out

@@ -1,0 +1,24 @@
+"""Observability layer: pressure accounting, exporters, demo scenario.
+
+``repro.obs`` sits beside the kernel rather than above it: the
+scheduler and memory manager accrue PSI-style stall time into
+:class:`~repro.obs.pressure.CgroupPressure` objects hanging off every
+cgroup, ``CgroupFs`` renders them as Linux-format ``cpu.pressure`` /
+``memory.pressure`` files, and the exporters here turn a run's
+telemetry (recorder series, histograms, trace events/spans, pressure)
+into Prometheus text or round-trippable JSONL.
+"""
+
+from repro.obs.export import (TelemetryDump, jsonl_export, jsonl_import,
+                              prometheus_text)
+from repro.obs.pressure import PSI_WINDOWS, CgroupPressure, PressureStall
+
+__all__ = [
+    "PSI_WINDOWS",
+    "PressureStall",
+    "CgroupPressure",
+    "prometheus_text",
+    "jsonl_export",
+    "jsonl_import",
+    "TelemetryDump",
+]

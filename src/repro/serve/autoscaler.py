@@ -59,6 +59,15 @@ class AutoscalerParams:
     step_down: float = 0.5       # max additive scale-down, cores per tick
     util_target: float = 0.65    # utilization the scale-down law converges to
     util_high: float = 0.85      # burn only counts when this capacity-bound
+    #: Accept PSI cpu pressure (avg10 some-stall fraction above
+    #: ``pressure_high``) as capacity-bound evidence alongside
+    #: utilization and queueing.  Stall time is the signal utilization
+    #: cannot fake: a replica at 60% utilization that still accumulates
+    #: stall is quota-throttled at its bursts, exactly the case
+    #: "CPU-limits kill performance" documents.  Off by default;
+    #: ablated in exp_serve.
+    use_pressure: bool = False
+    pressure_high: float = 0.10  # avg10 some-stall fraction threshold
     manage_memory: bool = True
     mem_headroom: float = 1.5    # memory limit = headroom * resident
     mem_floor: int = 64 * 1024 * 1024
@@ -80,6 +89,9 @@ class AutoscalerParams:
             raise ServeError(
                 f"mem_headroom must be >= 1.1 (limits below usage OOM), "
                 f"got {self.mem_headroom}")
+        if not 0.0 < self.pressure_high <= 1.0:
+            raise ServeError(
+                f"pressure_high must be in (0, 1], got {self.pressure_high}")
 
 
 @dataclass
@@ -96,6 +108,8 @@ class ManagedService:
     #: Window bookmark for usage accounting (cpu.stat analogue).
     last_cpu_time: float = 0.0
     last_usage: float = 0.0              # cores consumed over the last tick
+    #: Open "autoscaler.episode" span id while capacity is elevated.
+    scale_span: int = 0
 
     @property
     def containers(self) -> list["Container"]:
@@ -167,6 +181,11 @@ class Autoscaler:
             self._timer.cancel()
             self._timer = None
         self._accrue()
+        for service in self.services.values():
+            if service.scale_span:
+                self.world.trace.end_span(service.scale_span,
+                                          to_cores=service.cores)
+                service.scale_span = 0
 
     # -- accounting -------------------------------------------------------
 
@@ -202,10 +221,13 @@ class Autoscaler:
             usage = self._window_usage(service)
             utilization = (usage / service.total_cores
                            if service.total_cores > 0 else 0.0)
+            psi = max(r.container.cgroup.pressure.cpu.avg("some", 10.0)
+                      for r in service.replicas)
             desired = service.cores
             overloaded = backlog >= p.queue_high
-            burning = (burn > p.up_burn
-                       and (utilization > p.util_high or queued > 0))
+            capacity_bound = (utilization > p.util_high or queued > 0
+                              or (p.use_pressure and psi > p.pressure_high))
+            burning = burn > p.up_burn and capacity_bound
             if overloaded or burning:
                 # Growth proportional to how hard the budget burns: a
                 # marginal violation nudges capacity, a deep spike (or a
@@ -224,8 +246,16 @@ class Autoscaler:
             desired = self._clamp_to_host(service, desired)
             if desired > service.cores + 1e-9:
                 self.scale_ups += 1
+                if service.scale_span == 0:
+                    service.scale_span = self.world.trace.begin_span(
+                        "autoscaler.episode", service.name,
+                        from_cores=service.cores, burn=round(burn, 4))
             elif desired < service.cores - 1e-9:
                 self.scale_downs += 1
+                if service.scale_span:
+                    self.world.trace.end_span(service.scale_span,
+                                              to_cores=desired)
+                    service.scale_span = 0
             self._apply_cores(service, desired)
             service.cores_history.append((now, service.cores))
             if p.manage_memory:
@@ -233,7 +263,8 @@ class Autoscaler:
             self.world.trace.emit(
                 "autoscaler.tick", service.name, burn=round(burn, 4),
                 backlog=backlog, view_cpu=view_cpu,
-                utilization=round(utilization, 4), cores=service.cores)
+                utilization=round(utilization, 4),
+                pressure=round(psi, 4), cores=service.cores)
         self.history.append((now, self.total_reserved))
 
     @staticmethod

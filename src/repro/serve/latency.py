@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import ServeError
+from repro.metrics import Histogram
 
 __all__ = ["percentile", "LatencySummary", "LatencyRecorder"]
 
@@ -60,12 +61,17 @@ class LatencyRecorder:
     """Append-only store of (completion time, latency) samples.
 
     Completion times arrive monotonically from the event loop, so
-    windowed queries are a binary search over the time column.
+    windowed queries are a binary search over the time column.  Every
+    sample also streams into a log-bucket :class:`Histogram` — the O(1)
+    distribution snapshot experiments carry around and exporters emit,
+    instead of raw per-request lists.
     """
 
     def __init__(self) -> None:
         self._times: list[float] = []
         self._latencies: list[float] = []
+        #: Streaming distribution: 100 µs .. 1000 s, 5 buckets/decade.
+        self.hist = Histogram("latency_seconds")
 
     def record(self, now: float, latency: float) -> None:
         if latency < 0:
@@ -74,6 +80,7 @@ class LatencyRecorder:
             raise ServeError("latency samples must arrive in time order")
         self._times.append(now)
         self._latencies.append(latency)
+        self.hist.record(latency)
 
     def __len__(self) -> int:
         return len(self._latencies)

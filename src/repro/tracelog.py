@@ -13,12 +13,13 @@ disabled.
 from __future__ import annotations
 
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from repro.errors import ReproError
 
-__all__ = ["TraceEvent", "TraceLog"]
+__all__ = ["TraceEvent", "TraceSpan", "TraceLog"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +37,44 @@ class TraceEvent:
                 + (f" ({extras})" if extras else ""))
 
 
+@dataclass
+class TraceSpan:
+    """A duration with identity: begin/end instead of a point event.
+
+    Spans let experiments assert on *how long* something took (a GC
+    pause, a reclaim episode, an autoscaler scale-up) and on overlap
+    between activities, not just event counts.
+    """
+
+    span_id: int
+    category: str
+    message: str
+    start: float
+    end: float | None = None
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> float | None:
+        """Seconds from begin to end; None while still open."""
+        return None if self.end is None else self.end - self.start
+
+    def overlaps(self, other: "TraceSpan") -> bool:
+        """True when the two (closed or open-ended) spans intersect."""
+        self_end = float("inf") if self.end is None else self.end
+        other_end = float("inf") if other.end is None else other.end
+        return self.start < other_end and other.start < self_end
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        dur = "..." if self.end is None else f"{self.duration:.4f}s"
+        return (f"[{self.start:10.4f}] {self.category:12s} {self.message} "
+                f"<{dur}>" + (f" ({extras})" if extras else ""))
+
+
 class TraceLog:
     """Bounded, filterable event log bound to a clock."""
 
@@ -47,6 +86,10 @@ class TraceLog:
         self.enabled = enabled
         self.dropped = 0
         self._listeners: list[Callable[[TraceEvent], None]] = []
+        self._spans: deque[TraceSpan] = deque(maxlen=capacity)
+        self._open_spans: dict[int, TraceSpan] = {}
+        self._next_span_id = 1
+        self.spans_dropped = 0
 
     # -- emission ---------------------------------------------------------
 
@@ -65,6 +108,67 @@ class TraceLog:
     def subscribe(self, fn: Callable[[TraceEvent], None]) -> None:
         """Stream events to a callback (e.g. ``print``) as they happen."""
         self._listeners.append(fn)
+
+    # -- spans ------------------------------------------------------------
+
+    def begin_span(self, category: str, message: str, **fields: Any) -> int:
+        """Open a span; returns its id (0 while tracing is disabled)."""
+        if not self.enabled:
+            return 0
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        self._open_spans[span_id] = TraceSpan(
+            span_id=span_id, category=category, message=message,
+            start=self._clock.now, fields=fields)
+        return span_id
+
+    def end_span(self, span_id: int, **fields: Any) -> TraceSpan | None:
+        """Close a span by id, merging any extra fields.
+
+        Unknown ids (including the 0 returned while disabled, or a span
+        evicted by :meth:`clear`) are a no-op returning None, so callers
+        never need to guard on whether tracing was on at begin time.
+        """
+        span = self._open_spans.pop(span_id, None)
+        if span is None:
+            return None
+        span.end = self._clock.now
+        span.fields.update(fields)
+        if len(self._spans) == self._spans.maxlen:
+            self.spans_dropped += 1
+        self._spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, category: str, message: str, **fields: Any):
+        """Context manager sugar over begin_span/end_span."""
+        span_id = self.begin_span(category, message, **fields)
+        try:
+            yield span_id
+        finally:
+            self.end_span(span_id)
+
+    def spans(self, category: str | None = None, *, since: float = 0.0,
+              include_open: bool = False) -> list[TraceSpan]:
+        """Closed spans (optionally plus open ones), filtered like events."""
+        out = [s for s in self._spans
+               if (category is None or s.category == category)
+               and s.start >= since]
+        if include_open:
+            out.extend(s for s in self._open_spans.values()
+                       if (category is None or s.category == category)
+                       and s.start >= since)
+            out.sort(key=lambda s: (s.start, s.span_id))
+        return out
+
+    def open_spans(self, category: str | None = None) -> list[TraceSpan]:
+        return sorted((s for s in self._open_spans.values()
+                       if category is None or s.category == category),
+                      key=lambda s: s.span_id)
+
+    def span_durations(self, category: str) -> list[float]:
+        """Durations of every closed span in a category, in close order."""
+        return [s.duration for s in self._spans if s.category == category]
 
     # -- queries -----------------------------------------------------------
 
@@ -103,3 +207,6 @@ class TraceLog:
     def clear(self) -> None:
         self._events.clear()
         self.dropped = 0
+        self._spans.clear()
+        self._open_spans.clear()
+        self.spans_dropped = 0

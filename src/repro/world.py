@@ -66,6 +66,7 @@ class World:
         self.mm.event_hook = (
             lambda category, message, **fields:
             self.trace.emit(category, message, **fields))
+        self.mm.trace = self.trace
         self.loadavg = LoadTracker(loadavg_params or LoadAvgParams())
         self.procs = ProcessTable(self.cgroups.root)
         self.cgroupfs = CgroupFs(self.cgroups)

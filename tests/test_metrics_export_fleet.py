@@ -39,6 +39,27 @@ class TestSeries:
         s = Series("x", times=[5.0], values=[7.0])
         assert s.time_weighted_mean() == 7.0
 
+    def test_weighted_mean_duplicate_timestamps(self):
+        # Zero-width intervals contribute zero weight; the 100.0 spike at
+        # a duplicated t=1.0 must not dominate the mean.
+        s = Series("x", times=[0.0, 1.0, 1.0, 2.0],
+                   values=[2.0, 100.0, 4.0, 4.0])
+        assert s.time_weighted_mean() == pytest.approx((2.0 + 4.0) / 2)
+
+    def test_weighted_mean_zero_span_falls_back_to_mean(self):
+        # All samples at one instant: no span to weight by.
+        s = Series("x", times=[3.0, 3.0, 3.0], values=[1.0, 2.0, 6.0])
+        assert s.time_weighted_mean() == pytest.approx(3.0)
+
+    def test_percentile(self):
+        s = Series("x", times=list(range(10)),
+                   values=[float(v) for v in range(1, 11)])
+        assert s.percentile(50.0) == 5.0
+        assert s.percentile(99.0) == 10.0
+        assert s.percentile(100.0) == 10.0
+        with pytest.raises(ReproError):
+            Series("e", times=[], values=[]).percentile(50.0)
+
 
 class TestMetricsRecorder:
     def test_samples_container_probes(self):
@@ -134,6 +155,64 @@ class TestMetricsRecorder:
         host = rec.series("host.runnable")
         assert host.times == sorted(host.times)
         assert rec.series("second.cpu_rate").last == pytest.approx(1.0)
+
+    def test_rewatch_after_unwatch_raises_without_resume(self):
+        """The churn footgun: unwatch leaves frozen series behind, and a
+        later watch of the same name must not silently clobber them."""
+        world = World(ncpus=4, memory=gib(8))
+        first = world.containers.create(ContainerSpec("svc"))
+        rec = MetricsRecorder(world, period=0.5)
+        rec.watch_container(first)
+        rec.start()
+        world.run(until=2.0)
+        rec.unwatch_container("svc")
+        world.containers.destroy(first)
+
+        # Same name, new container (a restart under the autoscaler).
+        reborn = world.containers.create(ContainerSpec("svc"))
+        with pytest.raises(ReproError) as err:
+            rec.watch_container(reborn)
+        assert "resume" in str(err.value)
+        # The frozen data survived the rejected re-watch.
+        assert len(rec.series("svc.cpu_rate")) == 4
+
+    def test_rewatch_with_resume_appends_to_frozen_series(self):
+        world = World(ncpus=4, memory=gib(8))
+        first = world.containers.create(ContainerSpec("svc"))
+        first.spawn_thread("w").assign_work(1e9)
+        rec = MetricsRecorder(world, period=0.5)
+        rec.watch_container(first)
+        rec.start()
+        world.run(until=2.0)
+        rec.unwatch_container("svc")
+        world.containers.destroy(first)
+        world.run(until=4.0)                      # gap while unwatched
+
+        reborn = world.containers.create(ContainerSpec("svc"))
+        reborn.spawn_thread("w").assign_work(1e9)
+        rec.watch_container(reborn, resume=True)
+        world.run(until=6.0)
+
+        cpu = rec.series("svc.cpu_rate")
+        assert len(cpu) == 8                      # 4 before + 4 after
+        assert cpu.times == sorted(cpu.times)
+        # No samples landed in the unwatched stretch (2, 4].
+        assert all(not 2.0 < t <= 4.0 for t in cpu.times)
+        assert cpu.last == pytest.approx(1.0)     # the reborn busy thread
+        # Double-resume is still a duplicate watch.
+        with pytest.raises(ReproError):
+            rec.watch_container(reborn, resume=True)
+
+    def test_summary_includes_percentiles(self):
+        world = World(ncpus=4, memory=gib(8))
+        rec = MetricsRecorder(world, period=0.5)
+        rec.watch_host()
+        rec.start()
+        world.containers.create(ContainerSpec("c0"))
+        world.run(until=3.0)
+        entry = rec.summary()["host.free_memory"]
+        assert {"min", "mean", "p50", "p99", "max", "last"} <= set(entry)
+        assert entry["min"] <= entry["p50"] <= entry["p99"] <= entry["max"]
 
     def test_unwatch_validation(self):
         world = World(ncpus=4, memory=gib(8))

@@ -206,7 +206,9 @@ class TestExperiment:
                              warm=3.0, spike_len=4.0, cool=6.0, max_cores=2.0)
         result = run(params)
         rows = {r["mode"]: r for r in result.tables["latency"].rows}
-        assert set(rows) == {"adaptive", "static-equal", "static-peak"}
+        assert set(rows) == {"adaptive", "adaptive-psi", "static-equal",
+                             "static-peak"}
+        assert len(result.tables["pressure_ablation"].rows) == 2
         for row in rows.values():
             assert row["completed"] == row["generated"] - row["shed"]
         assert rows["adaptive"]["reserved_avg_cores"] == pytest.approx(

@@ -76,6 +76,131 @@ class TestTraceLogUnit:
             TraceLog(self.clock, capacity=0)
 
 
+class TestSpans:
+    def setup_method(self):
+        self.clock = SimClock()
+        self.log = TraceLog(self.clock, capacity=4, enabled=True)
+
+    def test_begin_end_roundtrip(self):
+        sid = self.log.begin_span("gc", "minor", heap=10)
+        assert sid > 0
+        assert self.log.open_spans("gc")[0].open
+        self.clock.advance_to(1.5)
+        span = self.log.end_span(sid, reclaimed=7)
+        assert span is not None and not span.open
+        assert span.duration == pytest.approx(1.5)
+        assert span.fields == {"heap": 10, "reclaimed": 7}
+        assert self.log.spans("gc") == [span]
+        assert self.log.span_durations("gc") == [pytest.approx(1.5)]
+
+    def test_disabled_returns_zero_id(self):
+        log = TraceLog(self.clock, enabled=False)
+        sid = log.begin_span("gc", "minor")
+        assert sid == 0
+        assert log.end_span(sid) is None
+        assert log.spans(include_open=True) == []
+
+    def test_unknown_and_double_end_are_noops(self):
+        sid = self.log.begin_span("gc", "minor")
+        assert self.log.end_span(999) is None
+        assert self.log.end_span(sid) is not None
+        assert self.log.end_span(sid) is None    # already closed
+
+    def test_context_manager(self):
+        with self.log.span("scale", "up", target=2.0):
+            self.clock.advance_to(0.5)
+        (span,) = self.log.spans("scale")
+        assert span.duration == pytest.approx(0.5)
+        assert span.fields == {"target": 2.0}
+
+    def test_dropped_at_capacity(self):
+        for i in range(6):
+            sid = self.log.begin_span("a", f"s{i}")
+            self.log.end_span(sid)
+        assert len(self.log.spans("a")) == 4     # capacity
+        assert self.log.spans_dropped == 2
+        # The survivors are the newest four.
+        assert [s.message for s in self.log.spans("a")] == \
+            ["s2", "s3", "s4", "s5"]
+
+    def test_include_open_and_since(self):
+        early = self.log.begin_span("a", "early")
+        self.log.end_span(early)
+        self.clock.advance_to(5.0)
+        self.log.begin_span("a", "late-open")
+        assert [s.message for s in self.log.spans("a")] == ["early"]
+        both = self.log.spans("a", include_open=True)
+        assert [s.message for s in both] == ["early", "late-open"]
+        assert [s.message for s in self.log.spans("a", since=1.0,
+                                                   include_open=True)] == \
+            ["late-open"]
+
+    def test_overlaps(self):
+        a = self.log.begin_span("x", "a")
+        self.clock.advance_to(1.0)
+        b = self.log.begin_span("x", "b")
+        self.clock.advance_to(2.0)
+        span_a = self.log.end_span(a)
+        still_open = self.log.open_spans("x")[0]
+        self.clock.advance_to(3.0)
+        span_b = self.log.end_span(b)
+        assert span_a.overlaps(span_b) and span_b.overlaps(span_a)
+        assert span_a.overlaps(still_open)
+        later = self.log.begin_span("x", "c")
+        span_c = self.log.end_span(later)
+        assert not span_a.overlaps(span_c)
+
+    def test_clear_resets_spans(self):
+        self.log.begin_span("a", "open")
+        done = self.log.begin_span("a", "done")
+        self.log.end_span(done)
+        self.log.clear()
+        assert self.log.spans(include_open=True) == []
+        assert self.log.spans_dropped == 0
+        assert self.log.open_spans() == []
+
+
+class TestWiredSpans:
+    def test_jvm_gc_spans(self):
+        world = World(ncpus=8, memory=gib(16), trace=True)
+        c = world.containers.create(ContainerSpec("c0"))
+        wl = dataclasses.replace(dacapo("jython"), total_work=5.0)
+        jvm = Jvm(c, wl, JvmConfig.vanilla_jdk8(xms=mib(450), xmx=mib(450)))
+        jvm.launch()
+        assert world.run_until(lambda: jvm.finished, timeout=5000)
+        spans = world.trace.spans("jvm.gc")
+        assert len(spans) == jvm.stats.minor_gcs + jvm.stats.major_gcs
+        assert all(s.duration > 0 for s in spans)
+        # Span durations agree with the (rounded) wall field of the
+        # paired events.
+        walls = [e.fields["wall"] for e in world.trace.events("jvm.gc")]
+        assert sum(s.duration for s in spans) == pytest.approx(sum(walls),
+                                                              abs=1e-4)
+
+    def test_container_lifetime_spans(self):
+        world = World(ncpus=4, memory=gib(8), trace=True)
+        c = world.containers.create(ContainerSpec("c0"))
+        world.run(until=2.0)
+        (open_span,) = world.trace.open_spans("container.lifetime")
+        assert open_span.message == "c0"
+        world.containers.destroy(c)
+        (span,) = world.trace.spans("container.lifetime")
+        assert span.duration == pytest.approx(2.0)
+
+    def test_mm_reclaim_spans(self):
+        from repro.kernel.mm.memcg import MmParams
+        world = World(ncpus=4, memory=gib(2), trace=True,
+                      mm_params=MmParams(kernel_reserved=mib(64),
+                                         swap_factor=2.0))
+        a = world.containers.create(ContainerSpec(
+            "a", memory_soft_limit=mib(64)))
+        world.mm.charge(a.cgroup, gib(1))
+        world.mm.charge(a.cgroup, mib(950))   # dips below the low watermark
+        spans = world.trace.spans("mm.reclaim", include_open=True)
+        assert len(spans) >= 1
+        assert spans[0].open or spans[0].fields["kswapd_runs"] >= 1
+
+
 class TestWiredTracepoints:
     def test_container_lifecycle_events(self):
         world = World(ncpus=4, memory=gib(8), trace=True)

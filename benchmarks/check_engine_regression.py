@@ -1,0 +1,77 @@
+"""Compare a fresh engine-benchmark run against the committed baseline.
+
+CI runs ``bench_engine.py --quick`` and feeds the result here; the check
+fails if any scenario's throughput (steps/sec) fell to less than half of
+the committed ``BENCH_engine.json`` baseline, or if the step counts
+drifted (step counts are deterministic per scenario, so a drift means
+the engine's event sequence changed, not just its speed).
+
+Throughput on shared CI runners is noisy, hence the generous 2x bound:
+the check is a tripwire for algorithmic regressions (an accidental
+O(world) scan creeping back in), not a microbenchmark gate. ::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick --mode both \
+        --output /tmp/bench_now.json
+    python benchmarks/check_engine_regression.py /tmp/bench_now.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).resolve().parent / "BENCH_engine.json"
+
+#: Fail when steps/sec drops below baseline divided by this factor.
+MAX_SLOWDOWN = 2.0
+
+
+def check(current_path: Path, baseline_path: Path = BASELINE,
+          *, max_slowdown: float = MAX_SLOWDOWN) -> list[str]:
+    """Return a list of failure messages (empty = pass)."""
+    current = json.loads(current_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    if current.get("quick") != baseline.get("quick"):
+        return [f"quick={current.get('quick')} run compared against "
+                f"quick={baseline.get('quick')} baseline; "
+                f"re-run bench_engine.py with matching scale"]
+    failures: list[str] = []
+    for key, base in sorted(baseline["scenarios"].items()):
+        now = current["scenarios"].get(key)
+        if now is None:
+            failures.append(f"{key}: missing from current run")
+            continue
+        if now["steps"] != base["steps"]:
+            failures.append(
+                f"{key}: step count drifted {base['steps']} -> "
+                f"{now['steps']} (engine behaviour changed; if intended, "
+                f"regenerate the baseline)")
+        floor = base["steps_per_sec"] / max_slowdown
+        if now["steps_per_sec"] < floor:
+            failures.append(
+                f"{key}: {now['steps_per_sec']:.0f} steps/s is below "
+                f"{floor:.0f} (baseline {base['steps_per_sec']:.0f} "
+                f"/ {max_slowdown:g})")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", type=Path,
+                    help="JSON produced by a fresh bench_engine.py run")
+    ap.add_argument("--baseline", type=Path, default=BASELINE)
+    ap.add_argument("--max-slowdown", type=float, default=MAX_SLOWDOWN)
+    args = ap.parse_args(argv)
+    failures = check(args.current, args.baseline,
+                     max_slowdown=args.max_slowdown)
+    for message in failures:
+        print(f"FAIL {message}", file=sys.stderr)
+    if not failures:
+        print("engine benchmark within bounds of committed baseline")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

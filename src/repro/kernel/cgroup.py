@@ -17,6 +17,8 @@ the cgroups settings").
 from __future__ import annotations
 
 import enum
+import heapq
+import itertools
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import CgroupError
@@ -25,6 +27,7 @@ from repro.obs.pressure import CgroupPressure
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.task import SimThread, ThreadState
+    from repro.sim.clock import SimClock
 
 __all__ = [
     "DEFAULT_SHARES",
@@ -142,6 +145,9 @@ class Cgroup:
         self.name = name
         self.parent = parent
         self.root = root
+        #: Creation sequence number; the canonical deterministic ordering
+        #: of groups (snapshot order, completion-firing order).
+        self.seq = root._next_seq()
         self.children: dict[str, Cgroup] = {}
         self.cpu = CpuController()
         self.cpuset = CpusetController()
@@ -154,6 +160,21 @@ class Cgroup:
         self.total_cpu_time = 0.0      # integral of cpu_rate
         self.window_usage = 0.0        # cpu-seconds since last sys_ns update
         self.progress_multiplier = 1.0 # memory-pressure penalty (set by mm)
+        # Lazy-accrual integrals: every runnable thread of a group
+        # progresses at the same rate, so the engine advances these two
+        # cumulative integrals per group and threads resolve their own
+        # remaining work / cpu time against them on demand.
+        self.progress_acc = 0.0        # per-thread useful progress integral
+        self.occupancy_acc = 0.0       # per-thread occupancy integral
+        self._thread_rate = 0.0        # d(progress_acc)/dt (set by scheduler)
+        self._occ_rate = 0.0           # d(occupancy_acc)/dt (set by scheduler)
+        #: Completion index: min-heap of ``(target, tid, thread)`` keyed by
+        #: the progress_acc value at which each runnable segment completes.
+        #: Entries are invalidated lazily (valid iff the thread is still
+        #: runnable with that exact target).
+        self._work_heap: list[tuple[float, int, "SimThread"]] = []
+        #: Push id of this group's latest scheduler completion-heap entry.
+        self._sched_entry_seq = -1
         #: Integral of demand the CFS quota clipped (core-seconds): the
         #: fluid analogue of cpu.stat's throttled_time.
         self.throttled_time = 0.0
@@ -165,6 +186,8 @@ class Cgroup:
         #: root cgroup this holds the *host-wide* pressure, mirroring
         #: how /proc/pressure reads the root group in Linux.
         self.pressure = CgroupPressure()
+        if root._clock is not None:
+            self.pressure.bind_clock(root._clock)
 
     # -- hierarchy ---------------------------------------------------------
 
@@ -208,7 +231,7 @@ class Cgroup:
             raise CgroupError(f"cpu.shares must be >= 2, got {shares}")
         self.cpu.shares = int(shares)
         self.root._notify(CgroupEvent(CgroupEventKind.CPU_CHANGED, self))
-        self.root.scheduler_dirty()
+        self.root.scheduler_dirty(self)
 
     def set_cpu_quota(self, quota_us: int | None, period_us: int | None = None) -> None:
         """Set ``cfs_quota_us``/``cfs_period_us``; ``quota_us=None`` lifts it."""
@@ -220,7 +243,7 @@ class Cgroup:
             raise CgroupError(f"cfs_quota_us must be positive or None, got {quota_us}")
         self.cpu.cfs_quota_us = None if quota_us is None else int(quota_us)
         self.root._notify(CgroupEvent(CgroupEventKind.CPU_CHANGED, self))
-        self.root.scheduler_dirty()
+        self.root.scheduler_dirty(self)
 
     def set_cpuset(self, cpus: CpuSet | str | None) -> None:
         if isinstance(cpus, str):
@@ -231,7 +254,8 @@ class Cgroup:
             self.root.host.validate_mask(cpus)
         self.cpuset.cpus = cpus
         self.root._notify(CgroupEvent(CgroupEventKind.CPU_CHANGED, self))
-        self.root.scheduler_dirty()
+        # Topology edits change contention-domain structure host-wide.
+        self.root.scheduler_dirty(self, topology=True)
 
     def set_memory_limit(self, limit: int | None) -> None:
         if limit is not None and limit <= 0:
@@ -263,7 +287,7 @@ class Cgroup:
         self.threads.add(thread)
         if thread.runnable:
             self._runnable.add(thread)
-        self.root.scheduler_dirty()
+        self.root.scheduler_dirty(self)
 
     def on_thread_state_change(self, thread: "SimThread", old: "ThreadState",
                                new: "ThreadState") -> None:
@@ -273,7 +297,7 @@ class Cgroup:
             self._runnable.discard(thread)
             if new.value == "exited":
                 self.threads.discard(thread)
-        self.root.scheduler_dirty()
+        self.root.scheduler_dirty(self)
 
     @property
     def runnable_threads(self) -> set["SimThread"]:
@@ -281,6 +305,46 @@ class Cgroup:
 
     def n_runnable(self) -> int:
         return len(self._runnable)
+
+    # -- completion index -----------------------------------------------------
+
+    def _enqueue_completion(self, thread: "SimThread") -> None:
+        """Index a (re)anchored segment by its work-at-completion target."""
+        heapq.heappush(self._work_heap, (thread._target, thread.tid, thread))
+        self.root.completion_changed(self)
+
+    def _completion_head(self) -> "SimThread | None":
+        """The runnable thread whose segment completes first, or None.
+
+        Pops lazily-invalidated entries (blocked/exited threads, replaced
+        segments) off the front on the way.
+        """
+        heap = self._work_heap
+        while heap:
+            target, _tid, thr = heap[0]
+            if thr.runnable and thr._target == target:
+                return thr
+            heapq.heappop(heap)
+        return None
+
+    def _pop_due(self) -> list["SimThread"]:
+        """Pop and return all currently-due runnable threads, tid-sorted."""
+        heap = self._work_heap
+        due: list[SimThread] = []
+        seen: set[int] = set()
+        while heap:
+            target, tid, thr = heap[0]
+            if not (thr.runnable and thr._target == target):
+                heapq.heappop(heap)
+                continue
+            if not thr.segment_finished:
+                break
+            heapq.heappop(heap)
+            if tid not in seen:
+                seen.add(tid)
+                due.append(thr)
+        due.sort(key=lambda t: t.tid)
+        return due
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Cgroup {self.path} threads={len(self.threads)}>"
@@ -291,9 +355,25 @@ class CgroupRoot:
 
     def __init__(self, host: HostCpus):
         self.host = host
-        self.root = Cgroup("", None, self)
+        self._seq = itertools.count()
+        self._clock: "SimClock | None" = None
         self._subscribers: list[Callable[[CgroupEvent], None]] = []
-        self._dirty_hook: Callable[[], None] | None = None
+        self._dirty_hook: Callable[["Cgroup | None", bool], None] | None = None
+        self._completion_hook: Callable[["Cgroup"], None] | None = None
+        self.root = Cgroup("", None, self)
+
+    def _next_seq(self) -> int:
+        return next(self._seq)
+
+    def bind_clock(self, clock: "SimClock") -> None:
+        """Attach the sim clock so idle PSI averages can decay lazily.
+
+        Without a clock (standalone scheduler/cgroup tests) pressure
+        accumulators keep their eager advance-only semantics.
+        """
+        self._clock = clock
+        for cg in self.walk():
+            cg.pressure.bind_clock(clock)
 
     # -- event bus ------------------------------------------------------------
 
@@ -310,13 +390,28 @@ class CgroupRoot:
 
     # -- scheduler coupling -----------------------------------------------------
 
-    def set_dirty_hook(self, fn: Callable[[], None]) -> None:
-        """Install the scheduler's "runnable set changed" callback."""
+    def set_dirty_hook(self, fn: Callable[["Cgroup | None", bool], None]) -> None:
+        """Install the scheduler's invalidation callback.
+
+        Called as ``fn(cgroup, topology)``: ``cgroup`` is the group whose
+        runnable set or cpu parameters changed (None = invalidate
+        everything), ``topology=True`` means cpuset structure changed and
+        cached contention domains are host-wide stale.
+        """
         self._dirty_hook = fn
 
-    def scheduler_dirty(self) -> None:
+    def scheduler_dirty(self, cgroup: "Cgroup | None" = None, *,
+                        topology: bool = False) -> None:
         if self._dirty_hook is not None:
-            self._dirty_hook()
+            self._dirty_hook(cgroup, topology)
+
+    def set_completion_hook(self, fn: Callable[["Cgroup"], None]) -> None:
+        """Install the scheduler's "completion index changed" callback."""
+        self._completion_hook = fn
+
+    def completion_changed(self, cgroup: "Cgroup") -> None:
+        if self._completion_hook is not None:
+            self._completion_hook(cgroup)
 
     # -- traversal ---------------------------------------------------------------
 

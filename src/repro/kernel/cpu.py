@@ -63,6 +63,10 @@ class CpuSet:
     def __len__(self) -> int:
         return len(self._cpus)
 
+    def as_tuple(self) -> tuple[int, ...]:
+        """The sorted CPU ids as a tuple (no copy; hashable mask key)."""
+        return self._cpus
+
     def __iter__(self) -> Iterator[int]:
         return iter(self._cpus)
 

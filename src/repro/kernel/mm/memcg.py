@@ -286,7 +286,7 @@ class MemoryManager:
                                             mem.hot_bytes)
         if abs(new_mult - cg.progress_multiplier) > 1e-12:
             cg.progress_multiplier = new_mult
-            self.cgroups.scheduler_dirty()
+            self.cgroups.scheduler_dirty(cg)
 
     def _oom_kill(self, cg: Cgroup, requested: int) -> None:
         self.oom_kills += 1

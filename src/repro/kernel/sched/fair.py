@@ -21,18 +21,51 @@ context-switch efficiency penalty: occupancy stays at the allocation but
 useful *progress* is scaled by ``1/(1 + csw_overhead*(n/alloc - 1))``.
 This is what makes over-threading (15 GC threads on a 4-core share)
 mechanically slower, reproducing the paper's motivation experiments.
+
+Engine modes
+------------
+
+The scheduler runs in one of two modes that share every piece of
+allocation and accrual arithmetic and therefore produce byte-identical
+traces; they differ only in asymptotic cost:
+
+* ``incremental`` (default) — cpuset-overlap *contention domains* are
+  cached and only the domains touched by a dirty cgroup are re-solved;
+  segment completions are discovered through a two-level completion
+  index (a per-cgroup heap of work-at-completion targets feeding a
+  group-level time heap) instead of scanning every runnable thread.
+* ``scan`` — the brute-force reference: every invalidation triggers a
+  full re-solve and completions are found by scanning all runnable
+  threads.  Used by tests to prove the incremental bookkeeping exact
+  and by ``bench_engine.py`` for before/after comparisons.
+
+Per-event cost is O(busy groups) for accrual (threads resolve their
+work lazily against per-group progress integrals maintained here) and
+O(affected domain) for re-solves, instead of O(threads) + O(groups²).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.kernel.cgroup import Cgroup, CgroupRoot
 from repro.kernel.cpu import HostCpus
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.task import SimThread
+
 __all__ = ["SchedParams", "GroupAlloc", "waterfill", "FairScheduler"]
 
 _EPS = 1e-9
+
+#: Completion-heap entries drift from freshly-computed completion times
+#: by float rounding only (~ulp scale); any entry within this window of
+#: the heap head is re-evaluated exactly, so the heap orders candidates
+#: while fresh arithmetic decides, keeping both modes byte-identical.
+_CAND_WINDOW = 1e-9
 
 
 @dataclass(frozen=True)
@@ -65,6 +98,9 @@ class GroupAlloc:
     cap: float          # min(quota, |cpuset|, n_threads)
     rate: float = 0.0   # cores allocated
     efficiency: float = 1.0
+    demand: float = 0.0   # min(n_threads, |cpuset|), cached for accrual
+    pressure: float = 0.0  # contention-domain pressure, memoized
+    quota: float = float("inf")  # quota_cores, cached for accrual
 
     @property
     def per_thread_progress(self) -> float:
@@ -79,6 +115,15 @@ class GroupAlloc:
         if self.n_threads == 0:
             return 0.0
         return self.rate / self.n_threads
+
+
+@dataclass
+class _Component:
+    """A cached contention domain: a connected component of cpuset overlap."""
+
+    members: list[Cgroup] = field(default_factory=list)  # seq-sorted
+    cpus: set[int] = field(default_factory=set)
+    capacity: float = 0.0
 
 
 def waterfill(weights: list[float], caps: list[float], capacity: float) -> list[float]:
@@ -119,94 +164,243 @@ class FairScheduler:
     """Scheduler facade: snapshots, accrual, and slack accounting."""
 
     def __init__(self, host: HostCpus, cgroups: CgroupRoot,
-                 params: SchedParams | None = None):
+                 params: SchedParams | None = None, *,
+                 incremental: bool = True):
         self.host = host
         self.cgroups = cgroups
         self.params = params or SchedParams()
+        self._incremental = incremental
         self._snapshot: list[GroupAlloc] = []
-        self._dirty = True
+        self._galloc: dict[Cgroup, GroupAlloc] = {}
+        self._dirty_all = True
+        self._dirty_groups: set[Cgroup] = set()
+        # Cached contention domains (incremental mode).
+        self._comps: dict[int, _Component] = {}
+        self._comp_of: dict[Cgroup, int] = {}
+        self._cpu_comp: dict[int, int] = {}
+        self._comp_ids = itertools.count()
+        # Group-level completion heap: (est. completion time, push id,
+        # cgroup).  An entry is current iff its push id matches the
+        # cgroup's ``_sched_entry_seq``; stale entries drop lazily.
+        self._cheap: list[tuple[float, int, Cgroup]] = []
+        self._push_ids = itertools.count()
+        #: Groups whose head segment is due but progressing at zero rate
+        #: (a zero-work segment in an unallocated group): they have no
+        #: finite completion time yet must still fire.
+        self._due_zero: set[Cgroup] = set()
+        self._time = 0.0               # internal timebase (sum of advances)
+        self._offline_pressure: dict[Cgroup, float] = {}
         self.total_idle_time = 0.0      # integral of unallocated capacity
         self.window_idle = 0.0          # idle capacity since last sys_ns window reset
         cgroups.set_dirty_hook(self.mark_dirty)
+        cgroups.set_completion_hook(self.note_completion_change)
 
-    # -- snapshot management ---------------------------------------------------
+    @property
+    def incremental(self) -> bool:
+        return self._incremental
 
-    def mark_dirty(self) -> None:
-        self._dirty = True
+    # -- invalidation ----------------------------------------------------------
+
+    def mark_dirty(self, cgroup: Cgroup | None = None,
+                   topology: bool = False) -> None:
+        """Invalidate the allocation.
+
+        ``cgroup`` scopes the invalidation to that group's contention
+        domain; ``None`` or ``topology=True`` (a cpuset edit changed the
+        domain structure itself) invalidates globally.
+        """
+        if cgroup is None or topology or not self._incremental:
+            self._dirty_all = True
+        else:
+            self._dirty_groups.add(cgroup)
 
     @property
     def dirty(self) -> bool:
-        return self._dirty
+        return self._dirty_all or bool(self._dirty_groups)
+
+    # -- solving ---------------------------------------------------------------
 
     def reallocate(self) -> list[GroupAlloc]:
-        """Re-solve the allocation for the current runnable set."""
-        groups: list[GroupAlloc] = []
+        """Re-solve the allocation for the current runnable set.
+
+        Incremental mode re-solves only the contention domains reachable
+        from dirty cgroups; scan mode (and topology/global invalidation)
+        rebuilds everything.  Both paths share :meth:`_solve_component`,
+        so partial re-solves are bit-identical to full ones.
+        """
+        if self._incremental and not self._dirty_all:
+            self._solve_partial(self._dirty_groups)
+        else:
+            self._solve_full()
+        self._dirty_groups.clear()
+        self._dirty_all = False
+        self._snapshot = sorted(self._galloc.values(),
+                                key=lambda g: g.cgroup.seq)
+        self._offline_pressure.clear()
+        return self._snapshot
+
+    def _solve_full(self) -> None:
+        for cg in list(self._galloc):
+            if cg.destroyed:
+                self._retire(cg)
+        busy: list[Cgroup] = []
         for cg in self.cgroups.walk():
-            n = cg.n_runnable()
-            if n == 0:
-                cg.cpu_rate = 0.0
+            if cg.n_runnable() == 0:
+                if cg in self._galloc:
+                    self._retire(cg)
+                else:
+                    cg.cpu_rate = 0.0
                 continue
-            cap = min(cg.quota_cores, float(len(cg.effective_cpuset())), float(n))
-            groups.append(GroupAlloc(cgroup=cg, n_threads=n,
-                                     weight=float(cg.cpu.shares), cap=cap))
-        # Waterfill independently inside each contention domain: connected
-        # components of cpuset overlap partition the host's CPUs, and CFS
-        # cannot move capacity across a cpuset boundary.
-        for component, capacity in self._overlap_components(groups):
-            rates = waterfill([g.weight for g in component],
-                              [g.cap for g in component], capacity)
-            for g, rate in zip(component, rates):
-                g.rate = rate
+            busy.append(cg)
+        self._comps.clear()
+        self._comp_of.clear()
+        self._cpu_comp.clear()
+        self._register_components(busy)
+
+    def _solve_partial(self, dirty: set[Cgroup]) -> None:
+        affected: set[int] = set()
+        entering: list[Cgroup] = []
+        for cg in dirty:
+            if cg.destroyed or cg.n_runnable() == 0:
+                if cg in self._galloc:
+                    affected.add(self._comp_of[cg])
+                    self._retire(cg)
+                else:
+                    cg.cpu_rate = 0.0
+                continue
+            if cg in self._galloc:
+                affected.add(self._comp_of[cg])
+            else:
+                entering.append(cg)
+        # A group entering the busy set merges every existing domain its
+        # cpuset touches (found through the cpu -> domain map).
+        for cg in entering:
+            for cpu in cg.effective_cpuset():
+                comp_id = self._cpu_comp.get(cpu)
+                if comp_id is not None:
+                    affected.add(comp_id)
+        if not affected and not entering:
+            return
+        pool: list[Cgroup] = list(entering)
+        for comp_id in affected:
+            comp = self._comps.pop(comp_id)
+            for cpu in comp.cpus:
+                if self._cpu_comp.get(cpu) == comp_id:
+                    del self._cpu_comp[cpu]
+            for cg in comp.members:
+                if self._comp_of.get(cg) == comp_id:
+                    del self._comp_of[cg]
+                    pool.append(cg)
+        self._register_components(pool)
+
+    def _retire(self, cg: Cgroup) -> None:
+        """Drop a no-longer-busy group from all engine indexes."""
+        self._galloc.pop(cg, None)
+        self._comp_of.pop(cg, None)
+        self._due_zero.discard(cg)
+        cg.cpu_rate = 0.0
+        cg._thread_rate = 0.0
+        cg._occ_rate = 0.0
+        cg._sched_entry_seq = -1
+
+    def _register_components(self, pool: list[Cgroup]) -> None:
+        """Partition ``pool`` into cpuset-overlap components and solve each.
+
+        Union-find over CPU ids: O(groups + cpus) instead of the pairwise
+        O(groups²) mask comparison.
+        """
+        if not pool:
+            return
+        pool = sorted(pool, key=lambda c: c.seq)
+        masks = [cg.effective_cpuset().as_tuple() for cg in pool]
+        # Fleets share a handful of masks (usually just the full host
+        # set), so union the *distinct* masks, not one per group.
+        by_mask: dict[tuple[int, ...], list[int]] = {}
+        for i, mask in enumerate(masks):
+            by_mask.setdefault(mask, []).append(i)
+        parent: dict[int, int] = {}
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        for mask in by_mask:
+            first = mask[0]
+            if first not in parent:
+                parent[first] = first
+            r = find(first)
+            for cpu in mask[1:]:
+                if cpu not in parent:
+                    parent[cpu] = r
+                else:
+                    rc = find(cpu)
+                    if rc != r:
+                        parent[rc] = r
+        grouped: dict[int, list[tuple[int, ...]]] = {}
+        for mask in by_mask:
+            grouped.setdefault(find(mask[0]), []).append(mask)
+        for mask_list in grouped.values():
+            idxs = sorted(i for mask in mask_list for i in by_mask[mask])
+            members = [pool[i] for i in idxs]     # seq-sorted: pool is
+            cpus: set[int] = set()
+            for mask in mask_list:
+                cpus.update(mask)
+            comp_id = next(self._comp_ids)
+            capacity = float(len(cpus))
+            self._comps[comp_id] = _Component(members, cpus, capacity)
+            for cg in members:
+                self._comp_of[cg] = comp_id
+            for cpu in cpus:
+                self._cpu_comp[cpu] = comp_id
+            self._solve_component(members, capacity)
+
+    def _solve_component(self, members: list[Cgroup], capacity: float) -> None:
+        """Waterfill one contention domain and publish rates to its groups.
+
+        The only place allocation arithmetic happens — shared verbatim by
+        full and partial re-solves, so identical (seq-ordered) inputs
+        yield bit-identical rates regardless of what else was re-solved.
+        """
+        allocs: list[GroupAlloc] = []
+        for cg in members:
+            n = cg.n_runnable()
+            mask_size = float(len(cg.effective_cpuset()))
+            quota = cg.quota_cores
+            g = GroupAlloc(cgroup=cg, n_threads=n,
+                           weight=float(cg.cpu.shares),
+                           cap=min(quota, mask_size, float(n)),
+                           demand=min(float(n), mask_size), quota=quota)
+            allocs.append(g)
+            self._galloc[cg] = g
+        rates = waterfill([g.weight for g in allocs],
+                          [g.cap for g in allocs], capacity)
+        for g, rate in zip(allocs, rates):
+            g.rate = rate
         kappa = self.params.csw_overhead
-        pressures = self._contention_pressures(groups)
         gamma = self.params.interference
-        for g, pressure in zip(groups, pressures):
+        eps = self.params.eps
+        for g, pressure in zip(allocs, self._component_pressures(allocs)):
             rate = g.rate
-            if rate > self.params.eps and g.n_threads > rate:
+            if rate > eps and g.n_threads > rate:
                 oversub = g.n_threads / rate - 1.0
                 g.efficiency = 1.0 / (1.0 + kappa * oversub)
             else:
                 g.efficiency = 1.0
             if pressure > 1.0:
                 g.efficiency *= 1.0 / (1.0 + gamma * (pressure - 1.0))
-            g.cgroup.cpu_rate = rate
-            mem_penalty = g.cgroup.progress_multiplier
-            per_thread = g.per_thread_progress * mem_penalty
-            for t in g.cgroup.runnable_threads:
-                t.progress_rate = per_thread
-        self._snapshot = groups
-        self._dirty = False
-        return groups
+            g.pressure = pressure
+            cg = g.cgroup
+            cg.cpu_rate = rate
+            cg._thread_rate = g.per_thread_progress * cg.progress_multiplier
+            cg._occ_rate = g.per_thread_occupancy
+            if self._incremental:
+                self._push_entry(cg)
 
-    def _overlap_components(self, groups: list[GroupAlloc]
-                            ) -> list[tuple[list[GroupAlloc], float]]:
-        """Partition groups into connected components of cpuset overlap.
-
-        Each component's capacity is the size of the union of its masks.
-        Components are disjoint in CPUs, so solving each independently is
-        exact for disjoint/nested masks and a close approximation for
-        partially-overlapping ones.
-        """
-        remaining = list(range(len(groups)))
-        masks = [set(g.cgroup.effective_cpuset()) for g in groups]
-        components: list[tuple[list[GroupAlloc], float]] = []
-        while remaining:
-            seed = remaining.pop(0)
-            member_ids = [seed]
-            union = set(masks[seed])
-            changed = True
-            while changed:
-                changed = False
-                for idx in list(remaining):
-                    if masks[idx] & union:
-                        union |= masks[idx]
-                        member_ids.append(idx)
-                        remaining.remove(idx)
-                        changed = True
-            components.append(([groups[i] for i in member_ids], float(len(union))))
-        return components
-
-    def _contention_pressures(self, groups: list[GroupAlloc]) -> list[float]:
+    def _component_pressures(self, allocs: list[GroupAlloc]) -> list[float]:
         """Runnable-thread pressure of each group's contention domain.
 
         The contention domain of group *i* is the union of the cpusets of
@@ -219,20 +413,146 @@ class FairScheduler:
         ``csw_overhead`` term, not cross-container interference.  A group
         with a dedicated cpuset therefore never pays interference,
         however many threads it runs (JDK 9's isolation in Fig. 7).
+
+        Batched by distinct mask: fleets share a handful of cpuset masks,
+        so the pairwise work is O(distinct masks²), not O(groups²).
         """
-        masks = [set(g.cgroup.effective_cpuset()) for g in groups]
+        distinct: dict[tuple[int, ...], list] = {}  # key -> [cpu set, n total]
+        keys: list[tuple[int, ...]] = []
+        for g in allocs:
+            key = g.cgroup.effective_cpuset().as_tuple()
+            keys.append(key)
+            info = distinct.get(key)
+            if info is None:
+                distinct[key] = [set(key), g.n_threads]
+            else:
+                info[1] += g.n_threads
+        stats: dict[tuple[int, ...], tuple[int, int]] = {}
+        items = list(distinct.items())
+        for key, (cpus, _n) in items:
+            total = 0                   # exact: integer thread counts
+            domain: set[int] = set(cpus)
+            for key2, (cpus2, n2) in items:
+                if cpus & cpus2:
+                    total += n2
+                    domain |= cpus2
+            stats[key] = (total, len(domain))
         pressures: list[float] = []
-        for i, g in enumerate(groups):
-            domain = set(masks[i])
-            threads = min(float(g.n_threads), g.rate)
-            for j, other in enumerate(groups):
-                if j == i:
-                    continue
-                if masks[i] & masks[j]:
-                    domain |= masks[j]
-                    threads += other.n_threads
-            pressures.append(threads / len(domain) if domain else 0.0)
+        for g, key in zip(allocs, keys):
+            total, domain_size = stats[key]
+            threads = (min(float(g.n_threads), g.rate)
+                       + float(total - g.n_threads))
+            pressures.append(threads / domain_size if domain_size else 0.0)
         return pressures
+
+    # -- completion index ------------------------------------------------------
+
+    def note_completion_change(self, cg: Cgroup) -> None:
+        """A thread (re)anchored a segment: refresh the group's heap entry.
+
+        Catches completion-head changes that do not dirty the allocation
+        (assigning work to an already-runnable thread).
+        """
+        if self._incremental and cg in self._galloc:
+            self._push_entry(cg)
+
+    def _push_entry(self, cg: Cgroup) -> None:
+        """(Re)index a group's earliest completion in the group-level heap."""
+        self._due_zero.discard(cg)
+        head = cg._completion_head()
+        if head is None:
+            cg._sched_entry_seq = -1
+            return
+        ttc = head.time_to_completion()
+        if ttc == float("inf"):
+            cg._sched_entry_seq = -1
+            if head.segment_finished:
+                self._due_zero.add(cg)
+            return
+        push_id = next(self._push_ids)
+        cg._sched_entry_seq = push_id
+        heap = self._cheap
+        heapq.heappush(heap, (self._time + ttc, push_id, cg))
+        # Compact once superseded entries dominate the heap.
+        if len(heap) > 64 and len(heap) > 4 * len(self._galloc):
+            live = [e for e in heap if e[1] == e[2]._sched_entry_seq]
+            heapq.heapify(live)
+            self._cheap = live
+
+    def next_completion(self) -> float:
+        """Seconds until the earliest runnable segment completes (inf if none)."""
+        if not self._incremental:
+            best = float("inf")
+            for g in self._snapshot:
+                for t in g.cgroup.runnable_threads:
+                    ttc = t.time_to_completion()
+                    if ttc < best:
+                        best = ttc
+            return best
+        if self.dirty:
+            self.reallocate()
+        heap = self._cheap
+        popped: list[tuple[float, int, Cgroup]] = []
+        best = float("inf")
+        limit: float | None = None
+        while heap:
+            t_est, push_id, cg = heap[0]
+            if push_id != cg._sched_entry_seq:
+                heapq.heappop(heap)
+                continue
+            if limit is not None and t_est > limit:
+                break
+            heapq.heappop(heap)
+            popped.append((t_est, push_id, cg))
+            if limit is None:
+                limit = t_est + _CAND_WINDOW
+            head = cg._completion_head()
+            if head is not None:
+                ttc = head.time_to_completion()
+                if ttc < best:
+                    best = ttc
+        for entry in popped:
+            heapq.heappush(heap, entry)
+        return best
+
+    def pop_finished(self) -> "list[SimThread]":
+        """Pop every thread whose current segment is due, in canonical order.
+
+        Canonical order — groups by creation ``seq``, threads by tid —
+        is identical across engine modes, so completion callbacks fire
+        in the same order and traces stay byte-identical.
+        """
+        if not self._incremental:
+            finished: list[SimThread] = []
+            for g in self._snapshot:
+                cg = g.cgroup
+                due = [t for t in cg.runnable_threads if t.segment_finished]
+                if due:
+                    due.sort(key=lambda t: t.tid)
+                    finished.extend(due)
+                    cg._pop_due()       # keep the (unused) index trimmed
+            return finished
+        if self.dirty:
+            self.reallocate()
+        heap = self._cheap
+        limit = self._time + _CAND_WINDOW
+        candidates: set[Cgroup] = set()
+        while heap:
+            t_est, push_id, cg = heap[0]
+            if push_id != cg._sched_entry_seq:
+                heapq.heappop(heap)
+                continue
+            if t_est > limit:
+                break
+            heapq.heappop(heap)
+            candidates.add(cg)
+        if self._due_zero:
+            candidates.update(self._due_zero)
+        finished = []
+        for cg in sorted(candidates, key=lambda c: c.seq):
+            finished.extend(cg._pop_due())
+            self._push_entry(cg)
+        return finished
 
     # -- queries ---------------------------------------------------------------
 
@@ -253,104 +573,82 @@ class FairScheduler:
     # -- accrual (called by the world between events) -----------------------------
 
     def advance(self, dt: float) -> None:
-        """Accrue ``dt`` seconds of CPU usage at the current snapshot."""
+        """Accrue ``dt`` seconds of CPU usage at the current snapshot.
+
+        O(busy groups): per-group progress/occupancy integrals advance
+        here; threads resolve their own accounting against them lazily.
+        Idle groups' PSI averages decay lazily on read (the accumulators
+        are clock-bound), so no hierarchy walk happens per event.
+        """
         if dt <= 0.0:
             return
+        self._time += dt
         idle = self.idle_capacity()
         self.total_idle_time += idle * dt
         self.window_idle += idle * dt
+        eps = self.params.eps
         total_demand = 0.0
-        busy = set()
-        for g in self._snapshot:
-            cg = g.cgroup
-            used = g.rate * dt
-            cg.total_cpu_time += used
-            cg.window_usage += used
-            demand = min(float(g.n_threads), float(len(cg.effective_cpuset())))
-            total_demand += demand
-            # Throttling: demand the quota clipped (the fluid analogue of
-            # cpu.stat's throttled_time).
-            quota = cg.quota_cores
-            if quota != float("inf"):
-                clipped = max(0.0, demand - quota)
-                if clipped > 0.0 and g.rate >= quota - 1e-9:
-                    cg.throttled_time += clipped * dt
-                    cg.throttled_wall += dt
-            self._accrue_pressure(g, cg, demand, dt, busy)
-            occupancy = g.per_thread_occupancy
-            for t in list(cg.runnable_threads):
-                t.advance(dt, occupancy)
-        self._accrue_idle_and_host_pressure(dt, total_demand, busy)
-
-    # -- PSI-style pressure accrual ----------------------------------------
-
-    def _accrue_pressure(self, g: GroupAlloc, cg: Cgroup, demand: float,
-                         dt: float, busy: set[int]) -> None:
-        """Stall accounting for one snapshot group over ``dt`` seconds.
-
-        CPU ``some`` is the unmet share of the group's runnable demand
-        (quota throttling, share contention, cpuset limits alike); CPU
-        ``full`` is a group with runnable threads making zero progress.
-        Memory stall is the swap/reclaim slowdown: the fluid model slows
-        every thread of a pressured group uniformly, so some == full —
-        "all non-idle tasks stalled" exactly as much as "some task".
-        """
-        busy.add(id(cg))
-        if cg.parent is None:
-            return  # the root carries host-wide pressure, accrued below
-        some = max(0.0, demand - g.rate) / demand if demand > 0 else 0.0
-        full = 1.0 if (g.n_threads > 0 and g.rate <= self.params.eps) else 0.0
-        cg.pressure.cpu.advance(dt, some, full)
-        mem_frac = max(0.0, 1.0 - cg.progress_multiplier)
-        cg.pressure.memory.advance(dt, mem_frac, mem_frac)
-
-    def _accrue_idle_and_host_pressure(self, dt: float, total_demand: float,
-                                       busy: set[int]) -> None:
-        """Decay idle groups and accrue host-wide pressure into the root."""
         mem_some = 0.0
         mem_full = 1.0 if self._snapshot else 0.0
         for g in self._snapshot:
-            frac = max(0.0, 1.0 - g.cgroup.progress_multiplier)
-            mem_some = max(mem_some, frac)
-            mem_full = min(mem_full, frac)
-        for cg in self.cgroups.walk():
-            if cg.parent is None:
-                allocated = self.total_allocated()
-                some = (max(0.0, total_demand - allocated) / total_demand
-                        if total_demand > 0 else 0.0)
-                full = 1.0 if (total_demand > 0
-                               and allocated <= self.params.eps) else 0.0
-                cg.pressure.cpu.advance(dt, some, full)
-                cg.pressure.memory.advance(dt, mem_some, mem_full)
-            elif id(cg) not in busy:
-                cg.pressure.cpu.advance(dt, 0.0, 0.0)
-                cg.pressure.memory.advance(dt, 0.0, 0.0)
-
-    def next_completion(self) -> float:
-        """Seconds until the earliest runnable segment completes (inf if none)."""
-        best = float("inf")
-        for g in self._snapshot:
-            for t in g.cgroup.runnable_threads:
-                ttc = t.time_to_completion()
-                if ttc < best:
-                    best = ttc
-        return best
+            cg = g.cgroup
+            rate = g.rate
+            used = rate * dt
+            cg.total_cpu_time += used
+            cg.window_usage += used
+            demand = g.demand
+            total_demand += demand
+            # Throttling: demand the quota clipped (the fluid analogue of
+            # cpu.stat's throttled_time).
+            quota = g.quota
+            if quota != float("inf"):
+                clipped = max(0.0, demand - quota)
+                if clipped > 0.0 and rate >= quota - 1e-9:
+                    cg.throttled_time += clipped * dt
+                    cg.throttled_wall += dt
+            cg.progress_acc += cg._thread_rate * dt
+            cg.occupancy_acc += cg._occ_rate * dt
+            # CPU some: unmet share of runnable demand; full: runnable but
+            # making no progress.  Memory stall is the swap/reclaim
+            # slowdown, which hits every thread uniformly (some == full).
+            mem_frac = max(0.0, 1.0 - cg.progress_multiplier)
+            mem_some = max(mem_some, mem_frac)
+            mem_full = min(mem_full, mem_frac)
+            if cg.parent is not None:
+                some = max(0.0, demand - rate) / demand if demand > 0 else 0.0
+                full = 1.0 if (g.n_threads > 0 and rate <= eps) else 0.0
+                cg.pressure.cpu.maybe_advance(dt, some, full)
+                cg.pressure.memory.maybe_advance(dt, mem_frac, mem_frac)
+        # The root cgroup carries host-wide pressure, mirroring how
+        # /proc/pressure reads the root group in Linux.
+        allocated = self.total_allocated()
+        some = (max(0.0, total_demand - allocated) / total_demand
+                if total_demand > 0 else 0.0)
+        full = 1.0 if (total_demand > 0 and allocated <= eps) else 0.0
+        root = self.cgroups.root
+        root.pressure.cpu.maybe_advance(dt, some, full)
+        root.pressure.memory.maybe_advance(dt, mem_some, mem_full)
 
     def contention_pressure(self, cgroup: Cgroup) -> float:
         """The current contention-domain pressure around ``cgroup``.
 
         Used by runtimes whose synchronizing phases (stop-the-world GC)
         are more interference-sensitive than independent threads.
-        Returns 0.0 when the cgroup is not in the current snapshot.
+        Memoized per snapshot: busy groups read the value computed at
+        solve time; offline groups (e.g. mutators parked at a safepoint)
+        are computed once per snapshot and cached until the next
+        reallocation.
         """
-        if self._dirty:
+        if self.dirty:
             self.reallocate()
-        for g, pressure in zip(self._snapshot,
-                               self._contention_pressures(self._snapshot)):
-            if g.cgroup is cgroup:
-                return pressure
-        # Not runnable right now (e.g. mutators parked at a safepoint):
-        # measure the pressure its threads would face on its cpuset.
+        g = self._galloc.get(cgroup)
+        if g is not None:
+            return g.pressure
+        cached = self._offline_pressure.get(cgroup)
+        if cached is not None:
+            return cached
+        # Not runnable right now: measure the pressure its threads would
+        # face on its cpuset.
         mask = set(cgroup.effective_cpuset())
         domain = set(mask)
         threads = 0.0
@@ -359,7 +657,9 @@ class FairScheduler:
             if mask & other:
                 domain |= other
                 threads += g.n_threads
-        return threads / len(domain) if domain else 0.0
+        value = threads / len(domain) if domain else 0.0
+        self._offline_pressure[cgroup] = value
+        return value
 
     def fair_share_estimate(self, cgroup: Cgroup) -> float:
         """Steady-state cores this cgroup can count on while contended.
@@ -368,7 +668,7 @@ class FairScheduler:
         that currently have runnable threads.  Used by runtimes to reason
         about oversubscription independent of instantaneous blocking.
         """
-        if self._dirty:
+        if self.dirty:
             self.reallocate()
         active_weight = sum(g.weight for g in self._snapshot
                             if g.cgroup is not cgroup)

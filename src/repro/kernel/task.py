@@ -2,10 +2,20 @@
 
 A :class:`SimThread` executes a sequence of *work segments*, each a fixed
 amount of CPU work in cpu-seconds.  The scheduler assigns every runnable
-thread a progress rate; the world advances all threads between events and
-invokes the segment-completion callback when a segment's remaining work
-reaches zero.  Runtimes (JVM, OpenMP, workload drivers) build their
-behaviour out of segments, blocking, and waking.
+thread's cgroup a progress rate; the world advances the per-cgroup
+progress integrals between events and pops the segment-completion
+callbacks that fall due.  Runtimes (JVM, OpenMP, workload drivers) build
+their behaviour out of segments, blocking, and waking.
+
+Accounting is **lazily accrued**: every runnable thread of a cgroup
+progresses at the same rate, so the engine keeps one cumulative progress
+integral per cgroup (:attr:`~repro.kernel.cgroup.Cgroup.progress_acc`)
+and resolves a thread's remaining work against it on demand.  A thread
+records the integral value at which its current segment completes
+(``_target``); ``remaining`` is simply ``target - progress_acc``.  The
+accumulators are materialized back into the thread whenever it stops
+running (block/exit) or is handed a new segment, so blocked threads keep
+exact totals without participating in any per-event work.
 """
 
 from __future__ import annotations
@@ -35,7 +45,8 @@ class ThreadState(enum.Enum):
 class SimThread:
     """A schedulable thread bound to a cgroup.
 
-    Attributes maintained by the scheduler/world:
+    Accounting views (resolved lazily against the cgroup's integrals
+    while the thread runs, materialized when it stops):
 
     * ``progress_rate`` — cores of *useful* progress per second (includes
       oversubscription and memory-pressure penalties).
@@ -46,8 +57,9 @@ class SimThread:
     _next_tid = [100]
 
     __slots__ = (
-        "tid", "name", "cgroup", "state", "remaining", "on_segment_done",
-        "progress_rate", "cpu_time", "progress_done", "created_at",
+        "tid", "name", "cgroup", "state", "on_segment_done", "created_at",
+        "_work", "_target", "_base_progress", "_base_occupancy",
+        "_cpu_time", "_progress_done",
     )
 
     def __init__(self, name: str, cgroup: "Cgroup", *, created_at: float = 0.0):
@@ -56,12 +68,14 @@ class SimThread:
         self.name = name
         self.cgroup = cgroup
         self.state = ThreadState.BLOCKED
-        self.remaining = 0.0
         self.on_segment_done: Callable[["SimThread"], None] | None = None
-        self.progress_rate = 0.0
-        self.cpu_time = 0.0
-        self.progress_done = 0.0
         self.created_at = created_at
+        self._work = 0.0             # remaining work while not runnable
+        self._target = 0.0           # progress_acc value at completion
+        self._base_progress = 0.0
+        self._base_occupancy = 0.0
+        self._cpu_time = 0.0
+        self._progress_done = 0.0
         cgroup.attach_thread(self)
 
     # -- work assignment -------------------------------------------------
@@ -73,9 +87,17 @@ class SimThread:
             raise SchedulerError(f"cannot assign work to exited thread {self.name!r}")
         if cpu_seconds < 0:
             raise SchedulerError(f"negative work segment {cpu_seconds!r} for {self.name!r}")
-        self.remaining = float(cpu_seconds)
-        self.on_segment_done = on_done
-        self._set_state(ThreadState.RUNNABLE)
+        if self.state is ThreadState.RUNNABLE:
+            # Replacing the segment of a running thread: fold the partial
+            # progress into the totals, then re-anchor at the new target.
+            self._settle()
+            self._work = float(cpu_seconds)
+            self.on_segment_done = on_done
+            self._restart()
+        else:
+            self._work = float(cpu_seconds)
+            self.on_segment_done = on_done
+            self._set_state(ThreadState.RUNNABLE)
 
     def block(self) -> None:
         """Park the thread (e.g. a mutator stopped at a GC safepoint)."""
@@ -97,34 +119,92 @@ class SimThread:
         if new is self.state:
             return
         old = self.state
+        if old is ThreadState.RUNNABLE:
+            self._settle()
         self.state = new
+        if new is ThreadState.RUNNABLE:
+            self._restart()
         self.cgroup.on_thread_state_change(self, old, new)
 
-    # -- accounting (called by the world between events) ------------------
+    # -- lazy accrual plumbing --------------------------------------------
+
+    def _settle(self) -> None:
+        """Materialize lazily-accrued progress/occupancy into the totals."""
+        cg = self.cgroup
+        self._progress_done += cg.progress_acc - self._base_progress
+        self._cpu_time += cg.occupancy_acc - self._base_occupancy
+        self._work = max(0.0, self._target - cg.progress_acc)
+        self._base_progress = cg.progress_acc
+        self._base_occupancy = cg.occupancy_acc
+
+    def _restart(self) -> None:
+        """Anchor the segment in the cgroup's progress coordinates."""
+        cg = self.cgroup
+        self._base_progress = cg.progress_acc
+        self._base_occupancy = cg.occupancy_acc
+        self._target = cg.progress_acc + self._work
+        cg._enqueue_completion(self)
+
+    # -- accounting views ---------------------------------------------------
 
     @property
     def runnable(self) -> bool:
         return self.state is ThreadState.RUNNABLE
 
-    def advance(self, dt: float, occupancy_rate: float) -> None:
-        """Accrue ``dt`` seconds of progress at the current rates."""
-        if not self.runnable:
-            return
-        self.remaining = max(0.0, self.remaining - self.progress_rate * dt)
-        self.progress_done += self.progress_rate * dt
-        self.cpu_time += occupancy_rate * dt
+    @property
+    def remaining(self) -> float:
+        """CPU-seconds of work left in the current segment."""
+        if self.state is ThreadState.RUNNABLE:
+            return max(0.0, self._target - self.cgroup.progress_acc)
+        return self._work
+
+    @property
+    def progress_rate(self) -> float:
+        """Useful progress rate while runnable (cores), else 0."""
+        if self.state is ThreadState.RUNNABLE:
+            return self.cgroup._thread_rate
+        return 0.0
+
+    @property
+    def cpu_time(self) -> float:
+        """Total CPU seconds charged to the thread (occupancy)."""
+        if self.state is ThreadState.RUNNABLE:
+            return self._cpu_time + (self.cgroup.occupancy_acc
+                                     - self._base_occupancy)
+        return self._cpu_time
+
+    @property
+    def progress_done(self) -> float:
+        """Total useful progress accrued over the thread's lifetime."""
+        if self.state is ThreadState.RUNNABLE:
+            return self._progress_done + (self.cgroup.progress_acc
+                                          - self._base_progress)
+        return self._progress_done
 
     @property
     def segment_finished(self) -> bool:
-        return self.runnable and self.remaining <= WORK_EPS
+        # The epsilon scales with the target because the progress integral
+        # is cumulative: after advancing exactly time-to-completion, the
+        # residual is on the order of ulp(target), not an absolute bound.
+        return (self.state is ThreadState.RUNNABLE
+                and self._target - self.cgroup.progress_acc
+                <= WORK_EPS + 1e-15 * self._target)
 
     def time_to_completion(self) -> float:
         """Seconds until the current segment completes at the current rate."""
-        if not self.runnable or self.progress_rate <= 0.0:
+        if self.state is not ThreadState.RUNNABLE:
             return float("inf")
-        if self.remaining <= WORK_EPS:
+        rate = self.cgroup._thread_rate
+        if rate <= 0.0:
+            return float("inf")
+        remaining = self._target - self.cgroup.progress_acc
+        if remaining <= WORK_EPS + 1e-15 * self._target:
             return 0.0
-        return self.remaining / self.progress_rate
+        return remaining / rate
+
+    def _finish_segment(self) -> None:
+        """Snap a due segment to exactly zero remaining work."""
+        self._target = self.cgroup.progress_acc
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<SimThread {self.name} tid={self.tid} {self.state.value} "

@@ -20,6 +20,15 @@ Unlike the kernel's periodic 2-second averager, the simulator updates
 the windowed averages with an exact exponential decay at every fluid
 accrual step — deterministic for a given event sequence, so pressure
 files are bit-identical across same-seed runs.
+
+Accumulators may be **clock-bound** (:meth:`PressureStall.bind_clock`):
+a bound accumulator decays its averages lazily, on read, from the last
+time it was touched — so a fleet of idle cgroups costs nothing per
+simulation event, yet reads exactly what eager per-event decay would
+have produced (``exp`` folds: ``exp(-a/W) * exp(-b/W) == exp(-(a+b)/W)``
+up to one rounding, and the engine accrues idle stretches as single
+intervals in both engine modes).  Unbound accumulators keep the eager
+semantics.
 """
 
 from __future__ import annotations
@@ -44,18 +53,40 @@ class PressureStall:
     continuous-time limit of the kernel's periodic decay.
     """
 
-    __slots__ = ("some_total", "full_total", "_some_avg", "_full_avg")
+    __slots__ = ("some_total", "full_total", "_some_avg", "_full_avg",
+                 "_clock", "_synced")
 
     def __init__(self) -> None:
         self.some_total = 0.0          # stall seconds, some task stalled
         self.full_total = 0.0          # stall seconds, all tasks stalled
         self._some_avg = [0.0] * len(PSI_WINDOWS)
         self._full_avg = [0.0] * len(PSI_WINDOWS)
+        self._clock = None             # set by bind_clock for lazy decay
+        self._synced = 0.0             # sim time the averages are decayed to
+
+    def bind_clock(self, clock) -> None:
+        """Switch to lazy decay against ``clock`` (anything with ``.now``)."""
+        self._clock = clock
+        self._synced = clock.now
+
+    def _sync(self) -> None:
+        """Decay the averages over the untouched stretch since last sync."""
+        if self._clock is None:
+            return
+        dt = self._clock.now - self._synced
+        if dt <= 0.0:
+            return
+        self._synced = self._clock.now
+        for i, window in enumerate(PSI_WINDOWS):
+            decay = math.exp(-dt / window)
+            self._some_avg[i] *= decay
+            self._full_avg[i] *= decay
 
     def advance(self, dt: float, some_frac: float, full_frac: float) -> None:
         """Accrue ``dt`` seconds at the given stall fractions."""
         if dt <= 0.0:
             return
+        self._sync()
         some = min(1.0, max(0.0, some_frac))
         # full can never exceed some: all-stalled implies some-stalled.
         full = min(some, max(0.0, full_frac))
@@ -65,6 +96,23 @@ class PressureStall:
             decay = math.exp(-dt / window)
             self._some_avg[i] = self._some_avg[i] * decay + some * (1.0 - decay)
             self._full_avg[i] = self._full_avg[i] * decay + full * (1.0 - decay)
+        if self._clock is not None:
+            # The caller is accruing [now, now + dt] ahead of the clock
+            # tick (the scheduler integrates before the jump lands).
+            self._synced = self._clock.now + dt
+
+    def maybe_advance(self, dt: float, some_frac: float, full_frac: float) -> None:
+        """Accrue, skipping the call entirely when it would only decay.
+
+        A zero-stall interval adds nothing to the totals and only decays
+        the averages — which a clock-bound accumulator already does
+        lazily on the next read.  This keeps idle/uncontended groups off
+        the per-event hot path.  Unbound accumulators always advance
+        eagerly (they have no other way to decay).
+        """
+        if self._clock is not None and some_frac == 0.0 and full_frac == 0.0:
+            return
+        self.advance(dt, some_frac, full_frac)
 
     def avg(self, kind: str, window: float) -> float:
         """Windowed stall-time fraction in [0, 1] (not percent)."""
@@ -76,6 +124,7 @@ class PressureStall:
         except ValueError:
             raise ReproError(f"pressure window must be one of {PSI_WINDOWS}, "
                              f"got {window}") from None
+        self._sync()
         return (self._some_avg if kind == "some" else self._full_avg)[i]
 
     def total(self, kind: str) -> float:
@@ -88,6 +137,7 @@ class PressureStall:
 
     def format(self) -> str:
         """The Linux pressure-file rendering (``some``/``full`` lines)."""
+        self._sync()
         lines = []
         for kind, avgs, total in (("some", self._some_avg, self.some_total),
                                   ("full", self._full_avg, self.full_total)):
@@ -110,6 +160,11 @@ class CgroupPressure:
     def __init__(self) -> None:
         self.cpu = PressureStall()
         self.memory = PressureStall()
+
+    def bind_clock(self, clock) -> None:
+        """Bind both accumulators to a clock for lazy (on-read) decay."""
+        self.cpu.bind_clock(clock)
+        self.memory.bind_clock(clock)
 
     def as_dict(self) -> dict[str, dict[str, float]]:
         """Flat snapshot used by the exporters (fractions, not percent)."""

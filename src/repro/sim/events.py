@@ -28,7 +28,8 @@ class EventHandle:
     handle stops future firings.
     """
 
-    __slots__ = ("when", "period", "callback", "name", "cancelled", "_fired")
+    __slots__ = ("when", "period", "callback", "name", "cancelled", "_fired",
+                 "_loop", "_in_heap")
 
     def __init__(self, when: float, callback: Callable[[], None], *,
                  period: float | None = None, name: str = ""):
@@ -38,10 +39,15 @@ class EventHandle:
         self.name = name
         self.cancelled = False
         self._fired = False
+        self._loop: "EventLoop | None" = None
+        self._in_heap = False
 
     def cancel(self) -> None:
         """Prevent the event from firing (again)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._in_heap and self._loop is not None:
+                self._loop._note_cancelled()
 
     @property
     def active(self) -> bool:
@@ -60,6 +66,38 @@ class EventLoop:
         self.clock = clock
         self._heap: list[tuple[float, int, EventHandle]] = []
         self._counter = itertools.count()
+        self._n_cancelled = 0   # cancelled entries still sitting in the heap
+
+    def _push(self, handle: EventHandle, when: float) -> None:
+        handle._loop = self
+        handle._in_heap = True
+        heapq.heappush(self._heap, (when, next(self._counter), handle))
+
+    def _popped(self, handle: EventHandle) -> None:
+        handle._in_heap = False
+        if handle.cancelled:
+            self._n_cancelled -= 1
+
+    def _note_cancelled(self) -> None:
+        """A live heap entry was cancelled; compact when they dominate.
+
+        Long-lived worlds cancel timers constantly (request timeouts that
+        rarely fire); without compaction the heap grows with cancellations
+        rather than with pending events.  Rebuilding once cancelled
+        entries outnumber live ones keeps push/pop at O(log live) with
+        amortized O(1) compaction cost per cancellation.
+        """
+        self._n_cancelled += 1
+        if len(self._heap) >= 64 and 2 * self._n_cancelled > len(self._heap):
+            live = []
+            for entry in self._heap:
+                if entry[2].cancelled:
+                    entry[2]._in_heap = False
+                else:
+                    live.append(entry)
+            heapq.heapify(live)
+            self._heap = live
+            self._n_cancelled = 0
 
     # -- scheduling ------------------------------------------------------
 
@@ -70,7 +108,7 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule event {name!r} at {when!r}, now is {self.clock.now!r}")
         handle = EventHandle(when, callback, name=name)
-        heapq.heappush(self._heap, (when, next(self._counter), handle))
+        self._push(handle, when)
         return handle
 
     def call_after(self, delay: float, callback: Callable[[], None], *,
@@ -94,7 +132,7 @@ class EventLoop:
         if delay < 0:
             raise SimulationError(f"negative first_after {delay!r} for timer {name!r}")
         handle = EventHandle(self.clock.now + delay, callback, period=period, name=name)
-        heapq.heappush(self._heap, (handle.when, next(self._counter), handle))
+        self._push(handle, handle.when)
         return handle
 
     # -- introspection ---------------------------------------------------
@@ -102,11 +140,11 @@ class EventLoop:
     def next_event_time(self) -> float | None:
         """Absolute time of the earliest pending event, or None if idle."""
         while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
+            self._popped(heapq.heappop(self._heap)[2])
         return self._heap[0][0] if self._heap else None
 
     def __len__(self) -> int:
-        return sum(1 for _, _, h in self._heap if not h.cancelled)
+        return len(self._heap) - self._n_cancelled
 
     # -- execution -------------------------------------------------------
 
@@ -132,6 +170,7 @@ class EventLoop:
 
     def _pop_and_fire(self) -> None:
         when, _, handle = heapq.heappop(self._heap)
+        self._popped(handle)
         if handle.cancelled:
             return
         self.clock.advance_to(when)
@@ -140,4 +179,4 @@ class EventLoop:
         # Re-arm periodic timers unless the callback cancelled them.
         if handle.period is not None and not handle.cancelled:
             handle.when = self.clock.now + handle.period
-            heapq.heappush(self._heap, (handle.when, next(self._counter), handle))
+            self._push(handle, handle.when)

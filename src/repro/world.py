@@ -53,7 +53,12 @@ class World:
                  cpu_view_params: CpuViewParams | None = None,
                  mem_view_params: MemViewParams | None = None,
                  sys_ns_update_period: float | None = None,
-                 trace: bool = False, seed: int = 0):
+                 trace: bool = False, seed: int = 0,
+                 engine: str = "incremental"):
+        if engine not in ("incremental", "scan"):
+            raise SimulationError(
+                f"unknown engine {engine!r}: expected 'incremental' or 'scan'")
+        self.engine = engine
         self.clock = SimClock()
         self.events = EventLoop(self.clock)
         from repro.tracelog import TraceLog
@@ -61,7 +66,9 @@ class World:
         self.rng = RngFactory(seed)
         self.host = HostCpus(ncpus)
         self.cgroups = CgroupRoot(self.host)
-        self.sched = FairScheduler(self.host, self.cgroups, sched_params)
+        self.cgroups.bind_clock(self.clock)
+        self.sched = FairScheduler(self.host, self.cgroups, sched_params,
+                                   incremental=(engine == "incremental"))
         self.mm = MemoryManager(memory, self.cgroups, mm_params)
         self.mm.event_hook = (
             lambda category, message, **fields:
@@ -102,12 +109,8 @@ class World:
             return False
         candidates = [t for t in (t_event, t_completion) if t is not None]
         t = min(candidates)
-        dt = t - now
-        if dt > 0:
-            n_run = self.sched.n_runnable_total()
-            self.sched.advance(dt)
-            self.loadavg.advance(dt, n_run)
-            self.clock.advance_to(t)
+        if t > now:
+            self._accrue_to(t)
         # Handle completed segments before timers due at the same instant,
         # then fire every event that is now due.
         self._complete_finished_segments()
@@ -120,17 +123,35 @@ class World:
         self.steps += 1
         return True
 
+    def _accrue_to(self, t: float) -> None:
+        """Advance accounting (CPU usage, loadavg) and the clock to ``t``.
+
+        The single accrual path: every way time passes — a normal step, a
+        clamped step hitting its deadline, or ``run(until=...)`` draining
+        the tail — routes through here so no interval is ever skipped.
+        """
+        if self.sched.dirty:
+            self.sched.reallocate()
+        dt = t - self.clock.now
+        if dt <= 0:
+            return
+        n_run = self.sched.n_runnable_total()
+        self.sched.advance(dt)
+        self.loadavg.advance(dt, n_run)
+        self.clock.advance_to(t)
+
     def _complete_finished_segments(self) -> None:
         """Fire segment-completion callbacks; callbacks may cascade."""
         for _ in range(10_000):
-            finished = [t for g in self.sched.snapshot
-                        for t in list(g.cgroup.runnable_threads)
-                        if t.segment_finished]
+            if self.sched.dirty:
+                self.sched.reallocate()
+            finished = self.sched.pop_finished()
             if not finished:
                 return
             for t in finished:
                 if not t.segment_finished:  # state changed by a prior callback
                     continue
+                t._finish_segment()
                 cb = t.on_segment_done
                 t.on_segment_done = None
                 if cb is None:
@@ -138,8 +159,10 @@ class World:
                     t.block()
                 else:
                     cb(t)
-            if self.sched.dirty:
-                self.sched.reallocate()
+                if t.runnable and t.segment_finished:
+                    # Still due (a zero-work follow-on segment): re-index
+                    # so the next wave picks it up.
+                    t.cgroup._enqueue_completion(t)
         raise SimulationError("segment-completion cascade did not converge")
 
     def run(self, *, until: float | None = None, max_steps: int | None = None) -> None:
@@ -160,7 +183,10 @@ class World:
                     break
             steps += 1
         if until is not None and self.clock.now < until:
-            self.clock.advance_to(until)
+            # Accrue the trailing gap (usage, pressure, loadavg), not just
+            # the clock: otherwise the stretch between the last event and
+            # the deadline would vanish from every integral.
+            self._accrue_to(until)
 
     def _step_clamped(self, deadline: float) -> bool:
         """Like :meth:`step` but never advances past ``deadline``."""
@@ -176,12 +202,8 @@ class World:
         t = min(candidates)
         if t > deadline:
             # Advance accounting up to the deadline and stop.
-            dt = deadline - now
-            if dt > 0:
-                n_run = self.sched.n_runnable_total()
-                self.sched.advance(dt)
-                self.loadavg.advance(dt, n_run)
-                self.clock.advance_to(deadline)
+            if deadline > now:
+                self._accrue_to(deadline)
             return False
         return self.step()
 

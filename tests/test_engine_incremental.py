@@ -1,0 +1,207 @@
+"""The incremental engine's determinism and exactness contracts.
+
+Three layers of evidence that the O(changed) engine is *identical* to
+the brute-force reference, not merely close:
+
+* **Golden trace** — a committed JSONL fixture that both engine modes
+  must reproduce byte-for-byte, run after run (regenerate only for an
+  intentional behaviour change: ``python -m tests.engine_scenarios
+  --write``).
+* **Property tests** — the two-level completion index against a
+  brute-force scan over every runnable thread, on randomized fleets.
+* **Paired stepping** — two worlds (one per engine) driven through the
+  same randomized perturbation script must agree on every float they
+  expose at every step.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.container.spec import ContainerSpec
+from repro.kernel.cgroup import CgroupRoot
+from repro.kernel.cpu import HostCpus
+from repro.kernel.sched.fair import FairScheduler
+from repro.kernel.task import SimThread
+from repro.units import mib
+from repro.world import World
+from tests.engine_scenarios import GOLDEN_PATH, run_scenario
+
+
+class TestGoldenTrace:
+    def test_incremental_matches_committed_fixture(self):
+        assert run_scenario("incremental") == GOLDEN_PATH.read_text()
+
+    def test_scan_matches_committed_fixture(self):
+        assert run_scenario("scan") == GOLDEN_PATH.read_text()
+
+    def test_repeat_runs_byte_identical(self):
+        assert run_scenario("incremental") == run_scenario("incremental")
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            World(ncpus=2, engine="psychic")
+
+    def test_modes_expose_engine_attr(self):
+        assert World(ncpus=2).engine == "incremental"
+        assert World(ncpus=2, engine="scan").engine == "scan"
+        assert World(ncpus=2, engine="scan").sched.incremental is False
+
+
+def _random_fleet(rng: random.Random, ncpus: int = 8):
+    """A scheduler over a random hierarchy with random runnable threads."""
+    host = HostCpus(ncpus)
+    root = CgroupRoot(host)
+    sched = FairScheduler(host, root)
+    groups = []
+    threads = []
+    for i in range(rng.randrange(1, 7)):
+        cg = root.root.create_child(f"g{i}")
+        if rng.random() < 0.4:
+            lo = rng.randrange(0, ncpus - 1)
+            hi = rng.randrange(lo, ncpus - 1)
+            cg.set_cpuset(f"{lo}-{hi + 1}")
+        if rng.random() < 0.3:
+            cg.set_cpu_quota(rng.randrange(50_000, 400_000))
+        if rng.random() < 0.3:
+            cg.set_cpu_shares(rng.choice((256, 512, 2048)))
+        groups.append(cg)
+        for j in range(rng.randrange(0, 4)):
+            t = SimThread(f"t{i}.{j}", cg)
+            t.assign_work(rng.uniform(0.01, 2.0))
+            threads.append(t)
+    return sched, groups, threads
+
+
+def _brute_force_next_completion(sched) -> float:
+    best = float("inf")
+    for g in sched.snapshot:
+        for t in g.cgroup.runnable_threads:
+            best = min(best, t.time_to_completion())
+    return best
+
+
+class TestCompletionIndexProperties:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_index_matches_brute_force_scan(self, seed):
+        rng = random.Random(seed)
+        sched, groups, threads = _random_fleet(rng)
+        sched.reallocate()
+        for _ in range(60):
+            # Random perturbation: advance, assign, block, wake.
+            op = rng.random()
+            if op < 0.45 and threads:
+                t = rng.choice(threads)
+                t.assign_work(rng.uniform(0.0, 1.5))
+            elif op < 0.6 and threads:
+                t = rng.choice(threads)
+                if t.runnable:
+                    t.block()
+                else:
+                    t.wake()
+            elif op < 0.75:
+                ttc = sched.next_completion()
+                dt = rng.uniform(0.001, 0.3)
+                if ttc != float("inf"):
+                    dt = min(dt, ttc)
+                sched.advance(dt)
+            if sched.dirty:
+                sched.reallocate()
+            assert sched.next_completion() == _brute_force_next_completion(sched)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pop_finished_matches_scan_of_due_threads(self, seed):
+        rng = random.Random(1000 + seed)
+        sched, groups, threads = _random_fleet(rng)
+        sched.reallocate()
+        for _ in range(40):
+            ttc = sched.next_completion()
+            if ttc == float("inf"):
+                for t in threads:
+                    if not t.runnable:
+                        t.wake()
+                        t.assign_work(rng.uniform(0.01, 0.5))
+                        break
+                else:
+                    break
+                sched.reallocate()
+                continue
+            sched.advance(ttc)
+            expected = sorted(
+                (t for g in sched.snapshot
+                 for t in g.cgroup.runnable_threads if t.segment_finished),
+                key=lambda t: (t.cgroup.seq, t.tid))
+            got = sched.pop_finished()
+            assert got == expected
+            assert expected, "advancing by next_completion must make a thread due"
+            for t in got:
+                t._finish_segment()
+                t.assign_work(rng.uniform(0.01, 0.8))
+            if sched.dirty:
+                sched.reallocate()
+
+
+class TestPairedEngines:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_worlds_agree_step_by_step(self, seed):
+        rng = random.Random(2000 + seed)
+        worlds = [World(ncpus=6, engine=e, seed=seed)
+                  for e in ("incremental", "scan")]
+        containers = []
+        for w in worlds:
+            cs = [w.containers.create(ContainerSpec(
+                f"c{i}", cpuset="0-2" if i == 0 else None,
+                memory_limit=mib(64))) for i in range(3)]
+            for i, c in enumerate(cs):
+                for j in range(i + 1):
+                    c.spawn_thread(f"w{j}").assign_work(0.05 * (j + 1))
+            containers.append(cs)
+        script = [(rng.uniform(0.01, 0.2), rng.randrange(3), rng.random())
+                  for _ in range(30)]
+        for dt, idx, action in script:
+            for w, cs in zip(worlds, containers):
+                w.run(until=w.now + dt)
+                t = cs[idx].spawn_thread("x") if action < 0.2 else None
+                if t is not None:
+                    t.assign_work(0.03)
+                elif action < 0.4:
+                    cs[idx].cgroup.set_cpu_shares(
+                        256 + int(action * 1000))
+            a, b = worlds
+            assert a.now == b.now
+            assert a.sched.total_allocated() == b.sched.total_allocated()
+            assert a.loadavg.load_1 == b.loadavg.load_1
+            for ca, cb in zip(*containers):
+                assert ca.cgroup.cpu_rate == cb.cgroup.cpu_rate
+                assert ca.cgroup.total_cpu_time == cb.cgroup.total_cpu_time
+                assert ca.cgroup.progress_acc == cb.cgroup.progress_acc
+                assert (ca.cgroup.pressure.cpu.some_total
+                        == cb.cgroup.pressure.cpu.some_total)
+
+
+class TestRunUntilAccrual:
+    def test_trailing_gap_accrues_usage_not_just_clock(self):
+        # A busy thread with no events pending: run(until=) must charge
+        # the whole interval, not silently jump the clock over the tail.
+        world = World(ncpus=2)
+        c = world.containers.create(ContainerSpec("c"))
+        c.spawn_thread("w").assign_work(1e9)
+        world.run(until=5.0)
+        assert world.now == 5.0
+        assert c.cgroup.total_cpu_time == pytest.approx(5.0)
+        # Idle accounting covers the same stretch on the host side.
+        assert world.sched.total_idle_time == pytest.approx(5.0)
+
+    def test_loadavg_sees_trailing_gap(self):
+        world = World(ncpus=2)
+        c = world.containers.create(ContainerSpec("c"))
+        for i in range(4):
+            c.spawn_thread(f"w{i}").assign_work(1e9)
+        world.run(until=60.0)
+        # 4 runnable threads sustained for a minute: load_1 approaches 4.
+        assert world.loadavg.load_1 > 2.0

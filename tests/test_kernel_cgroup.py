@@ -201,7 +201,7 @@ class TestThreadMembership:
 
     def test_dirty_hook_fires_on_state_change(self, root):
         calls = []
-        root.set_dirty_hook(lambda: calls.append(1))
+        root.set_dirty_hook(lambda cg, topology: calls.append((cg, topology)))
         c = root.root.create_child("c")
         t = SimThread("t", c)
         t.assign_work(1.0)

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro demo                 # the quickstart scenario
     python -m repro serve                # the SLO-autoscaling comparison
     python -m repro obs                  # observability demo + exporters
+    python -m repro check                # differential fuzzer + invariants
 """
 
 from __future__ import annotations
@@ -112,6 +113,11 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.check.cli import main as check_main
+    return check_main(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command")
@@ -136,10 +142,14 @@ def main(argv: list[str] | None = None) -> int:
                        default="prometheus")
     obs_p.add_argument("--output", type=str, default=None,
                        help="write the export to a file instead of stdout")
+    check_p = sub.add_parser(
+        "check", help="differential scenario fuzzer + invariant checker")
+    from repro.check.cli import add_arguments as _check_args
+    _check_args(check_p)
     args = parser.parse_args(argv)
     handlers = {"info": _cmd_info, "census": _cmd_census,
                 "run": _cmd_run, "demo": _cmd_demo, "serve": _cmd_serve,
-                "obs": _cmd_obs}
+                "obs": _cmd_obs, "check": _cmd_check}
     if args.command is None:
         parser.print_help()
         return 2

@@ -1,0 +1,29 @@
+"""repro.check — differential scenario fuzzer and invariant checker.
+
+The correctness backbone of the simulator: seeded random scenarios
+(container churn, cgroup edits at random times, OOM-prone memory
+workloads, traffic-phase thread loops) run in lockstep on both engines
+(``incremental`` and ``scan``), with every boundary checked against a
+pluggable invariant suite and the two engines' state digests compared
+for byte-identical agreement.  Failures shrink to a minimal replayable
+JSON fixture under ``tests/regressions/``.
+
+Entry points::
+
+    python -m repro check --seeds 200       # fixed-seed sweep (CI fast tier)
+    python -m repro check --smoke 60        # randomized smoke, seed printed
+    python -m repro check --replay FIX.json # re-run a committed fixture
+"""
+
+from repro.check.differ import DiffReport, diff_snapshots, run_differential
+from repro.check.generator import generate
+from repro.check.invariants import Invariant, default_suite
+from repro.check.runner import RunResult, run_scenario
+from repro.check.scenario import Scenario
+from repro.check.shrinker import shrink
+
+__all__ = [
+    "Scenario", "generate", "Invariant", "default_suite",
+    "RunResult", "run_scenario", "DiffReport", "diff_snapshots",
+    "run_differential", "shrink",
+]

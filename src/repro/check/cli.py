@@ -1,0 +1,146 @@
+"""``python -m repro check`` — drive the fuzzer from the command line.
+
+Modes (combinable with ``--shrink``/``--fixtures``):
+
+* fixed-seed sweep (default): ``--seeds N`` runs seeds
+  ``[--seed-start, --seed-start + N)`` through the differential harness.
+* single seed: ``--seed S`` (prints the scenario op log when ``-v``).
+* randomized smoke: ``--smoke SECONDS`` draws fresh seeds from the OS
+  RNG until the wall-clock budget runs out, printing every seed as it
+  goes so a failure in CI is reproducible by number.
+* replay: ``--replay FIXTURE.json`` re-runs a committed regression
+  fixture on both engines.
+
+Exit status is 0 only if every scenario passed: no invariant violation
+on either engine and no engine divergence.  On the first failure the
+scenario is shrunk to a minimal repro (unless ``--no-shrink``) and the
+fixture is written next to the other regressions, ready to commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import re
+import time
+
+from repro.check.differ import run_differential
+from repro.check.generator import generate
+from repro.check.scenario import Scenario
+from repro.check.shrinker import shrink
+
+__all__ = ["main", "add_arguments"]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seeds", type=int, default=50, metavar="N",
+                        help="number of fixed seeds to sweep (default 50)")
+    parser.add_argument("--seed-start", type=int, default=0,
+                        help="first seed of the sweep (default 0)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="run exactly one seed instead of a sweep")
+    parser.add_argument("--smoke", type=float, default=None, metavar="SECONDS",
+                        help="randomized smoke: fresh seeds until the "
+                             "wall-clock budget is spent")
+    parser.add_argument("--replay", type=str, default=None, metavar="FIXTURE",
+                        help="re-run a regression fixture JSON file")
+    parser.add_argument("--no-shrink", dest="shrink", action="store_false",
+                        help="report the raw failing scenario without "
+                             "shrinking it first")
+    parser.add_argument("--fixtures", type=str, default=None, metavar="DIR",
+                        help="where to write minimized fixtures "
+                             "(default: tests/regressions if present)")
+    parser.add_argument("-v", "--verbose", action="store_true")
+
+
+def _default_fixture_dir() -> str | None:
+    cand = os.path.join("tests", "regressions")
+    return cand if os.path.isdir(cand) else None
+
+
+def _fail(scenario: Scenario, report, args) -> None:
+    print(f"FAIL seed={scenario.seed} "
+          f"(ncpus={scenario.ncpus}, mem={scenario.memory >> 20}MiB, "
+          f"horizon={scenario.horizon}s, ops={len(scenario)})")
+    print(report.summary())
+    fingerprint = report.fingerprint()
+    minimal = scenario
+    if args.shrink:
+        print(f"shrinking (fingerprint {fingerprint}) ...")
+        minimal = shrink(scenario,
+                         lambda s: run_differential(s).fingerprint())
+        print(f"minimal repro: {len(minimal)} ops, "
+              f"horizon {minimal.horizon}s")
+    fixture_dir = args.fixtures or _default_fixture_dir()
+    if fixture_dir:
+        os.makedirs(fixture_dir, exist_ok=True)
+        slug = re.sub(r"[^a-z0-9]+", "_", (fingerprint or "fail").lower())
+        path = os.path.join(fixture_dir,
+                            f"{slug}_seed{scenario.seed}.json")
+        with open(path, "w") as fh:
+            fh.write(minimal.to_json())
+            fh.write("\n")
+        print(f"fixture written: {path}")
+        print(f"replay with: python -m repro check --replay {path}")
+    else:
+        print("repro scenario JSON:")
+        print(minimal.to_json())
+    print(f"re-run with: python -m repro check --seed {scenario.seed}")
+
+
+def _run_one(scenario: Scenario, args) -> bool:
+    report = run_differential(scenario)
+    if report.ok:
+        if args.verbose:
+            final = report.results["incremental"].snapshots[-1]
+            print(f"ok   seed={scenario.seed} ops={len(scenario)} "
+                  f"steps={final['steps']} oom={final['mm']['oom_kills']} "
+                  f"groups={len(final['groups'])}")
+        return True
+    _fail(scenario, report, args)
+    return False
+
+
+def main(args: argparse.Namespace) -> int:
+    if args.replay is not None:
+        with open(args.replay) as fh:
+            scenario = Scenario.from_json(fh.read())
+        report = run_differential(scenario)
+        print(f"replay {args.replay}: "
+              f"{'ok' if report.ok else 'FAIL'}")
+        if not report.ok:
+            print(report.summary())
+            return 1
+        return 0
+
+    if args.smoke is not None:
+        deadline = time.monotonic() + args.smoke
+        sysrand = random.SystemRandom()
+        n = failures = 0
+        while time.monotonic() < deadline:
+            seed = sysrand.randrange(1 << 32)
+            print(f"smoke seed={seed}", flush=True)
+            if not _run_one(generate(seed), args):
+                failures += 1
+                break              # keep the first failure's fixture intact
+            n += 1
+        print(f"smoke: {n} scenarios, {failures} failures")
+        return 1 if failures else 0
+
+    if args.seed is not None:
+        seeds = [args.seed]
+    else:
+        seeds = range(args.seed_start, args.seed_start + args.seeds)
+    failures = 0
+    for seed in seeds:
+        if not _run_one(generate(seed), args):
+            failures += 1
+            break
+    total = len(list(seeds)) if failures == 0 else "stopped early"
+    if failures:
+        print(f"check: FAILED (first failure above; sweep {total})")
+        return 1
+    print(f"check: {total} scenarios ok on both engines, "
+          f"0 invariant violations, 0 divergences")
+    return 0

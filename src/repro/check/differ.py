@@ -1,0 +1,120 @@
+"""Differential oracle: run one scenario on both engines, demand equality.
+
+The two engine modes (``incremental``, ``scan``) share their allocation
+arithmetic by construction, so every snapshot field — floats included —
+must compare *exactly* equal at every op boundary.  Tolerances would
+only hide the first divergence until it compounds into a visible one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.check.invariants import Invariant
+from repro.check.runner import RunResult, run_scenario
+from repro.check.scenario import Scenario
+
+__all__ = ["DiffReport", "diff_snapshots", "run_differential"]
+
+ENGINES = ("incremental", "scan")
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one differential run."""
+
+    results: dict[str, RunResult] = field(default_factory=dict)
+    #: "snapshot[i] path: a != b" strings; empty = engines agree.
+    divergences: list[str] = field(default_factory=list)
+    #: Invariant violations from either engine, prefixed with the engine.
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and not self.violations
+
+    def fingerprint(self) -> str | None:
+        """Stable failure identity used by the shrinker's oracle.
+
+        Coarse on purpose: the shrinker mutates the scenario, so op
+        indexes and numeric details shift; what must stay fixed is the
+        *kind* of failure (which invariant, or a divergence and on what
+        top-level field).
+        """
+        if self.violations:
+            # "engine: tag: name: detail" -> "invariant:engine:name"
+            first = self.violations[0]
+            parts = [p.strip() for p in first.split(":")]
+            return f"invariant:{parts[0]}:{parts[2] if len(parts) > 2 else '?'}"
+        if self.divergences:
+            first = self.divergences[0]
+            field_path = first.split(" ", 1)[0]
+            leaf = field_path.split(".")[-1].split("[")[0]
+            return f"divergence:{leaf}"
+        return None
+
+    def summary(self) -> str:
+        lines = []
+        for v in self.violations[:8]:
+            lines.append(f"  violation  {v}")
+        for d in self.divergences[:8]:
+            lines.append(f"  divergence {d}")
+        extra = len(self.violations) + len(self.divergences) - len(lines)
+        if extra > 0:
+            lines.append(f"  ... and {extra} more")
+        return "\n".join(lines) or "  ok"
+
+
+def diff_snapshots(a: dict | list | object, b: dict | list | object,
+                   path: str = "") -> list[str]:
+    """Exact structural comparison; returns human-readable mismatch paths."""
+    if type(a) is not type(b):
+        return [f"{path} type {type(a).__name__} != {type(b).__name__}"]
+    if isinstance(a, dict):
+        out = []
+        if a.keys() != b.keys():
+            return [f"{path} keys {sorted(a)} != {sorted(b)}"]
+        for k in a:
+            out.extend(diff_snapshots(a[k], b[k], f"{path}.{k}" if path else k))
+        return out
+    if isinstance(a, list):
+        if len(a) != len(b):
+            return [f"{path} length {len(a)} != {len(b)}"]
+        out = []
+        for i, (x, y) in enumerate(zip(a, b)):
+            out.extend(diff_snapshots(x, y, f"{path}[{i}]"))
+        return out
+    if a != b:
+        return [f"{path} {a!r} != {b!r}"]
+    return []
+
+
+def run_differential(scenario: Scenario, *,
+                     suite_factory=None,
+                     max_mismatches: int = 20) -> DiffReport:
+    """Run ``scenario`` on both engines and compare their digests."""
+    report = DiffReport()
+    for engine in ENGINES:
+        suite: list[Invariant] | None = suite_factory() if suite_factory else None
+        res = run_scenario(scenario, engine, suite=suite)
+        report.results[engine] = res
+        report.violations.extend(f"{engine}: {v}" for v in res.violations)
+    a, b = (report.results[e] for e in ENGINES)
+    if a.log != b.log:
+        for i, (la, lb) in enumerate(zip(a.log, b.log)):
+            if la != lb:
+                report.divergences.append(f"log[{i}] {la!r} != {lb!r}")
+                break
+        else:
+            report.divergences.append(
+                f"log length {len(a.log)} != {len(b.log)}")
+    for i, (sa, sb) in enumerate(zip(a.snapshots, b.snapshots)):
+        for d in diff_snapshots(sa, sb, f"snapshot[{i}]"):
+            report.divergences.append(d)
+            if len(report.divergences) >= max_mismatches:
+                return report
+        if report.divergences:
+            # Later snapshots inherit the first divergence; stop at the
+            # earliest boundary so the report points at the cause.
+            break
+    return report

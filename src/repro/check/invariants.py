@@ -1,0 +1,282 @@
+"""Pluggable invariant suite over :meth:`World.invariant_snapshot`.
+
+Each invariant inspects the live world plus the current and previous
+snapshots and returns a list of violation strings (empty = healthy).
+The runner evaluates the suite at every op boundary and at the horizon,
+so a violation pinpoints the first op after which the property broke.
+
+These are *laws of the simulation*, not tunables: CPU time is conserved
+exactly (allocated + idle + retired == capacity x elapsed), the memory
+ledger balances (charged - uncharged == resident + swapped), PSI totals
+only grow and full never exceeds some, throttling counters stay within
+their periods, and the paper's resource views stay inside Algorithm 1/2
+bounds.  Any engine that breaks one of these is wrong no matter what
+the workload did.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.world import World
+
+__all__ = ["Invariant", "default_suite", "check_all"]
+
+#: Relative tolerance for float conservation sums.  Accruals are exact
+#: splits per advance, but thousands of additions accumulate ulp noise
+#: proportional to the running totals.
+_REL_EPS = 1e-9
+_ABS_EPS = 1e-6
+
+
+class Invariant:
+    """One checkable property.  Subclasses override :meth:`check`."""
+
+    name = "invariant"
+
+    def check(self, world: "World", snap: dict, prev: dict | None) -> list[str]:
+        raise NotImplementedError
+
+    def _v(self, msg: str) -> str:
+        return f"{self.name}: {msg}"
+
+
+class CpuConservation(Invariant):
+    """allocated + idle + retired == capacity * elapsed, exactly-ish."""
+
+    name = "cpu_conservation"
+
+    def check(self, world, snap, prev):
+        sched = snap["sched"]
+        budget = snap["ncpus"] * sched["elapsed"]
+        err = sched["conservation_error"]
+        tol = _ABS_EPS + _REL_EPS * max(1.0, budget)
+        out = []
+        if abs(err) > tol:
+            out.append(self._v(
+                f"cpu time leaked: error={err!r} over budget={budget!r}"))
+        if sched["total_idle_time"] < -tol:
+            out.append(self._v(
+                f"negative idle time {sched['total_idle_time']!r}"))
+        return out
+
+
+class AllocationCaps(Invariant):
+    """Instantaneous rates respect quota, cpuset and host capacity."""
+
+    name = "allocation_caps"
+
+    def check(self, world, snap, prev):
+        out = []
+        total = 0.0
+        for g in snap["groups"]:
+            rate = g["cpu_rate"]
+            if rate < -_ABS_EPS:
+                out.append(self._v(f"{g['path']}: negative rate {rate!r}"))
+            cap = min(g["quota_cores"], float(g["cpuset_size"]))
+            if rate > cap + _ABS_EPS:
+                out.append(self._v(
+                    f"{g['path']}: rate {rate!r} exceeds cap {cap!r} "
+                    f"(quota={g['quota_cores']!r}, cpuset={g['cpuset_size']})"))
+            if g["n_runnable"] == 0 and rate > _ABS_EPS:
+                out.append(self._v(
+                    f"{g['path']}: idle group has rate {rate!r}"))
+            total += rate
+        if total > snap["ncpus"] + _ABS_EPS:
+            out.append(self._v(
+                f"sum of rates {total!r} exceeds {snap['ncpus']} cpus"))
+        return out
+
+
+class MemoryLedger(Invariant):
+    """Exact integer accounting for every byte ever charged."""
+
+    name = "memory_ledger"
+
+    def check(self, world, snap, prev):
+        out = []
+        mm = snap["mm"]
+        sum_resident = sum_swapped = 0
+        for g in snap["groups"]:
+            balance = g["charge_total"] - g["uncharge_total"]
+            usage = g["resident"] + g["swapped"]
+            if balance != usage:
+                out.append(self._v(
+                    f"{g['path']}: ledger balance {balance} != "
+                    f"resident+swapped {usage}"))
+            if g["resident"] < 0 or g["swapped"] < 0:
+                out.append(self._v(
+                    f"{g['path']}: negative bytes resident={g['resident']} "
+                    f"swapped={g['swapped']}"))
+            if g["resident"] > g["hard_limit"]:
+                out.append(self._v(
+                    f"{g['path']}: resident {g['resident']} over hard "
+                    f"limit {g['hard_limit']}"))
+            sum_resident += g["resident"]
+            sum_swapped += g["swapped"]
+        if sum_resident != mm["total_resident"]:
+            out.append(self._v(
+                f"sum(resident)={sum_resident} != "
+                f"total_resident={mm['total_resident']}"))
+        if mm["free"] != mm["available"] - sum_resident:
+            out.append(self._v(
+                f"free={mm['free']} != available-{sum_resident}"))
+        if mm["free"] < 0:
+            out.append(self._v(f"negative free memory {mm['free']}"))
+        swap_used = mm["swap_capacity"] - mm["swap_free"]
+        if sum_swapped != swap_used:
+            out.append(self._v(
+                f"sum(swapped)={sum_swapped} != swap device used "
+                f"{swap_used}"))
+        return out
+
+
+class PsiSanity(Invariant):
+    """PSI stall totals are monotone, bounded by wall time, full<=some."""
+
+    name = "psi_sanity"
+
+    def check(self, world, snap, prev):
+        out = []
+        elapsed = snap["now"]
+        prev_groups = ({g["path"]: g for g in prev["groups"]}
+                       if prev is not None else {})
+        for g in snap["groups"]:
+            for res in ("cpu", "mem"):
+                some = g[f"psi_{res}_some"]
+                full = g[f"psi_{res}_full"]
+                if some < 0 or full < 0:
+                    out.append(self._v(
+                        f"{g['path']}: negative {res} stall totals"))
+                if full > some + _ABS_EPS:
+                    out.append(self._v(
+                        f"{g['path']}: {res} full {full!r} > some {some!r}"))
+                if some > elapsed + _ABS_EPS:
+                    out.append(self._v(
+                        f"{g['path']}: {res} some {some!r} exceeds wall "
+                        f"time {elapsed!r}"))
+                pg = prev_groups.get(g["path"])
+                if pg is not None and some < pg[f"psi_{res}_some"] - 1e-12:
+                    out.append(self._v(
+                        f"{g['path']}: {res} some total went backwards "
+                        f"({pg[f'psi_{res}_some']!r} -> {some!r})"))
+        return out
+
+
+class ThrottleCounters(Invariant):
+    """``cpu.stat`` stays consistent: nr_throttled <= nr_periods etc."""
+
+    name = "throttle_counters"
+
+    def check(self, world, snap, prev):
+        out = []
+        elapsed = snap["now"]
+        for g in snap["groups"]:
+            if g["throttled_time"] < -_ABS_EPS:
+                out.append(self._v(
+                    f"{g['path']}: negative throttled_time"))
+            if g["throttled_wall"] > elapsed + _ABS_EPS:
+                out.append(self._v(
+                    f"{g['path']}: throttled_wall {g['throttled_wall']!r} "
+                    f"exceeds wall time {elapsed!r}"))
+        for cg in world.cgroups.walk():
+            if cg.cpu.cfs_quota_us is None:
+                continue
+            stat = world.cgroupfs.read(
+                world.cgroupfs.path_of(cg, "cpu", "cpu.stat"))
+            fields = dict(line.split() for line in stat.splitlines())
+            if int(fields["nr_throttled"]) > int(fields["nr_periods"]):
+                out.append(self._v(
+                    f"{cg.path}: nr_throttled {fields['nr_throttled']} > "
+                    f"nr_periods {fields['nr_periods']}"))
+        return out
+
+
+class ViewBounds(Invariant):
+    """Algorithm 1/2: resource views stay inside their bounds."""
+
+    name = "view_bounds"
+
+    def check(self, world, snap, prev):
+        out = []
+        ncpus = snap["ncpus"]
+        for c in snap["containers"]:
+            lo, hi = c["bound_lower"], c["bound_upper"]
+            if not (1 <= lo <= hi <= ncpus):
+                out.append(self._v(
+                    f"{c['name']}: bounds [{lo}, {hi}] outside [1, {ncpus}]"))
+            if not (lo <= c["e_cpu"] <= hi):
+                out.append(self._v(
+                    f"{c['name']}: E_CPU={c['e_cpu']} outside "
+                    f"bounds [{lo}, {hi}]"))
+            if c["e_mem"] < 0 or c["e_mem"] > c["hard_limit"]:
+                out.append(self._v(
+                    f"{c['name']}: E_MEM={c['e_mem']} outside "
+                    f"[0, hard={c['hard_limit']}]"))
+        return out
+
+
+class EventHeapIntegrity(Invariant):
+    """Lazy-cancellation bookkeeping matches a direct heap recount."""
+
+    name = "event_heap"
+
+    def check(self, world, snap, prev):
+        out = []
+        ev = snap["events"]
+        if ev["tracked_cancelled"] != ev["cancelled"]:
+            out.append(self._v(
+                f"cancel counter {ev['tracked_cancelled']} != actual "
+                f"cancelled entries {ev['cancelled']}"))
+        if ev["flag_errors"]:
+            out.append(self._v(
+                f"{ev['flag_errors']} heap entries with stale _in_heap flag"))
+        if ev["live"] + ev["cancelled"] != ev["heap_size"]:
+            out.append(self._v("heap recount does not partition the heap"))
+        nxt = world.events.next_event_time()
+        if nxt is not None and nxt < snap["now"] - 1e-12:
+            out.append(self._v(f"pending event at {nxt!r} is in the past "
+                               f"(now={snap['now']!r})"))
+        return out
+
+
+class ClockLoad(Invariant):
+    """Time flows forward; load averages stay finite and non-negative."""
+
+    name = "clock_load"
+
+    def check(self, world, snap, prev):
+        out = []
+        if prev is not None:
+            if snap["now"] < prev["now"]:
+                out.append(self._v(
+                    f"clock went backwards {prev['now']!r} -> {snap['now']!r}"))
+            if snap["steps"] < prev["steps"]:
+                out.append(self._v("step counter went backwards"))
+        for i, load in enumerate(snap["loadavg"]):
+            if not (load >= 0.0) or load != load or load == float("inf"):
+                out.append(self._v(f"loadavg[{i}] unhealthy: {load!r}"))
+        return out
+
+
+def default_suite() -> list[Invariant]:
+    return [
+        CpuConservation(),
+        AllocationCaps(),
+        MemoryLedger(),
+        PsiSanity(),
+        ThrottleCounters(),
+        ViewBounds(),
+        EventHeapIntegrity(),
+        ClockLoad(),
+    ]
+
+
+def check_all(suite: list[Invariant], world: "World", snap: dict,
+              prev: dict | None) -> list[str]:
+    """Run every invariant; concatenate violations."""
+    out: list[str] = []
+    for inv in suite:
+        out.extend(inv.check(world, snap, prev))
+    return out

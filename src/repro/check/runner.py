@@ -1,0 +1,194 @@
+"""Execute a scenario on one world, checking invariants at every boundary.
+
+The runner is the single interpreter for scenario ops, shared by the
+differ (which runs it once per engine) and by regression-fixture replay.
+Determinism contract: given the same scenario and engine, the sequence
+of snapshots and the event log are bit-identical run to run; given the
+same scenario and *different* engines, they must still be identical —
+that is the differential oracle.
+
+Ops never abort a run.  Faults that a real fleet would survive are
+converted into log entries instead:
+
+* ops on missing containers -> ``skip`` (keeps scenarios total under
+  shrinking);
+* :class:`OutOfMemoryError` from a charge or a limit cut -> ``oom`` and
+  the victim container is destroyed (the kill freed its memory);
+* any other simulation error -> ``error`` entry recording the exception
+  type; the invariant suite then decides whether state was corrupted.
+
+The log is part of the digest, so two engines must also agree on every
+skip/OOM — a kill that happens on one engine only is a divergence even
+if both end in a lawful state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.check.invariants import Invariant, check_all, default_suite
+from repro.check.scenario import Scenario
+from repro.container.spec import ContainerSpec
+from repro.errors import OutOfMemoryError, ReproError
+from repro.world import World
+
+__all__ = ["RunResult", "run_scenario"]
+
+#: Work for "run forever" worker threads; far beyond any scenario horizon.
+_FOREVER = 1e9
+
+
+@dataclass
+class RunResult:
+    engine: str
+    snapshots: list[dict] = field(default_factory=list)
+    #: One entry per applied op: "ok", "skip:<why>", "oom:<name>", "error:<type>".
+    log: list[str] = field(default_factory=list)
+    #: "invariant-name: detail" strings, prefixed with the op index.
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class _Interp:
+    """Applies ops to a live world, tracking worker threads per container."""
+
+    def __init__(self, world: World):
+        self.world = world
+        self.workers: dict[str, list] = {}
+
+    def apply(self, op: dict) -> str:
+        kind = op["op"]
+        name = op["name"]
+        world = self.world
+        if kind == "create":
+            if name in world.containers.containers:
+                return "skip:exists"
+            spec = ContainerSpec(
+                name=name,
+                cpu_shares=int(op.get("shares", 1024)),
+                cpus=op.get("cpus"),
+                cpuset=op.get("cpuset"),
+                memory_limit=op.get("memory_limit"),
+                memory_soft_limit=op.get("memory_soft_limit"))
+            c = world.containers.create(spec)
+            self.workers[name] = []
+            for i in range(int(op.get("workers", 0))):
+                t = c.spawn_thread(f"w{i}")
+                t.assign_work(_FOREVER)
+                self.workers[name].append(t)
+            return "ok"
+
+        try:
+            c = world.containers.get(name)
+        except ReproError:
+            return "skip:missing"
+
+        if kind == "destroy":
+            self._destroy(name)
+            return "ok"
+        if kind == "spawn":
+            t = c.spawn_thread(f"one{len(c.threads)}")
+            t.assign_work(float(op["work"]))     # no continuation: parks
+            return "ok"
+        if kind == "loop":
+            until = float(op["until"])
+            segment = float(op["segment"])
+
+            def next_segment(t, _until=until, _seg=segment):
+                if self.world.clock.now < _until:
+                    t.assign_work(_seg, on_done=next_segment)
+
+            for i in range(int(op["workers"])):
+                t = c.spawn_thread(f"loop{len(c.threads)}")
+                t.assign_work(segment, on_done=next_segment)
+            return "ok"
+        if kind in ("block", "wake"):
+            pool = self.workers.get(name, ())
+            idx = int(op["worker"])
+            if idx >= len(pool):
+                return "skip:no-worker"
+            t = pool[idx]
+            if kind == "block":
+                t.block()
+            elif t.state.value != "exited":
+                t.wake()
+            return "ok"
+        if kind == "set_shares":
+            c.cgroup.set_cpu_shares(int(op["shares"]))
+            return "ok"
+        if kind == "set_quota":
+            cpus = op.get("cpus")
+            if cpus is None:
+                c.cgroup.set_cpu_quota(None)
+            else:
+                period = c.cgroup.cpu.cfs_period_us
+                c.cgroup.set_cpu_quota(max(1000, int(round(cpus * period))))
+            return "ok"
+        if kind == "set_cpuset":
+            c.cgroup.set_cpuset(op.get("cpuset"))
+            return "ok"
+        if kind == "set_limit":
+            limit = op.get("limit")
+            c.cgroup.set_memory_limit(None if limit is None else int(limit))
+            return "ok"
+        if kind == "set_soft_limit":
+            c.cgroup.set_memory_soft_limit(int(op["limit"]))
+            return "ok"
+        if kind == "charge":
+            self.world.mm.charge(c.cgroup, int(op["bytes"]))
+            return "ok"
+        if kind == "uncharge":
+            n = min(int(op["bytes"]), c.cgroup.memory.usage_in_bytes)
+            self.world.mm.uncharge(c.cgroup, n)
+            return "ok"
+        raise ValueError(f"unhandled op kind {kind!r}")
+
+    def _destroy(self, name: str) -> None:
+        self.world.containers.destroy(self.world.containers.get(name))
+        self.workers.pop(name, None)
+
+
+def run_scenario(scenario: Scenario, engine: str = "incremental", *,
+                 suite: list[Invariant] | None = None,
+                 snapshot_every: bool = True) -> RunResult:
+    """Run ``scenario`` on a fresh world; return snapshots + violations."""
+    scenario.validate()
+    if suite is None:
+        suite = default_suite()
+    from repro.kernel.mm.memcg import MmParams
+    world = World(ncpus=scenario.ncpus, memory=scenario.memory, engine=engine,
+                  mm_params=MmParams(swap_factor=scenario.swap_factor))
+    interp = _Interp(world)
+    result = RunResult(engine=engine)
+    prev: dict | None = None
+
+    def checkpoint(tag: str) -> None:
+        nonlocal prev
+        snap = world.invariant_snapshot()
+        if snapshot_every or tag == "final":
+            result.snapshots.append(snap)
+        for v in check_all(suite, world, snap, prev):
+            result.violations.append(f"{tag}: {v}")
+        prev = snap
+
+    checkpoint("op[-]@0")
+    for i, op in enumerate(scenario.sorted_ops()):
+        world.run(until=op["t"])
+        tag = f"op[{i}]{op['op']}@{op['t']:g}"
+        try:
+            status = interp.apply(op)
+        except OutOfMemoryError as exc:
+            # The kernel killed the container's init: tear it down, which
+            # releases every charged byte (mirroring a real OOM reap).
+            interp._destroy(op["name"])
+            status = f"oom:{exc.victim}"
+        except ReproError as exc:
+            status = f"error:{type(exc).__name__}"
+        result.log.append(f"{tag}:{status}")
+        checkpoint(tag)
+    world.run(until=scenario.horizon)
+    checkpoint("final")
+    return result

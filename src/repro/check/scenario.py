@@ -1,0 +1,138 @@
+"""Scenario model: a JSON-serializable script of timed world operations.
+
+A scenario is a world configuration (cpus, memory, horizon) plus a flat
+list of *ops*, each a plain dict with at least ``{"t": float, "op": str}``.
+Keeping ops as dicts (rather than a class per op kind) makes three things
+trivial: JSON round-tripping for regression fixtures, structural editing
+by the shrinker, and forward-compatible fixtures (unknown keys are
+ignored by the runner).
+
+Op kinds understood by :mod:`repro.check.runner`:
+
+``create``
+    ``name``, plus optional ``shares``, ``cpus`` (quota cores),
+    ``cpuset``, ``memory_limit``, ``memory_soft_limit``, ``workers``
+    (number of long-running worker threads, default 0).
+``destroy``
+    ``name`` — tear the container down (no-op if already gone).
+``spawn``
+    ``name``, ``work`` — one-shot work segment on a fresh thread.
+``loop``
+    ``name``, ``workers``, ``segment``, ``until`` — workers that run
+    ``segment`` cpu-seconds back to back until sim-time ``until``
+    (a traffic phase).
+``block`` / ``wake``
+    ``name``, ``worker`` — park / resume one of the long-running workers.
+``set_shares`` / ``set_quota`` / ``set_cpuset`` / ``set_limit`` /
+``set_soft_limit``
+    ``name`` plus the new value (``shares``; ``cpus`` where ``None``
+    lifts the quota; ``cpuset`` where ``None`` lifts the pinning;
+    ``limit`` in bytes, ``None`` lifts the hard limit).
+``charge`` / ``uncharge``
+    ``name``, ``bytes`` — memory workload.  ``charge`` may OOM; the
+    runner records (rather than propagates) the kill.  ``uncharge`` is
+    clamped to current usage.
+
+Ops referring to a container that does not exist (never created,
+already destroyed, or OOM-stopped) are recorded as skips — this keeps
+every syntactically valid scenario a *total* program, which the
+shrinker relies on when it deletes ``create`` ops.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Scenario", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+#: Op kinds the runner implements; ``Scenario.validate`` rejects others.
+OP_KINDS = frozenset({
+    "create", "destroy", "spawn", "loop", "block", "wake",
+    "set_shares", "set_quota", "set_cpuset", "set_limit",
+    "set_soft_limit", "charge", "uncharge",
+})
+
+
+@dataclass
+class Scenario:
+    """A reproducible world script."""
+
+    ncpus: int = 4
+    memory: int = 1 << 30
+    horizon: float = 2.0
+    #: Swap capacity as a multiple of memory; small values make the
+    #: generator's charge bursts genuinely OOM-prone.
+    swap_factor: float = 2.0
+    seed: int = 0                      # provenance only; runs are seed-free
+    ops: list[dict] = field(default_factory=list)
+
+    def validate(self) -> None:
+        if self.ncpus < 1:
+            raise ValueError(f"ncpus must be >= 1, got {self.ncpus}")
+        if self.memory < (1 << 20):
+            raise ValueError(f"memory too small: {self.memory}")
+        if self.swap_factor < 0:
+            raise ValueError(f"swap_factor must be >= 0, got {self.swap_factor}")
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+        for i, op in enumerate(self.ops):
+            kind = op.get("op")
+            if kind not in OP_KINDS:
+                raise ValueError(f"op[{i}]: unknown kind {kind!r}")
+            t = op.get("t")
+            if not isinstance(t, (int, float)) or t < 0 or t > self.horizon:
+                raise ValueError(
+                    f"op[{i}]: time {t!r} outside [0, {self.horizon}]")
+            if "name" not in op:
+                raise ValueError(f"op[{i}]: missing container name")
+
+    def sorted_ops(self) -> list[dict]:
+        """Ops in execution order: by time, ties by list position."""
+        pairs = sorted(enumerate(self.ops), key=lambda p: (p[1]["t"], p[0]))
+        return [op for _i, op in pairs]
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "seed": self.seed,
+            "ncpus": self.ncpus,
+            "memory": self.memory,
+            "horizon": self.horizon,
+            "swap_factor": self.swap_factor,
+            "ops": self.ops,
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        schema = data.get("schema", SCHEMA_VERSION)
+        if schema > SCHEMA_VERSION:
+            raise ValueError(f"fixture schema {schema} is newer than this "
+                             f"checker (supports <= {SCHEMA_VERSION})")
+        scn = cls(ncpus=int(data["ncpus"]), memory=int(data["memory"]),
+                  horizon=float(data["horizon"]),
+                  swap_factor=float(data.get("swap_factor", 2.0)),
+                  seed=int(data.get("seed", 0)),
+                  ops=[dict(op) for op in data["ops"]])
+        scn.validate()
+        return scn
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    def copy(self) -> "Scenario":
+        return Scenario(ncpus=self.ncpus, memory=self.memory,
+                        horizon=self.horizon, swap_factor=self.swap_factor,
+                        seed=self.seed,
+                        ops=[dict(op) for op in self.ops])
+
+    def __len__(self) -> int:
+        return len(self.ops)

@@ -164,6 +164,7 @@ class Jvm:
         self._gc_started_at = 0.0
         self._gc_span = 0
         self._pending_promote: int | None = None
+        self._retry_handle = None   # pending promotion-retry one-shot
         self._promotion_retries = 0
         self._shrink_gc_requested = False
         self._in_gc = False
@@ -514,11 +515,12 @@ class Jvm:
         if not self.sync_memory_charge():
             return
         self._record_heap(self.world.clock.now)
-        self.world.events.call_after(self.config.elastic_poll_interval,
-                                     self._retry_promotion,
-                                     name=f"{self.name}:promotion-retry")
+        self._retry_handle = self.world.events.call_after(
+            self.config.elastic_poll_interval, self._retry_promotion,
+            name=f"{self.name}:promotion-retry")
 
     def _retry_promotion(self) -> None:
+        self._retry_handle = None
         if self.finished or self._pending_promote is None:
             return
         assert self.heap is not None
@@ -577,6 +579,12 @@ class Jvm:
         self._record_heap(now)
         if self._elastic is not None:
             self._elastic.stop()
+        if self._retry_handle is not None:
+            # A promotion retry scheduled while awaiting heap growth must
+            # die with the JVM: left active it keeps the event loop
+            # non-idle and accumulates a dead callback per kill.
+            self._retry_handle.cancel()
+            self._retry_handle = None
         for t in [*self._mutators, *self._jit_threads]:
             if t.state is not ThreadState.EXITED:
                 t.exit()

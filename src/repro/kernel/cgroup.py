@@ -103,7 +103,8 @@ class MemoryController:
     """
 
     __slots__ = ("limit_in_bytes", "soft_limit_in_bytes", "resident", "swapped",
-                 "oom_killed", "swapin_total", "swapout_total", "hot_bytes")
+                 "oom_killed", "swapin_total", "swapout_total", "hot_bytes",
+                 "charge_total", "uncharge_total")
 
     def __init__(self) -> None:
         self.limit_in_bytes: int | None = None
@@ -113,6 +114,11 @@ class MemoryController:
         self.oom_killed = False
         self.swapin_total = 0
         self.swapout_total = 0
+        #: Lifetime charge ledger, maintained by the memory manager.  The
+        #: balance invariant every checker run asserts:
+        #: ``charge_total - uncharge_total == resident + swapped``.
+        self.charge_total = 0
+        self.uncharge_total = 0
         #: Runtime hint: hot working-set bytes (None = everything hot).
         #: Used by the swap slowdown model — reclaim evicts cold pages
         #: first, so only hot-set evictions cause fault storms.
@@ -220,7 +226,18 @@ class Cgroup:
         if live:
             raise CgroupError(
                 f"cgroup {self.path!r} still has {len(live)} live threads")
+        if self.memory.usage_in_bytes:
+            # Linux rmdir on a charged memcg fails with EBUSY; letting a
+            # charged group vanish here silently drops bytes from host
+            # accounting (meminfo drift under churn).
+            raise CgroupError(
+                f"cgroup {self.path!r} still holds "
+                f"{self.memory.usage_in_bytes} charged bytes")
         self.destroyed = True
+        # Fold the group's time integrals into root-level retired
+        # accumulators so conservation invariants survive churn.
+        self.root.retired_cpu_time += self.total_cpu_time
+        self.root.retired_throttled_time += self.throttled_time
         del self.parent.children[self.name]
         self.root._notify(CgroupEvent(CgroupEventKind.DESTROYED, self))
 
@@ -360,6 +377,11 @@ class CgroupRoot:
         self._subscribers: list[Callable[[CgroupEvent], None]] = []
         self._dirty_hook: Callable[["Cgroup | None", bool], None] | None = None
         self._completion_hook: Callable[["Cgroup"], None] | None = None
+        #: CPU-time integrals of destroyed cgroups: without these, every
+        #: container churn cycle would subtract its consumed CPU seconds
+        #: from the host-wide conservation sum.
+        self.retired_cpu_time = 0.0
+        self.retired_throttled_time = 0.0
         self.root = Cgroup("", None, self)
 
     def _next_seq(self) -> int:

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import MemoryError_, OutOfMemoryError
-from repro.kernel.cgroup import Cgroup, CgroupRoot
+from repro.kernel.cgroup import Cgroup, CgroupEventKind, CgroupRoot
 from repro.kernel.mm.kswapd import plan_background_reclaim, plan_direct_reclaim
 from repro.kernel.mm.swap import SwapDevice, SwapParams, swap_slowdown_multiplier
 from repro.kernel.mm.watermarks import Watermarks
@@ -84,6 +84,14 @@ class MemoryManager:
         #: True while kswapd is actively reclaiming (Algorithm 2 resets
         #: effective memory to the soft limit in that state).
         self.reclaiming = False
+        # Lowering memory.limit_in_bytes below current residency must
+        # reclaim the excess, as Linux does on the limit write itself —
+        # otherwise `resident <= hard_limit` silently stops holding.
+        cgroups.subscribe(self._on_cgroup_event)
+
+    def _on_cgroup_event(self, event) -> None:
+        if event.kind is CgroupEventKind.MEMORY_CHANGED:
+            self.enforce_limit(event.cgroup)
 
     # -- global accounting ------------------------------------------------
 
@@ -115,6 +123,11 @@ class MemoryManager:
         """
         if nbytes < 0:
             raise MemoryError_(f"cannot charge negative bytes: {nbytes}")
+        if cg.destroyed:
+            # A charge landing after teardown would live outside the
+            # hierarchy walk: invisible to meminfo, permanent drift.
+            raise MemoryError_(
+                f"cannot charge {nbytes} bytes to destroyed cgroup {cg.path!r}")
         if nbytes == 0:
             return
         mem = cg.memory
@@ -143,6 +156,7 @@ class MemoryManager:
             mem.swapped += to_swap
             mem.swapout_total += to_swap
         mem.resident += to_resident
+        mem.charge_total += nbytes
         self._after_change(cg)
 
     def uncharge(self, cg: Cgroup, nbytes: int) -> None:
@@ -163,11 +177,34 @@ class MemoryManager:
             self.swap.release(from_swap)
             mem.swapped -= from_swap
         mem.resident -= nbytes - from_swap
+        mem.uncharge_total += nbytes
         self._after_change(cg)
 
     def uncharge_all(self, cg: Cgroup) -> None:
-        """Release every byte charged to ``cg`` (container teardown)."""
+        """Release every byte charged to ``cg`` (container teardown).
+
+        Also drops the runtime's hot-set hint: it described a working set
+        that no longer exists, and leaving it behind would bend the swap
+        slowdown computed by the closing ``refresh_pressure``.
+        """
         self.uncharge(cg, cg.memory.usage_in_bytes)
+        cg.memory.hot_bytes = None
+        self.refresh_pressure(cg)
+
+    def enforce_limit(self, cg: Cgroup) -> None:
+        """Reclaim a cgroup's excess after its hard limit was lowered.
+
+        Mirrors writing ``memory.limit_in_bytes`` below usage on Linux:
+        the write itself pushes the excess out to swap, OOM-killing the
+        group if swap cannot absorb it.
+        """
+        mem = cg.memory
+        excess = mem.resident - int(min(mem.hard_limit, float(mem.resident)))
+        if excess <= 0:
+            return
+        granted = self._swap_out(cg, excess)
+        if granted < excess:
+            self._oom_kill(cg, excess)
 
     # -- reclaim machinery ------------------------------------------------------
 

@@ -560,6 +560,29 @@ class FairScheduler:
     def snapshot(self) -> list[GroupAlloc]:
         return self._snapshot
 
+    @property
+    def elapsed(self) -> float:
+        """Total simulated seconds accrued through :meth:`advance`."""
+        return self._time
+
+    def conservation_error(self) -> float:
+        """Host CPU-time conservation residual, in core-seconds.
+
+        Every accrued interval splits the host's capacity exactly between
+        allocated group time and idle time, so over any run::
+
+            sum(total_cpu_time) + retired_cpu_time + total_idle_time
+                == capacity * elapsed
+
+        up to float accumulation.  The invariant checker asserts the
+        residual stays within tolerance; nonzero drift means an accrual
+        path skipped a group (or double-charged one).
+        """
+        used = sum(cg.total_cpu_time for cg in self.cgroups.walk())
+        used += self.cgroups.retired_cpu_time
+        return (used + self.total_idle_time
+                - self.host.capacity * self._time)
+
     def total_allocated(self) -> float:
         return sum(g.rate for g in self._snapshot)
 

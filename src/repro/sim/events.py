@@ -146,6 +146,29 @@ class EventLoop:
     def __len__(self) -> int:
         return len(self._heap) - self._n_cancelled
 
+    def integrity(self) -> dict[str, int]:
+        """Heap-sanity snapshot for the invariant checker.
+
+        Recounts the heap directly so the O(1) bookkeeping (``__len__``,
+        ``_n_cancelled``, per-handle ``_in_heap`` flags) can be audited
+        against ground truth after compactions and cancel/re-arm churn.
+        """
+        cancelled = live = flag_errors = 0
+        for _when, _seq, handle in self._heap:
+            if handle.cancelled:
+                cancelled += 1
+            else:
+                live += 1
+            if not handle._in_heap:
+                flag_errors += 1
+        return {
+            "heap_size": len(self._heap),
+            "live": live,
+            "cancelled": cancelled,
+            "tracked_cancelled": self._n_cancelled,
+            "flag_errors": flag_errors,
+        }
+
     # -- execution -------------------------------------------------------
 
     def run_until(self, deadline: float) -> None:

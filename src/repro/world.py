@@ -218,6 +218,90 @@ class World:
                 return predicate()
         return True
 
+    # -- introspection -------------------------------------------------------
+
+    def invariant_snapshot(self) -> dict:
+        """Deterministic state digest for the invariant checker / differ.
+
+        Plain dicts of floats/ints only, assembled in canonical order
+        (cgroups by creation ``seq``, containers by name), so two worlds
+        driven through the same scenario must produce *equal* snapshots
+        — any mismatch is an engine divergence.  Reading the snapshot
+        resolves a pending reallocation first (idempotent in both engine
+        modes) but perturbs no accounting.
+        """
+        if self.sched.dirty:
+            self.sched.reallocate()
+        groups = []
+        for cg in sorted(self.cgroups.walk(), key=lambda c: c.seq):
+            mem = cg.memory
+            groups.append({
+                "path": cg.path,
+                "cpu_rate": cg.cpu_rate,
+                "total_cpu_time": cg.total_cpu_time,
+                "progress_acc": cg.progress_acc,
+                "occupancy_acc": cg.occupancy_acc,
+                "n_runnable": cg.n_runnable(),
+                "n_threads": len(cg.threads),
+                "shares": cg.cpu.shares,
+                "quota_cores": cg.quota_cores,
+                "cpuset_size": len(cg.effective_cpuset()),
+                "throttled_time": cg.throttled_time,
+                "throttled_wall": cg.throttled_wall,
+                "resident": mem.resident,
+                "swapped": mem.swapped,
+                "charge_total": mem.charge_total,
+                "uncharge_total": mem.uncharge_total,
+                "hard_limit": mem.hard_limit,
+                "oom_killed": mem.oom_killed,
+                "psi_cpu_some": cg.pressure.cpu.some_total,
+                "psi_cpu_full": cg.pressure.cpu.full_total,
+                "psi_mem_some": cg.pressure.memory.some_total,
+                "psi_mem_full": cg.pressure.memory.full_total,
+            })
+        containers = []
+        for name in sorted(self.containers.containers):
+            c = self.containers.get(name)
+            ns = c.sys_ns
+            containers.append({
+                "name": name,
+                "e_cpu": ns.e_cpu,
+                "e_mem": ns.e_mem,
+                "bound_lower": ns.bounds.lower,
+                "bound_upper": ns.bounds.upper,
+                "soft_limit": ns.soft_limit,
+                "hard_limit": ns.hard_limit,
+            })
+        return {
+            "now": self.clock.now,
+            "steps": self.steps,
+            "ncpus": self.host.ncpus,
+            "sched": {
+                "elapsed": self.sched.elapsed,
+                "total_allocated": self.sched.total_allocated(),
+                "total_idle_time": self.sched.total_idle_time,
+                "retired_cpu_time": self.cgroups.retired_cpu_time,
+                "conservation_error": self.sched.conservation_error(),
+                "n_runnable": self.sched.n_runnable_total(),
+            },
+            "mm": {
+                "total_resident": self.mm.total_resident,
+                "free": self.mm.free,
+                "available": self.mm.available_capacity,
+                "swap_capacity": self.mm.swap.capacity,
+                "swap_free": self.mm.swap.free,
+                "oom_kills": self.mm.oom_kills,
+                "kswapd_runs": self.mm.kswapd_runs,
+                "direct_reclaims": self.mm.direct_reclaims,
+                "reclaiming": self.mm.reclaiming,
+            },
+            "loadavg": [self.loadavg.load_1, self.loadavg.load_5,
+                        self.loadavg.load_15],
+            "events": self.events.integrity(),
+            "groups": groups,
+            "containers": containers,
+        }
+
     # -- convenience ---------------------------------------------------------------
 
     @property

@@ -1,0 +1,98 @@
+"""Window-boundary semantics of :class:`LatencyRecorder`.
+
+The autoscaler's burn-rate logic slices latencies with
+``window(since, until)``; these tests pin the contract to
+inclusive-start / exclusive-end (``[since, until)``) — including
+samples that land exactly on a boundary and duplicate timestamps —
+and tie the windowed percentiles back to ``percentile()`` over the
+raw slice.
+"""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.latency import LatencyRecorder, LatencySummary, percentile
+
+
+def make_recorder(samples):
+    rec = LatencyRecorder()
+    for t, lat in samples:
+        rec.record(t, lat)
+    return rec
+
+
+class TestWindowBoundaries:
+    def test_inclusive_start_exclusive_end(self):
+        rec = make_recorder([(0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (3.0, 4.0)])
+        assert rec.window(1.0, 3.0) == [2.0, 3.0]     # 1.0 in, 3.0 out
+        assert rec.window(0.0, 4.0) == [1.0, 2.0, 3.0, 4.0]
+        assert rec.window(3.0, 3.0) == []             # empty half-open window
+
+    def test_sample_exactly_at_since_is_included(self):
+        rec = make_recorder([(5.0, 42.0)])
+        assert rec.window(5.0) == [42.0]
+
+    def test_sample_exactly_at_until_is_excluded(self):
+        rec = make_recorder([(5.0, 42.0)])
+        assert rec.window(0.0, 5.0) == []
+
+    def test_duplicate_timestamps_all_on_boundary(self):
+        """Ties at the cut: every sample at t==since is in, every sample
+        at t==until is out — bisect_left on both edges."""
+        rec = make_recorder([(1.0, 10.0), (2.0, 20.0), (2.0, 21.0),
+                             (2.0, 22.0), (3.0, 30.0)])
+        assert rec.window(2.0, 3.0) == [20.0, 21.0, 22.0]
+        assert rec.window(1.0, 2.0) == [10.0]
+
+    def test_open_ended_window(self):
+        rec = make_recorder([(0.0, 1.0), (1.0, 2.0), (2.5, 3.0)])
+        assert rec.window(1.0) == [2.0, 3.0]
+        assert rec.window(10.0) == []
+
+    def test_windowed_summary_matches_raw_percentile(self):
+        samples = [(i * 0.1, float((i * 37) % 101)) for i in range(200)]
+        rec = make_recorder(samples)
+        since, until = 5.0, 15.0
+        raw = [lat for t, lat in samples if since <= t < until]
+        assert rec.window(since, until) == raw
+        summ = rec.summary(since, until)
+        assert summ.count == len(raw)
+        assert summ.p50 == percentile(raw, 50.0)
+        assert summ.p95 == percentile(raw, 95.0)
+        assert summ.p99 == percentile(raw, 99.0)
+        assert summ.max == max(raw)
+
+    def test_percentile_since_consistent_with_window(self):
+        rec = make_recorder([(0.0, 5.0), (1.0, 1.0), (2.0, 9.0)])
+        assert rec.percentile_since(1.0, 50.0) == percentile([1.0, 9.0], 50.0)
+        assert rec.percentile_since(99.0, 50.0) is None
+
+
+class TestRecorderContract:
+    def test_monotone_time_enforced(self):
+        rec = make_recorder([(1.0, 1.0)])
+        with pytest.raises(ServeError):
+            rec.record(0.5, 1.0)
+
+    def test_equal_time_allowed(self):
+        rec = make_recorder([(1.0, 1.0)])
+        rec.record(1.0, 2.0)
+        assert len(rec) == 2
+
+    def test_negative_latency_rejected(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ServeError):
+            rec.record(0.0, -0.1)
+
+    def test_empty_summary(self):
+        assert LatencyRecorder().summary() == LatencySummary.empty()
+
+    def test_nearest_rank_percentile_pins(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 25.0) == 1.0    # rank ceil(0.25*4)=1
+        assert percentile(values, 26.0) == 2.0
+        assert percentile(values, 100.0) == 4.0
+        with pytest.raises(ServeError):
+            percentile([], 50.0)
+        with pytest.raises(ServeError):
+            percentile(values, 0.0)

@@ -1,0 +1,115 @@
+"""Compare a fresh fan-out benchmark run against the committed baseline.
+
+CI runs ``bench_par.py --quick`` and feeds the result here; the check
+fails if
+
+* any scenario's wall clock (serial or parallel) exceeds 2x the
+  committed ``BENCH_par.json`` baseline,
+* the run reports a serial/parallel digest mismatch (determinism broke),
+* the warm cache pass was not 100% hits, or
+* the parallel speedup falls below a floor that scales with the cores
+  actually available (``min(jobs, cpu_count)``) — machines with fewer
+  cores than the baseline are never penalized for lacking parallelism.
+
+Wall clock on shared CI runners is noisy, hence the generous 2x bound:
+this is a tripwire for algorithmic regressions (per-trial overhead
+creeping into the pool, the cache stopping to hit), not a
+microbenchmark gate. ::
+
+    PYTHONPATH=src python benchmarks/bench_par.py --quick \
+        --output /tmp/bench_par_now.json
+    python benchmarks/check_par_regression.py /tmp/bench_par_now.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).resolve().parent / "BENCH_par.json"
+
+#: Fail when a wall clock exceeds baseline times this factor.
+MAX_SLOWDOWN = 2.0
+
+#: Absolute grace added to every ceiling: sub-10ms walls (a fully warm
+#: cache pass) would otherwise gate on filesystem noise.
+GRACE_S = 0.25
+
+#: Require speedup >= this when >= 4 cores actually back the pool.
+MIN_SPEEDUP_4CORE = 1.25
+
+_WALL_KEYS = {"fuzz": ("serial_wall_s", "parallel_wall_s"),
+              "figure": ("serial_wall_s", "parallel_wall_s"),
+              "cache": ("cold_wall_s", "warm_wall_s")}
+
+
+def check(current_path: Path, baseline_path: Path = BASELINE,
+          *, max_slowdown: float = MAX_SLOWDOWN,
+          min_speedup: float = MIN_SPEEDUP_4CORE) -> list[str]:
+    """Return a list of failure messages (empty = pass)."""
+    current = json.loads(current_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    if current.get("quick") != baseline.get("quick"):
+        return [f"quick={current.get('quick')} run compared against "
+                f"quick={baseline.get('quick')} baseline; "
+                f"re-run bench_par.py with matching scale"]
+    failures: list[str] = []
+    for key, base in sorted(baseline["scenarios"].items()):
+        now = current["scenarios"].get(key)
+        if now is None:
+            failures.append(f"{key}: missing from current run")
+            continue
+        if now.get("trials") != base.get("trials"):
+            failures.append(f"{key}: trial count drifted "
+                            f"{base.get('trials')} -> {now.get('trials')} "
+                            f"(sweep definition changed; if intended, "
+                            f"regenerate the baseline)")
+        if not now.get("digest_match", False):
+            failures.append(f"{key}: serial/parallel results diverged "
+                            f"(determinism regression)")
+        for wall_key in _WALL_KEYS.get(key, ()):
+            ceiling = base[wall_key] * max_slowdown + GRACE_S
+            if now[wall_key] > ceiling:
+                failures.append(
+                    f"{key}: {wall_key} {now[wall_key]:.2f}s exceeds "
+                    f"{ceiling:.2f}s (baseline {base[wall_key]:.2f}s "
+                    f"x {max_slowdown:g})")
+    cache_now = current["scenarios"].get("cache")
+    if cache_now and cache_now.get("warm_hits") != cache_now.get("trials"):
+        failures.append(
+            f"cache: warm pass hit {cache_now.get('warm_hits')}/"
+            f"{cache_now.get('trials')} trials (cache stopped hitting)")
+    effective = min(current.get("jobs", 1), current.get("cpu_count") or 1)
+    if effective >= 4:
+        for key in ("fuzz", "figure"):
+            now = current["scenarios"].get(key)
+            if now and now.get("speedup", 0.0) < min_speedup:
+                failures.append(
+                    f"{key}: speedup {now['speedup']:.2f}x below "
+                    f"{min_speedup:g}x with {effective} effective cores "
+                    f"(pool overhead regression)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", type=Path,
+                    help="JSON produced by a fresh bench_par.py run")
+    ap.add_argument("--baseline", type=Path, default=BASELINE)
+    ap.add_argument("--max-slowdown", type=float, default=MAX_SLOWDOWN)
+    ap.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP_4CORE)
+    args = ap.parse_args(argv)
+    failures = check(args.current, args.baseline,
+                     max_slowdown=args.max_slowdown,
+                     min_speedup=args.min_speedup)
+    for message in failures:
+        print(f"FAIL {message}", file=sys.stderr)
+    if not failures:
+        print("fan-out benchmark within bounds of committed baseline")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro serve                # the SLO-autoscaling comparison
     python -m repro obs                  # observability demo + exporters
     python -m repro check                # differential fuzzer + invariants
+    python -m repro bench [NAME]         # dispatch to benchmarks/ scripts
 """
 
 from __future__ import annotations
@@ -43,6 +44,10 @@ def _cmd_run(args) -> int:
     forwarded = list(args.experiments)
     if args.quick:
         forwarded.append("--quick")
+    if args.jobs != 1:
+        forwarded.extend(["--jobs", str(args.jobs)])
+    if args.no_cache:
+        forwarded.append("--no-cache")
     if args.output:
         forwarded.extend(["--output", args.output])
     return run_all_main(forwarded)
@@ -118,6 +123,61 @@ def _cmd_check(args) -> int:
     return check_main(args)
 
 
+def _benchmarks_dir():
+    """Locate ``benchmarks/`` for a source checkout (cwd or repo root)."""
+    from pathlib import Path
+    candidates = [Path.cwd() / "benchmarks",
+                  Path(__file__).resolve().parents[2] / "benchmarks"]
+    for cand in candidates:
+        if cand.is_dir():
+            return cand
+    return None
+
+
+def _cmd_bench(args) -> int:
+    """Dispatch to a benchmarks/ script without knowing file paths.
+
+    Script-style benchmarks (``bench_engine``, ``bench_par``) run
+    directly; pytest-benchmark suites (``bench_serve``, the per-figure
+    ``bench_figXX``) run under ``pytest --benchmark-only``.  Extra
+    arguments after the name are forwarded.
+    """
+    import os
+    import subprocess
+    bench_dir = _benchmarks_dir()
+    if bench_dir is None:
+        print("no benchmarks/ directory found (run from a source checkout)")
+        return 2
+    scripts = {p.stem.removeprefix("bench_"): p
+               for p in sorted(bench_dir.glob("bench_*.py"))}
+    if not args.name:
+        print("available benchmarks (python -m repro bench NAME [ARGS...]):")
+        for name, path in scripts.items():
+            doc = ""
+            for line in path.read_text().splitlines()[:2]:
+                text = line.strip().strip('"').strip()
+                if text:
+                    doc = text
+                    break
+            print(f"  {name:10s} {doc}")
+        return 0
+    if args.name not in scripts:
+        print(f"unknown benchmark {args.name!r}; "
+              f"choose from: {', '.join(scripts)}")
+        return 2
+    path = scripts[args.name]
+    env = dict(os.environ)
+    src = str(bench_dir.parent / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    if "def main(" in path.read_text():
+        cmd = [sys.executable, str(path), *args.args]
+    else:
+        cmd = [sys.executable, "-m", "pytest", str(path), "-q",
+               "--benchmark-only", *args.args]
+    return subprocess.call(cmd, env=env)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command")
@@ -126,6 +186,10 @@ def main(argv: list[str] | None = None) -> int:
     run_p = sub.add_parser("run", help="run paper experiments")
     run_p.add_argument("experiments", nargs="*")
     run_p.add_argument("--quick", action="store_true")
+    run_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for trial-level fan-out")
+    run_p.add_argument("--no-cache", action="store_true",
+                       help="skip the content-addressed trial cache")
     run_p.add_argument("--output", type=str, default=None)
     sub.add_parser("demo", help="run the quickstart scenario")
     serve_p = sub.add_parser(
@@ -146,10 +210,15 @@ def main(argv: list[str] | None = None) -> int:
         "check", help="differential scenario fuzzer + invariant checker")
     from repro.check.cli import add_arguments as _check_args
     _check_args(check_p)
+    bench_p = sub.add_parser(
+        "bench", help="run a benchmarks/ script by name (no name: list them)")
+    bench_p.add_argument("name", nargs="?", default=None)
+    bench_p.add_argument("args", nargs=argparse.REMAINDER,
+                         help="forwarded to the benchmark")
     args = parser.parse_args(argv)
     handlers = {"info": _cmd_info, "census": _cmd_census,
                 "run": _cmd_run, "demo": _cmd_demo, "serve": _cmd_serve,
-                "obs": _cmd_obs, "check": _cmd_check}
+                "obs": _cmd_obs, "check": _cmd_check, "bench": _cmd_bench}
     if args.command is None:
         parser.print_help()
         return 2

@@ -3,7 +3,10 @@
 Modes (combinable with ``--shrink``/``--fixtures``):
 
 * fixed-seed sweep (default): ``--seeds N`` runs seeds
-  ``[--seed-start, --seed-start + N)`` through the differential harness.
+  ``[--seed-start, --seed-start + N)`` through the differential
+  harness; ``--jobs N`` fans the sweep across worker processes and
+  results are content-cached under ``results/.cache`` (disable with
+  ``--no-cache``), so an unchanged sweep is pure cache hits.
 * single seed: ``--seed S`` (prints the scenario op log when ``-v``).
 * randomized smoke: ``--smoke SECONDS`` draws fresh seeds from the OS
   RNG until the wall-clock budget runs out, printing every seed as it
@@ -11,10 +14,11 @@ Modes (combinable with ``--shrink``/``--fixtures``):
 * replay: ``--replay FIXTURE.json`` re-runs a committed regression
   fixture on both engines.
 
-Exit status is 0 only if every scenario passed: no invariant violation
-on either engine and no engine divergence.  On the first failure the
-scenario is shrunk to a minimal repro (unless ``--no-shrink``) and the
-fixture is written next to the other regressions, ready to commit.
+Every mode ends with the same grep-able summary line
+(``check: seeds=N failures=M cache_hits=K``); exit status is 0 only if
+every scenario passed.  On a sweep failure the *first* failing seed is
+re-run locally, shrunk to a minimal repro (unless ``--no-shrink``) and
+written as a fixture next to the other regressions, ready to commit.
 """
 
 from __future__ import annotations
@@ -29,6 +33,8 @@ from repro.check.differ import run_differential
 from repro.check.generator import generate
 from repro.check.scenario import Scenario
 from repro.check.shrinker import shrink
+from repro.check.sweep import TRIAL_FN, seed_trial, summary_line
+from repro.par import ResultCache, TrialSpec, default_cache_dir, run_trials
 
 __all__ = ["main", "add_arguments"]
 
@@ -45,6 +51,11 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                              "wall-clock budget is spent")
     parser.add_argument("--replay", type=str, default=None, metavar="FIXTURE",
                         help="re-run a regression fixture JSON file")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the seed sweep "
+                             "(default 1 = in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the content-addressed result cache")
     parser.add_argument("--no-shrink", dest="shrink", action="store_false",
                         help="report the raw failing scenario without "
                              "shrinking it first")
@@ -89,58 +100,96 @@ def _fail(scenario: Scenario, report, args) -> None:
     print(f"re-run with: python -m repro check --seed {scenario.seed}")
 
 
-def _run_one(scenario: Scenario, args) -> bool:
+def _print_seed_result(value: dict, *, cached: bool, verbose: bool) -> None:
+    if not verbose:
+        return
+    tag = " (cached)" if cached else ""
+    if value.get("ok"):
+        print(f"ok   seed={value['seed']} ops={value['ops']} "
+              f"steps={value['steps']} oom={value['oom']} "
+              f"groups={value['groups']}{tag}")
+    else:
+        print(f"fail seed={value['seed']} "
+              f"fingerprint={value.get('fingerprint')}{tag}")
+
+
+def _sweep(seeds: list[int], args) -> int:
+    """Fixed-seed sweep through the parallel runner + result cache."""
+    cache = None if args.no_cache else ResultCache(default_cache_dir())
+    specs = [TrialSpec(fn=TRIAL_FN, experiment="check-sweep",
+                       trial_id=f"seed{s}", config={"seed": s})
+             for s in seeds]
+
+    def on_result(_spec, res):
+        if res.ok:
+            _print_seed_result(res.value, cached=res.cached,
+                               verbose=args.verbose)
+        else:
+            print(f"fail seed trial {res.trial_id}: {res.error}")
+
+    results = run_trials(specs, jobs=args.jobs, cache=cache,
+                         on_result=on_result)
+    failed = [(seed, res) for seed, res in zip(seeds, results)
+              if not res.ok or not res.value.get("ok")]
+    if failed:
+        # Shrinking needs live report objects; re-run the first failing
+        # seed in this process (cheap next to the sweep itself).
+        seed, res = failed[0]
+        if res.ok:                       # differential failure, not a crash
+            scenario = generate(seed)
+            _fail(scenario, run_differential(scenario), args)
+        else:
+            print(f"seed {seed} worker failure: {res.error}")
+    hits = cache.hits if cache else 0
+    print(summary_line(seeds=len(seeds), failures=len(failed),
+                       cache_hits=hits))
+    if failed:
+        print(f"check: FAILED (first failure above; "
+              f"{len(failed)}/{len(seeds)} seeds failed)")
+        return 1
+    print(f"check: {len(seeds)} scenarios ok on both engines, "
+          f"0 invariant violations, 0 divergences")
+    return 0
+
+
+def _smoke(args) -> int:
+    deadline = time.monotonic() + args.smoke
+    sysrand = random.SystemRandom()
+    n = failures = 0
+    while time.monotonic() < deadline:
+        seed = sysrand.randrange(1 << 32)
+        print(f"smoke seed={seed}", flush=True)
+        value = seed_trial({"seed": seed}, 0)
+        n += 1
+        if not value["ok"]:
+            failures += 1
+            scenario = generate(seed)
+            _fail(scenario, run_differential(scenario), args)
+            break              # keep the first failure's fixture intact
+        _print_seed_result(value, cached=False, verbose=args.verbose)
+    print(summary_line(seeds=n, failures=failures, cache_hits=0))
+    return 1 if failures else 0
+
+
+def _replay(args) -> int:
+    with open(args.replay) as fh:
+        scenario = Scenario.from_json(fh.read())
     report = run_differential(scenario)
-    if report.ok:
-        if args.verbose:
-            final = report.results["incremental"].snapshots[-1]
-            print(f"ok   seed={scenario.seed} ops={len(scenario)} "
-                  f"steps={final['steps']} oom={final['mm']['oom_kills']} "
-                  f"groups={len(final['groups'])}")
-        return True
-    _fail(scenario, report, args)
-    return False
+    print(f"replay {args.replay}: {'ok' if report.ok else 'FAIL'}")
+    if not report.ok:
+        print(report.summary())
+    print(summary_line(seeds=1, failures=0 if report.ok else 1,
+                       cache_hits=0))
+    return 0 if report.ok else 1
 
 
 def main(args: argparse.Namespace) -> int:
     if args.replay is not None:
-        with open(args.replay) as fh:
-            scenario = Scenario.from_json(fh.read())
-        report = run_differential(scenario)
-        print(f"replay {args.replay}: "
-              f"{'ok' if report.ok else 'FAIL'}")
-        if not report.ok:
-            print(report.summary())
-            return 1
-        return 0
-
+        return _replay(args)
     if args.smoke is not None:
-        deadline = time.monotonic() + args.smoke
-        sysrand = random.SystemRandom()
-        n = failures = 0
-        while time.monotonic() < deadline:
-            seed = sysrand.randrange(1 << 32)
-            print(f"smoke seed={seed}", flush=True)
-            if not _run_one(generate(seed), args):
-                failures += 1
-                break              # keep the first failure's fixture intact
-            n += 1
-        print(f"smoke: {n} scenarios, {failures} failures")
-        return 1 if failures else 0
-
+        return _smoke(args)
     if args.seed is not None:
         seeds = [args.seed]
     else:
-        seeds = range(args.seed_start, args.seed_start + args.seeds)
-    failures = 0
-    for seed in seeds:
-        if not _run_one(generate(seed), args):
-            failures += 1
-            break
-    total = len(list(seeds)) if failures == 0 else "stopped early"
-    if failures:
-        print(f"check: FAILED (first failure above; sweep {total})")
-        return 1
-    print(f"check: {total} scenarios ok on both engines, "
-          f"0 invariant violations, 0 divergences")
-    return 0
+        seeds = list(range(args.seed_start, args.seed_start + args.seeds))
+    return _sweep(seeds, args)

@@ -1,0 +1,53 @@
+"""Seed-sweep trials for the differential fuzzer, runnable via repro.par.
+
+One trial = one seed: generate the scenario, run it on both engines,
+compare.  The trial value is a plain dict so sweeps can fan out across
+worker processes and be content-cached — a 200-seed CI sweep after a
+docs-only commit is 200 cache hits.
+
+Failing seeds are reported *in* the value (``ok=False``) rather than
+raised: the CLI re-runs the first failure locally to shrink it and
+write a fixture, which needs live objects the pool cannot ship back.
+"""
+
+from __future__ import annotations
+
+from repro.check.differ import run_differential
+from repro.check.generator import generate
+
+__all__ = ["TRIAL_FN", "seed_trial", "summary_line"]
+
+#: Dotted path handed to TrialSpec.fn.
+TRIAL_FN = "repro.check.sweep:seed_trial"
+
+
+def seed_trial(config: dict, spawn_seed: int) -> dict:
+    """Run one generated seed through the differential harness.
+
+    ``config["seed"]`` is the scenario seed (the sweep's unit of
+    identity); the spawn key is unused here because the generator is
+    already a pure function of the seed.
+    """
+    seed = int(config["seed"])
+    scenario = generate(seed)
+    report = run_differential(scenario)
+    value = {"seed": seed, "ok": report.ok, "ops": len(scenario),
+             "ncpus": scenario.ncpus, "memory_mib": scenario.memory >> 20,
+             "horizon": scenario.horizon}
+    if report.ok:
+        final = report.results["incremental"].snapshots[-1]
+        value.update(steps=final["steps"], oom=final["mm"]["oom_kills"],
+                     groups=len(final["groups"]))
+    else:
+        value.update(fingerprint=report.fingerprint(),
+                     summary=report.summary())
+    return value
+
+
+def summary_line(*, seeds: int, failures: int, cache_hits: int) -> str:
+    """The stable, grep-able one-line summary every check mode prints.
+
+    CI greps for the ``check: seeds=... failures=... cache_hits=...``
+    shape; keep the key order and spelling fixed.
+    """
+    return f"check: seeds={seeds} failures={failures} cache_hits={cache_hits}"

@@ -20,6 +20,11 @@ The paper motivates three design decisions this module isolates:
    "limited to 1 per update to prevent abrupt fluctuations"; the update
    period follows the CFS scheduling period.  ``update_period_sweep``
    scales the period to show the responsiveness/stability trade-off.
+
+Every cell of every sweep is an independent world, so ``run`` gathers
+the *whole* grid (all five sub-tables) into one trial list and fans it
+out through :mod:`repro.par` — ``run(params, jobs=8)`` runs the
+ablation grid eight cells at a time.
 """
 
 from __future__ import annotations
@@ -33,12 +38,16 @@ from repro.harness.common import paper_heap_flags, scale_workload, testbed
 from repro.harness.results import ExperimentResult, ResultTable
 from repro.jvm.flags import JvmConfig
 from repro.jvm.jvm import Jvm, JvmStats
+from repro.par import ResultCache, TrialSpec, run_trials
 from repro.workloads.dacapo import dacapo
 from repro.workloads.native_runner import NativeProcess
 from repro.workloads.sysbench import sysbench_mix
 
 __all__ = ["AblationParams", "run", "static_vs_dynamic_view",
-           "util_threshold_sweep"]
+           "util_threshold_sweep", "trial", "trial_specs"]
+
+#: Dotted path of the per-cell trial function (see repro.par).
+TRIAL_FN = "repro.harness.experiments.ablation:trial"
 
 
 @dataclass(frozen=True)
@@ -71,41 +80,206 @@ def _varying_load_run(params: AblationParams, *,
     return jvm.stats
 
 
-def static_vs_dynamic_view(params: AblationParams) -> ResultTable:
-    """Ablation 1: pin the view at the static bounds (LXCFS-style)."""
+# -- the trial function ------------------------------------------------------
+
+def _trial_varying_load(config: dict) -> dict:
+    params = AblationParams(scale=config["scale"],
+                            benchmark=config["benchmark"],
+                            n_sysbench=config["n_sysbench"],
+                            seed=config["seed"])
+    cpu_view = None
+    if "cpu_dynamic" in config:
+        cpu_view = CpuViewParams(dynamic=config["cpu_dynamic"])
+    elif "util_threshold" in config:
+        cpu_view = CpuViewParams(util_threshold=config["util_threshold"])
+    mem_view = (MemViewParams(dynamic=config["mem_dynamic"])
+                if "mem_dynamic" in config else None)
+    stats = _varying_load_run(params, cpu_view=cpu_view, mem_view=mem_view,
+                              update_period=config.get("update_period"))
+    return {"exec_s": stats.execution_time, "gc_time_s": stats.gc_time,
+            "mean_gc_threads": stats.mean_gc_threads}
+
+
+def _trial_mem_increment(config: dict) -> dict:
+    from repro.harness.experiments.fig12_heap_traces import Fig12Params
+    from repro.units import gib
+    from repro.workloads.micro import heap_micro_benchmark
+    fig_params = Fig12Params(scale=0.25 * config["scale"])
+    world = testbed(seed=config["seed"],
+                    mem_view_params=MemViewParams(
+                        increment_frac=config["increment_frac"]))
+    c = world.containers.create(ContainerSpec(
+        "c0", memory_limit=fig_params.hard_limit,
+        memory_soft_limit=fig_params.soft_limit))
+    wl = heap_micro_benchmark(
+        total_work=fig_params.total_work * fig_params.scale)
+    jvm = Jvm(c, wl, JvmConfig.adaptive(), trace_heap=True)
+    jvm.launch()
+    world.run_until(lambda: jvm.finished, timeout=500000)
+    stats = jvm.stats
+    return {"exec_s": stats.execution_time,
+            "final_committed_gb": stats.heap_trace[-1].committed / gib(1),
+            "completed": stats.completed}
+
+
+def _trial_sizing(config: dict) -> dict:
+    from repro.jvm.adaptive_sizing import AdaptiveSizePolicy, ThroughputSizePolicy
+    from repro.units import gib, mib
+    policy_cls = {"adaptive(default)": AdaptiveSizePolicy,
+                  "throughput-goal": ThroughputSizePolicy}[config["strategy"]]
+    wl = scale_workload(dacapo("lusearch"), config["scale"])
+    world = testbed(seed=config["seed"])
+    container = world.containers.create(ContainerSpec(
+        "c0", memory_limit=gib(1)))
+    jvm = Jvm(container, wl, JvmConfig.adaptive(xms=mib(500)),
+              sizing_policy=policy_cls(), trace_heap=True)
+    jvm.launch()
+    world.run_until(lambda: jvm.finished, timeout=100000)
+    stats = jvm.stats
+    return {"exec_s": stats.execution_time, "gc_time_s": stats.gc_time,
+            "peak_committed_mb": max(s.committed
+                                     for s in stats.heap_trace) / mib(1),
+            "swapped_mb": container.cgroup.memory.swapout_total / mib(1),
+            "completed": stats.completed}
+
+
+def trial(config: dict, spawn_seed: int) -> dict:
+    """One ablation cell; ``config["kind"]`` picks the scenario family."""
+    kind = config["kind"]
+    if kind == "varying_load":
+        return _trial_varying_load(config)
+    if kind == "mem_increment":
+        return _trial_mem_increment(config)
+    if kind == "sizing":
+        return _trial_sizing(config)
+    raise ValueError(f"unknown ablation trial kind {kind!r}")
+
+
+def _base_config(params: AblationParams) -> dict:
+    return {"kind": "varying_load", "scale": params.scale,
+            "benchmark": params.benchmark, "n_sysbench": params.n_sysbench,
+            "seed": params.seed}
+
+
+def _spec(params: AblationParams, trial_id: str, config: dict) -> TrialSpec:
+    return TrialSpec(fn=TRIAL_FN, experiment="ablation", trial_id=trial_id,
+                     config=config, seed=params.seed)
+
+
+# -- sub-table spec builders + assemblers ------------------------------------
+
+_UTIL_THRESHOLDS = (0.5, 0.8, 0.95, 0.999)
+_UPDATE_PERIODS = (0.006, 0.024, 0.5, 2.0)
+_MEM_FRACS = (0.02, 0.10, 0.50)
+_SIZING_STRATEGIES = ("adaptive(default)", "throughput-goal")
+
+
+def _specs_static(params: AblationParams) -> list[TrialSpec]:
+    static = dict(_base_config(params), cpu_dynamic=False, mem_dynamic=False)
+    return [_spec(params, "static/static-bounds", static),
+            _spec(params, "static/adaptive", _base_config(params))]
+
+
+def _table_static(cells: dict) -> ResultTable:
     table = ResultTable(
         "Ablation: static (LXCFS-style) vs dynamic resource view "
         "(Fig. 8 varying-load scenario)",
         ["view", "exec_s", "gc_time_s", "mean_gc_threads"])
-    static = _varying_load_run(
-        params, cpu_view=CpuViewParams(dynamic=False),
-        mem_view=MemViewParams(dynamic=False))
-    dynamic = _varying_load_run(params)
-    for label, stats in (("static-bounds", static), ("adaptive", dynamic)):
-        table.add(view=label, exec_s=stats.execution_time,
-                  gc_time_s=stats.gc_time,
-                  mean_gc_threads=stats.mean_gc_threads)
+    for label, tid in (("static-bounds", "static/static-bounds"),
+                       ("adaptive", "static/adaptive")):
+        table.add(view=label, **cells[tid])
     return table
 
 
-def util_threshold_sweep(params: AblationParams,
-                         thresholds: tuple[float, ...] = (0.5, 0.8, 0.95, 0.999),
-                         ) -> ResultTable:
-    """Ablation 2: sensitivity to Algorithm 1's UTIL_THRSHD."""
+def _specs_util(params: AblationParams,
+                thresholds: tuple[float, ...]) -> list[TrialSpec]:
+    return [_spec(params, f"util/{t:g}",
+                  dict(_base_config(params), util_threshold=t))
+            for t in thresholds]
+
+
+def _table_util(cells: dict, thresholds: tuple[float, ...]) -> ResultTable:
     table = ResultTable(
         "Ablation: Algorithm 1 utilization threshold (paper: 0.95)",
         ["util_threshold", "exec_s", "gc_time_s", "mean_gc_threads"])
-    for threshold in thresholds:
-        stats = _varying_load_run(
-            params, cpu_view=CpuViewParams(util_threshold=threshold))
-        table.add(util_threshold=threshold, exec_s=stats.execution_time,
-                  gc_time_s=stats.gc_time,
-                  mean_gc_threads=stats.mean_gc_threads)
+    for t in thresholds:
+        table.add(util_threshold=t, **cells[f"util/{t:g}"])
     return table
 
 
+def _specs_period(params: AblationParams,
+                  periods: tuple[float, ...]) -> list[TrialSpec]:
+    return [_spec(params, f"period/{p:g}",
+                  dict(_base_config(params), update_period=p))
+            for p in periods]
+
+
+def _table_period(cells: dict, periods: tuple[float, ...]) -> ResultTable:
+    table = ResultTable(
+        "Ablation: sys_namespace update period (paper: CFS period, ~24ms+)",
+        ["period_s", "exec_s", "gc_time_s", "mean_gc_threads"])
+    for p in periods:
+        table.add(period_s=p, **cells[f"period/{p:g}"])
+    return table
+
+
+def _specs_mem(params: AblationParams,
+               fracs: tuple[float, ...]) -> list[TrialSpec]:
+    return [_spec(params, f"mem/{f:g}",
+                  {"kind": "mem_increment", "increment_frac": f,
+                   "scale": params.scale, "seed": params.seed})
+            for f in fracs]
+
+
+def _table_mem(cells: dict, fracs: tuple[float, ...]) -> ResultTable:
+    table = ResultTable(
+        "Ablation: Algorithm 2 increment fraction (paper: 0.10)",
+        ["increment_frac", "exec_s", "final_committed_gb", "completed"])
+    for f in fracs:
+        table.add(increment_frac=f, **cells[f"mem/{f:g}"])
+    return table
+
+
+def _specs_sizing(params: AblationParams) -> list[TrialSpec]:
+    return [_spec(params, f"sizing/{label}",
+                  {"kind": "sizing", "strategy": label,
+                   "scale": params.scale, "seed": params.seed})
+            for label in _SIZING_STRATEGIES]
+
+
+def _table_sizing(cells: dict) -> ResultTable:
+    table = ResultTable(
+        "Ablation: elastic heap under different sizing strategies "
+        "(Fig. 11 lusearch scenario, 1GB hard limit)",
+        ["strategy", "exec_s", "gc_time_s", "peak_committed_mb", "swapped_mb",
+         "completed"])
+    for label in _SIZING_STRATEGIES:
+        table.add(strategy=label, **cells[f"sizing/{label}"])
+    return table
+
+
+def _run_cells(specs: list[TrialSpec], *, jobs: int = 1,
+               cache: ResultCache | None = None) -> dict:
+    return {s.trial_id: r.require(s.trial_id)
+            for s, r in zip(specs, run_trials(specs, jobs=jobs, cache=cache))}
+
+
+# -- public sub-table entry points (serial, kept for direct callers) ---------
+
+def static_vs_dynamic_view(params: AblationParams) -> ResultTable:
+    """Ablation 1: pin the view at the static bounds (LXCFS-style)."""
+    return _table_static(_run_cells(_specs_static(params)))
+
+
+def util_threshold_sweep(params: AblationParams,
+                         thresholds: tuple[float, ...] = _UTIL_THRESHOLDS,
+                         ) -> ResultTable:
+    """Ablation 2: sensitivity to Algorithm 1's UTIL_THRSHD."""
+    return _table_util(_run_cells(_specs_util(params, thresholds)), thresholds)
+
+
 def update_period_sweep(params: AblationParams,
-                        periods: tuple[float, ...] = (0.006, 0.024, 0.5, 2.0),
+                        periods: tuple[float, ...] = _UPDATE_PERIODS,
                         ) -> ResultTable:
     """Ablation 3: sensitivity to the sys_namespace update period.
 
@@ -115,19 +289,11 @@ def update_period_sweep(params: AblationParams,
     the view lag the sysbench churn: E_CPU misses freed CPUs and GC
     teams stay small (drifting toward the static-bounds behaviour).
     """
-    table = ResultTable(
-        "Ablation: sys_namespace update period (paper: CFS period, ~24ms+)",
-        ["period_s", "exec_s", "gc_time_s", "mean_gc_threads"])
-    for period in periods:
-        stats = _varying_load_run(params, update_period=period)
-        table.add(period_s=period, exec_s=stats.execution_time,
-                  gc_time_s=stats.gc_time,
-                  mean_gc_threads=stats.mean_gc_threads)
-    return table
+    return _table_period(_run_cells(_specs_period(params, periods)), periods)
 
 
 def mem_increment_sweep(params: AblationParams,
-                        fracs: tuple[float, ...] = (0.02, 0.10, 0.50),
+                        fracs: tuple[float, ...] = _MEM_FRACS,
                         ) -> ResultTable:
     """Ablation 4: Algorithm 2's 10%-of-headroom expansion step.
 
@@ -136,31 +302,7 @@ def mem_increment_sweep(params: AblationParams,
     risks overshooting free memory in one window (the watermark guard
     has less prediction accuracy per step).
     """
-    from repro.harness.experiments.fig12_heap_traces import Fig12Params
-    from repro.units import gib
-    table = ResultTable(
-        "Ablation: Algorithm 2 increment fraction (paper: 0.10)",
-        ["increment_frac", "exec_s", "final_committed_gb", "completed"])
-    for frac in fracs:
-        fig_params = Fig12Params(scale=0.25 * params.scale)
-        world_kwargs = MemViewParams(increment_frac=frac)
-        # run_single builds its own world; re-create it here with the
-        # custom view parameters.
-        world = testbed(seed=params.seed, mem_view_params=world_kwargs)
-        c = world.containers.create(ContainerSpec(
-            "c0", memory_limit=fig_params.hard_limit,
-            memory_soft_limit=fig_params.soft_limit))
-        from repro.workloads.micro import heap_micro_benchmark
-        wl = heap_micro_benchmark(
-            total_work=fig_params.total_work * fig_params.scale)
-        jvm = Jvm(c, wl, JvmConfig.adaptive(), trace_heap=True)
-        jvm.launch()
-        world.run_until(lambda: jvm.finished, timeout=500000)
-        stats = jvm.stats
-        table.add(increment_frac=frac, exec_s=stats.execution_time,
-                  final_committed_gb=stats.heap_trace[-1].committed / gib(1),
-                  completed=stats.completed)
-    return table
+    return _table_mem(_run_cells(_specs_mem(params, fracs)), fracs)
 
 
 def sizing_strategy_sweep(params: AblationParams) -> ResultTable:
@@ -173,43 +315,30 @@ def sizing_strategy_sweep(params: AblationParams) -> ResultTable:
     frequency-driven strategy and a pure throughput-goal strategy —
     both must stay inside the limit and complete.
     """
-    from repro.jvm.adaptive_sizing import AdaptiveSizePolicy, ThroughputSizePolicy
-    from repro.units import gib, mib
-    table = ResultTable(
-        "Ablation: elastic heap under different sizing strategies "
-        "(Fig. 11 lusearch scenario, 1GB hard limit)",
-        ["strategy", "exec_s", "gc_time_s", "peak_committed_mb", "swapped_mb",
-         "completed"])
-    wl = scale_workload(dacapo("lusearch"), params.scale)
-    for label, policy_cls in (("adaptive(default)", AdaptiveSizePolicy),
-                              ("throughput-goal", ThroughputSizePolicy)):
-        world = testbed(seed=params.seed)
-        container = world.containers.create(ContainerSpec(
-            "c0", memory_limit=gib(1)))
-        jvm = Jvm(container, wl, JvmConfig.adaptive(xms=mib(500)),
-                  sizing_policy=policy_cls(), trace_heap=True)
-        jvm.launch()
-        world.run_until(lambda: jvm.finished, timeout=100000)
-        stats = jvm.stats
-        table.add(strategy=label, exec_s=stats.execution_time,
-                  gc_time_s=stats.gc_time,
-                  peak_committed_mb=max(s.committed
-                                        for s in stats.heap_trace) / mib(1),
-                  swapped_mb=container.cgroup.memory.swapout_total / mib(1),
-                  completed=stats.completed)
-    return table
+    return _table_sizing(_run_cells(_specs_sizing(params)))
 
 
-def run(params: AblationParams | None = None) -> ExperimentResult:
+def trial_specs(params: AblationParams) -> list[TrialSpec]:
+    """Every cell of every sub-table, as one flat fan-out grid."""
+    return (_specs_static(params)
+            + _specs_util(params, _UTIL_THRESHOLDS)
+            + _specs_period(params, _UPDATE_PERIODS)
+            + _specs_mem(params, _MEM_FRACS)
+            + _specs_sizing(params))
+
+
+def run(params: AblationParams | None = None, *, jobs: int = 1,
+        cache: ResultCache | None = None) -> ExperimentResult:
     params = params or AblationParams()
     result = ExperimentResult(
         experiment="ablation",
         description="design-choice ablations for the adaptive resource view")
-    result.add_table("static_vs_dynamic", static_vs_dynamic_view(params))
-    result.add_table("util_threshold", util_threshold_sweep(params))
-    result.add_table("update_period", update_period_sweep(params))
-    result.add_table("mem_increment", mem_increment_sweep(params))
-    result.add_table("sizing_strategy", sizing_strategy_sweep(params))
+    cells = _run_cells(trial_specs(params), jobs=jobs, cache=cache)
+    result.add_table("static_vs_dynamic", _table_static(cells))
+    result.add_table("util_threshold", _table_util(cells, _UTIL_THRESHOLDS))
+    result.add_table("update_period", _table_period(cells, _UPDATE_PERIODS))
+    result.add_table("mem_increment", _table_mem(cells, _MEM_FRACS))
+    result.add_table("sizing_strategy", _table_sizing(cells))
     result.note("static-bounds pins E_CPU at the share lower bound and E_MEM "
                 "at the soft limit (what LXCFS/cgroup-ns would report)")
     result.note("util threshold is insensitive for the JVM because HotSpot's "

@@ -23,9 +23,13 @@ from repro.container.spec import ContainerSpec
 from repro.harness.common import paper_heap_flags, run_jvms, scale_workload, testbed
 from repro.harness.results import ExperimentResult, ResultTable
 from repro.jvm.flags import JvmConfig
+from repro.par import ResultCache, TrialSpec, run_trials
 from repro.workloads.dacapo import PAPER_DACAPO, dacapo
 
-__all__ = ["Fig07Params", "run"]
+__all__ = ["Fig07Params", "run", "trial", "trial_specs"]
+
+#: Dotted path of the per-cell trial function (see repro.par).
+TRIAL_FN = "repro.harness.experiments.fig07_scaling:trial"
 
 
 @dataclass(frozen=True)
@@ -56,7 +60,34 @@ def _run_config(bench: str, n: int, mode: str, params: Fig07Params
             sum(j.stats.gc_time for j in jvms) / k)
 
 
-def run(params: Fig07Params | None = None) -> ExperimentResult:
+def trial(config: dict, spawn_seed: int) -> dict:
+    """One (benchmark, container count, mode) cell, as a pool trial.
+
+    The world seed comes from the experiment params (part of the cache
+    key), not the spawn key, so results match the historical serial run.
+    """
+    params = Fig07Params(scale=config["scale"], seed=config["seed"])
+    exec_s, gc_s = _run_config(config["bench"], config["n"], config["mode"],
+                               params)
+    return {"exec_s": exec_s, "gc_s": gc_s}
+
+
+def trial_specs(params: Fig07Params) -> list[TrialSpec]:
+    """The full (benchmark x count x mode) grid as independent trials."""
+    return [
+        TrialSpec(fn=TRIAL_FN, experiment="fig07",
+                  trial_id=f"{bench}/n{n}/{mode}",
+                  config={"bench": bench, "n": n, "mode": mode,
+                          "scale": params.scale, "seed": params.seed},
+                  seed=params.seed)
+        for bench in params.benchmarks
+        for n in params.container_counts
+        for mode in ("jvm9", "adaptive")
+    ]
+
+
+def run(params: Fig07Params | None = None, *, jobs: int = 1,
+        cache: ResultCache | None = None) -> ExperimentResult:
     params = params or Fig07Params()
     result = ExperimentResult(
         experiment="fig07",
@@ -67,10 +98,15 @@ def run(params: Fig07Params | None = None) -> ExperimentResult:
     gc_table = result.add_table("gc_time", ResultTable(
         "Figure 7(f-j): GC time (s)",
         ["benchmark", "containers", "jvm9", "adaptive"]))
+    specs = trial_specs(params)
+    cells = {s.trial_id: r.require(s.trial_id)
+             for s, r in zip(specs, run_trials(specs, jobs=jobs, cache=cache))}
     for bench in params.benchmarks:
         for n in params.container_counts:
-            t9, g9 = _run_config(bench, n, "jvm9", params)
-            ta, ga = _run_config(bench, n, "adaptive", params)
+            t9, g9 = (cells[f"{bench}/n{n}/jvm9"][k]
+                      for k in ("exec_s", "gc_s"))
+            ta, ga = (cells[f"{bench}/n{n}/adaptive"][k]
+                      for k in ("exec_s", "gc_s"))
             exec_table.add(benchmark=bench, containers=n, jvm9=t9, adaptive=ta)
             gc_table.add(benchmark=bench, containers=n, jvm9=g9, adaptive=ga)
     result.note("expected: adaptive exec < jvm9 exec, gap closing as n grows; "

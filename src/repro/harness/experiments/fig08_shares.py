@@ -23,11 +23,15 @@ from repro.harness.common import paper_heap_flags, scale_workload, testbed
 from repro.harness.results import ExperimentResult, ResultTable
 from repro.jvm.flags import JvmConfig
 from repro.jvm.jvm import Jvm, JvmStats
+from repro.par import ResultCache, TrialSpec, run_trials
 from repro.workloads.dacapo import PAPER_DACAPO, dacapo
 from repro.workloads.native_runner import NativeProcess
 from repro.workloads.sysbench import sysbench_mix
 
-__all__ = ["Fig08Params", "run", "run_one"]
+__all__ = ["Fig08Params", "run", "run_one", "trial", "trial_specs"]
+
+#: Dotted path of the per-cell trial function (see repro.par).
+TRIAL_FN = "repro.harness.experiments.fig08_shares:trial"
 
 
 @dataclass(frozen=True)
@@ -70,31 +74,75 @@ def run_one(bench: str, label: str, params: Fig08Params) -> JvmStats:
     return jvm.stats
 
 
-def run(params: Fig08Params | None = None) -> ExperimentResult:
+def trial(config: dict, spawn_seed: int) -> dict:
+    """One (benchmark, JVM variant) cell as a JSON-serializable trial.
+
+    The world seed comes from the experiment params (part of the cache
+    key), not the spawn key, so results match the historical serial run.
+    """
+    params = Fig08Params(scale=config["scale"], seed=config["seed"],
+                         n_sysbench=config["n_sysbench"],
+                         sysbench_threads=config["sysbench_threads"],
+                         sysbench_base_work=config["sysbench_base_work"],
+                         sysbench_step_work=config["sysbench_step_work"])
+    stats = run_one(config["bench"], config["label"], params)
+    return {"gc_time": stats.gc_time,
+            "gc_threads_created": stats.gc_threads_created,
+            "mean_gc_threads": stats.mean_gc_threads,
+            "gc_thread_history": [list(pair)
+                                  for pair in stats.gc_thread_history]}
+
+
+def trial_specs(params: Fig08Params) -> list[TrialSpec]:
+    """(benchmark x variant) grid; the trace benchmark rides along."""
+    benches = list(params.benchmarks)
+    if params.trace_benchmark not in benches:
+        benches.append(params.trace_benchmark)
+    return [
+        TrialSpec(fn=TRIAL_FN, experiment="fig08",
+                  trial_id=f"{bench}/{label}",
+                  config={"bench": bench, "label": label,
+                          "scale": params.scale, "seed": params.seed,
+                          "n_sysbench": params.n_sysbench,
+                          "sysbench_threads": params.sysbench_threads,
+                          "sysbench_base_work": params.sysbench_base_work,
+                          "sysbench_step_work": params.sysbench_step_work},
+                  seed=params.seed)
+        for bench in benches
+        for label in ("vanilla", "jvm10", "adaptive")
+    ]
+
+
+def run(params: Fig08Params | None = None, *, jobs: int = 1,
+        cache: ResultCache | None = None) -> ExperimentResult:
     params = params or Fig08Params()
     result = ExperimentResult(
         experiment="fig08",
         description="static shares (JVM10) vs effective CPU under varying load")
+    specs = trial_specs(params)
+    cells = {s.trial_id: r.require(s.trial_id)
+             for s, r in zip(specs, run_trials(specs, jobs=jobs, cache=cache))}
     gc_table = result.add_table("gc_time", ResultTable(
         "Figure 8(a): GC time normalized to vanilla (lower=better)",
         ["benchmark", "vanilla", "jvm10", "adaptive",
          "threads_vanilla", "threads_jvm10", "threads_adaptive_mean"]))
     for bench in params.benchmarks:
-        stats = {label: run_one(bench, label, params)
+        stats = {label: cells[f"{bench}/{label}"]
                  for label in ("vanilla", "jvm10", "adaptive")}
-        base = stats["vanilla"].gc_time
+        base = stats["vanilla"]["gc_time"]
         gc_table.add(benchmark=bench,
                      vanilla=1.0,
-                     jvm10=stats["jvm10"].gc_time / base,
-                     adaptive=stats["adaptive"].gc_time / base,
-                     threads_vanilla=stats["vanilla"].gc_threads_created,
-                     threads_jvm10=stats["jvm10"].gc_threads_created,
-                     threads_adaptive_mean=stats["adaptive"].mean_gc_threads)
+                     jvm10=stats["jvm10"]["gc_time"] / base,
+                     adaptive=stats["adaptive"]["gc_time"] / base,
+                     threads_vanilla=stats["vanilla"]["gc_threads_created"],
+                     threads_jvm10=stats["jvm10"]["gc_threads_created"],
+                     threads_adaptive_mean=stats["adaptive"]["mean_gc_threads"])
 
     trace_table = result.add_table("gc_thread_trace", ResultTable(
         f"Figure 8(b): GC threads per collection ({params.trace_benchmark})",
         ["gc_index", "vanilla", "jvm10", "adaptive"]))
-    traces = {label: run_one(params.trace_benchmark, label, params).gc_thread_history
+    traces = {label: cells[f"{params.trace_benchmark}/{label}"]
+              ["gc_thread_history"]
               for label in ("vanilla", "jvm10", "adaptive")}
     n = max(len(t) for t in traces.values())
     for i in range(n):

@@ -29,9 +29,14 @@ from repro.harness.results import ExperimentResult, ResultTable
 from repro.kernel.loadavg import LoadAvgParams
 from repro.openmp.policy import OmpPolicy
 from repro.openmp.runtime import OpenMpRuntime
+from repro.par import ResultCache, TrialSpec, run_trials
 from repro.workloads.npb import NPB_NAMES, npb
 
-__all__ = ["Fig10Params", "run", "run_five_containers", "run_one_container"]
+__all__ = ["Fig10Params", "run", "run_five_containers", "run_one_container",
+           "trial", "trial_specs"]
+
+#: Dotted path of the per-cell trial function (see repro.par).
+TRIAL_FN = "repro.harness.experiments.fig10_npb:trial"
 
 #: Slow load-average windows: the 15-minute window dwarfs a benchmark run.
 LOAD_PARAMS = LoadAvgParams(tau_1=60.0, tau_5=300.0, tau_15=900.0)
@@ -84,7 +89,40 @@ def run_one_container(bench: str, policy: OmpPolicy,
     return rt.stats.execution_time
 
 
-def run(params: Fig10Params | None = None) -> ExperimentResult:
+def trial(config: dict, spawn_seed: int) -> dict:
+    """One (benchmark, policy, scenario) cell as a pool trial.
+
+    The world seed comes from the experiment params (part of the cache
+    key), not the spawn key, so results match the historical serial run.
+    """
+    params = Fig10Params(scale=config["scale"], seed=config["seed"],
+                         n_containers=config["n_containers"],
+                         quota_cores=config["quota_cores"])
+    policy = OmpPolicy[config["policy"]]
+    runner = (run_five_containers if config["scenario"] == "five"
+              else run_one_container)
+    return {"exec_s": runner(config["bench"], policy, params)}
+
+
+def trial_specs(params: Fig10Params) -> list[TrialSpec]:
+    """The (benchmark x policy x scenario) grid as independent trials."""
+    return [
+        TrialSpec(fn=TRIAL_FN, experiment="fig10",
+                  trial_id=f"{bench}/{scenario}/{policy.name}",
+                  config={"bench": bench, "policy": policy.name,
+                          "scenario": scenario, "scale": params.scale,
+                          "seed": params.seed,
+                          "n_containers": params.n_containers,
+                          "quota_cores": params.quota_cores},
+                  seed=params.seed)
+        for bench in params.benchmarks
+        for scenario in ("five", "one")
+        for policy in OmpPolicy
+    ]
+
+
+def run(params: Fig10Params | None = None, *, jobs: int = 1,
+        cache: ResultCache | None = None) -> ExperimentResult:
     params = params or Fig10Params()
     result = ExperimentResult(
         experiment="fig10",
@@ -95,15 +133,17 @@ def run(params: Fig10Params | None = None) -> ExperimentResult:
     b = result.add_table("one_container", ResultTable(
         "Figure 10(b): 1 container with 4-core quota, time relative to adaptive",
         ["benchmark", "static", "dynamic", "adaptive"]))
+    specs = trial_specs(params)
+    cells = {s.trial_id: r.require(s.trial_id)["exec_s"]
+             for s, r in zip(specs, run_trials(specs, jobs=jobs, cache=cache))}
     for bench in params.benchmarks:
-        times = {p: run_five_containers(bench, p, params) for p in OmpPolicy}
-        basis = times[OmpPolicy.ADAPTIVE]
-        a.add(benchmark=bench, static=times[OmpPolicy.STATIC] / basis,
-              dynamic=times[OmpPolicy.DYNAMIC] / basis, adaptive=1.0)
-        times = {p: run_one_container(bench, p, params) for p in OmpPolicy}
-        basis = times[OmpPolicy.ADAPTIVE]
-        b.add(benchmark=bench, static=times[OmpPolicy.STATIC] / basis,
-              dynamic=times[OmpPolicy.DYNAMIC] / basis, adaptive=1.0)
+        for scenario, table in (("five", a), ("one", b)):
+            times = {p: cells[f"{bench}/{scenario}/{p.name}"]
+                     for p in OmpPolicy}
+            basis = times[OmpPolicy.ADAPTIVE]
+            table.add(benchmark=bench,
+                      static=times[OmpPolicy.STATIC] / basis,
+                      dynamic=times[OmpPolicy.DYNAMIC] / basis, adaptive=1.0)
     result.note("expected: dynamic worst in both scenarios; static over-threads; "
                 "adaptive best")
     return result

@@ -5,17 +5,27 @@ Usage::
     python -m repro.harness.run_all              # everything, full scale
     python -m repro.harness.run_all fig06 fig10  # a subset
     python -m repro.harness.run_all --quick      # scaled-down workloads
+    python -m repro.harness.run_all --jobs 8     # fan trials across workers
+
+``--jobs N`` forwards to every experiment that supports trial-level
+fan-out (its ``run`` accepts a ``jobs`` keyword); trial results are
+content-cached under ``results/.cache`` so a re-run after an unrelated
+edit skips unchanged trials (``--no-cache`` disables).  The run ends
+with a per-experiment wall-clock summary, so it is obvious which
+figure dominates the sweep.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
 from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.par import ResultCache, default_cache_dir
 
-__all__ = ["main", "run_experiment"]
+__all__ = ["main", "run_experiment", "run_many", "timing_summary"]
 
 #: Per-experiment quick-mode parameter overrides.
 _QUICK_KWARGS = {
@@ -36,22 +46,62 @@ _QUICK_KWARGS = {
 }
 
 
-def run_experiment(key: str, *, quick: bool = False):
+def _supports_fanout(module) -> bool:
+    """Does this experiment's ``run`` accept the pool keywords?"""
+    return "jobs" in inspect.signature(module.run).parameters
+
+
+def run_experiment(key: str, *, quick: bool = False, jobs: int = 1,
+                   cache: ResultCache | None = None):
     """Run one registered experiment, returning its ExperimentResult."""
     module = ALL_EXPERIMENTS[key]
+    kwargs = {}
+    if _supports_fanout(module):
+        kwargs = {"jobs": jobs, "cache": cache}
     if not quick:
-        return module.run()
-    kwargs = _QUICK_KWARGS.get(key)
-    if kwargs is None:
-        return module.run()
+        return module.run(**kwargs)
+    quick_kwargs = _QUICK_KWARGS.get(key)
+    if quick_kwargs is None:
+        return module.run(**kwargs)
     # Experiments that import foreign *Params classes pin theirs via a
     # PARAMS attribute; the dir() scan is the legacy fallback.
     params_cls = getattr(module, "PARAMS", None) or next(
         (getattr(module, name) for name in dir(module)
          if name.endswith("Params")), None)
     if params_cls is None:
-        return module.run()
-    return module.run(params_cls(**kwargs))
+        return module.run(**kwargs)
+    return module.run(params_cls(**quick_kwargs), **kwargs)
+
+
+def run_many(keys: list[str], *, quick: bool = False, jobs: int = 1,
+             cache: ResultCache | None = None,
+             report=None) -> tuple[dict, dict[str, float]]:
+    """Run experiments in order; return ``(results, per-key wall secs)``.
+
+    ``report(key, result, elapsed)`` fires after each experiment — the
+    CLI prints incrementally through it; ``bench_par`` uses the timing
+    dict to attribute wall clock per figure.
+    """
+    results: dict[str, object] = {}
+    timings: dict[str, float] = {}
+    for key in keys:
+        started = time.perf_counter()
+        result = run_experiment(key, quick=quick, jobs=jobs, cache=cache)
+        elapsed = time.perf_counter() - started
+        results[key] = result
+        timings[key] = elapsed
+        if report:
+            report(key, result, elapsed)
+    return results, timings
+
+
+def timing_summary(timings: dict[str, float]) -> str:
+    """Per-experiment wall-clock table, slowest first, with the total."""
+    lines = ["per-experiment wall clock:"]
+    for key, secs in sorted(timings.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {key:10s} {secs:8.2f}s")
+    lines.append(f"  {'total':10s} {sum(timings.values()):8.2f}s")
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -61,6 +111,11 @@ def main(argv: list[str] | None = None) -> int:
                              f"{', '.join(ALL_EXPERIMENTS)})")
     parser.add_argument("--quick", action="store_true",
                         help="scaled-down workloads for a fast smoke run")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for trial-level fan-out "
+                             "(experiments that support it)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the content-addressed trial cache")
     parser.add_argument("--output", type=str, default=None,
                         help="also write the report to this file")
     parser.add_argument("--export", type=str, default=None, metavar="DIR",
@@ -73,17 +128,25 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
 
+    cache = None if args.no_cache else ResultCache(default_cache_dir())
     chunks: list[str] = []
-    for key in keys:
-        started = time.time()
-        result = run_experiment(key, quick=args.quick)
-        elapsed = time.time() - started
+
+    def report(key, result, elapsed):
         chunk = result.to_text() + f"\n[{key} finished in {elapsed:.1f}s wall]\n"
         print(chunk)
         chunks.append(chunk)
         if args.export:
             from repro.harness.export import write_result
             write_result(result, args.export)
+
+    _results, timings = run_many(keys, quick=args.quick, jobs=args.jobs,
+                                 cache=cache, report=report)
+    summary = timing_summary(timings)
+    if cache is not None:
+        summary += (f"\ntrial cache: {cache.hits} hits, "
+                    f"{cache.misses} misses ({cache.root})")
+    print(summary)
+    chunks.append(summary + "\n")
     if args.output:
         with open(args.output, "w") as fh:
             fh.write("\n".join(chunks))

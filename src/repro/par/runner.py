@@ -1,0 +1,225 @@
+"""The process-pool fan-out engine.
+
+A sweep is a list of :class:`TrialSpec`; :class:`ParallelRunner.run`
+returns one :class:`TrialResult` per spec, **in spec order**, no matter
+how execution interleaved.  Trial functions are referenced by dotted
+path (``"package.module:callable"``) so specs stay picklable and a
+worker process can resolve them after a fresh import; they are called
+as ``fn(config, spawn_seed)`` and must return a JSON-serializable
+value.
+
+Failure semantics: a trial that raises inside the worker is caught
+there and returned as a failure row.  A worker that dies outright
+(OOM-kill, segfault, ``os._exit``) breaks the pool; every trial that
+was in flight is then retried once, each in its own single-use pool,
+so innocent victims of a crashed sibling recover and only the trial
+that actually kills its process twice is recorded as dead.  The sweep
+itself never aborts.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from hashlib import sha256
+
+from repro.errors import ReproError
+from repro.par.cache import ResultCache
+from repro.par.seeds import derive_seed
+
+__all__ = ["ParallelRunner", "TrialResult", "TrialSpec", "result_digest",
+           "run_trials"]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent unit of work in a sweep."""
+
+    #: Dotted path ``"module:callable"`` of the trial function.
+    fn: str
+    #: Sweep name; part of the spawn key and the cache key.
+    experiment: str
+    #: Unique-within-the-sweep identity, e.g. ``"h2/n4/adaptive"``.
+    trial_id: str
+    #: JSON-serializable kwargs-style payload for the trial function.
+    config: dict = field(default_factory=dict)
+    #: Root seed; the trial sees ``derive_seed(experiment, trial_id, seed)``.
+    seed: int = 0
+
+    def to_dict(self) -> dict:
+        return {"fn": self.fn, "experiment": self.experiment,
+                "trial_id": self.trial_id, "config": self.config,
+                "seed": self.seed,
+                "spawn_seed": derive_seed(self.experiment, self.trial_id,
+                                          self.seed)}
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one trial: a value or a recorded failure, never both."""
+
+    trial_id: str
+    ok: bool
+    value: object = None
+    error: str | None = None
+    wall_s: float = 0.0
+    cached: bool = False
+    spawn_seed: int = 0
+
+    def require(self, label: str | None = None):
+        """The trial value, or raise if the trial failed.
+
+        Experiments assembling complete tables call this: a sweep
+        tolerates failure rows, a paper figure with a missing cell must
+        fail loudly.
+        """
+        if not self.ok:
+            raise ReproError(
+                f"trial {label or self.trial_id} failed: {self.error}")
+        return self.value
+
+
+def _resolve(path: str):
+    """Import ``"module:callable"``; errors surface as failure rows."""
+    module_name, _, attr = path.partition(":")
+    if not attr:
+        raise ReproError(f"trial fn {path!r} is not 'module:callable'")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attr)
+    except AttributeError:
+        raise ReproError(f"{module_name} has no attribute {attr!r}") from None
+
+
+def _execute(spec_dict: dict) -> dict:
+    """Worker entry point: run one trial, catching its exceptions."""
+    started = time.perf_counter()
+    try:
+        fn = _resolve(spec_dict["fn"])
+        value = fn(spec_dict["config"], spec_dict["spawn_seed"])
+        ok, error = True, None
+    except Exception as exc:
+        value, ok = None, False
+        error = f"{type(exc).__name__}: {exc}"
+    return {"trial_id": spec_dict["trial_id"], "ok": ok, "value": value,
+            "error": error, "wall_s": time.perf_counter() - started,
+            "spawn_seed": spec_dict["spawn_seed"]}
+
+
+def _as_result(raw: dict, *, cached: bool = False) -> TrialResult:
+    return TrialResult(trial_id=raw["trial_id"], ok=raw["ok"],
+                       value=raw["value"], error=raw.get("error"),
+                       wall_s=raw.get("wall_s", 0.0), cached=cached,
+                       spawn_seed=raw.get("spawn_seed", 0))
+
+
+class ParallelRunner:
+    """Executes trial sweeps across ``jobs`` worker processes."""
+
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None):
+        if jobs < 1:
+            raise ReproError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, specs: list[TrialSpec], *,
+            on_result=None) -> list[TrialResult]:
+        """Run every spec; one result per spec, in spec order.
+
+        ``on_result(spec, result)`` fires as each trial settles (cache
+        hits first, then live completions in completion order) — for
+        progress output, not for ordering guarantees.
+        """
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.trial_id in seen:
+                raise ReproError(f"duplicate trial_id {spec.trial_id!r}")
+            seen.add(spec.trial_id)
+
+        results: dict[str, TrialResult] = {}
+        pending: list[tuple[TrialSpec, dict, str | None]] = []
+        for spec in specs:
+            spec_dict = spec.to_dict()
+            key = self.cache.key(spec_dict) if self.cache else None
+            payload = self.cache.get(key) if self.cache else None
+            if payload is not None:
+                res = TrialResult(trial_id=spec.trial_id, ok=True,
+                                  value=payload["value"], cached=True,
+                                  spawn_seed=spec_dict["spawn_seed"])
+                results[spec.trial_id] = res
+                if on_result:
+                    on_result(spec, res)
+            else:
+                pending.append((spec, spec_dict, key))
+
+        if pending:
+            if self.jobs == 1:
+                raws = [_execute(d) for _s, d, _k in pending]
+                settled = list(zip(pending, raws))
+            else:
+                settled = self._run_pool(pending)
+            for (spec, spec_dict, key), raw in settled:
+                res = _as_result(raw)
+                results[spec.trial_id] = res
+                if res.ok and self.cache and key is not None:
+                    self.cache.put(key, spec_dict, res.value)
+                if on_result:
+                    on_result(spec, res)
+        return [results[s.trial_id] for s in specs]
+
+    def _run_pool(self, pending):
+        """Fan pending trials out; survive worker deaths with one retry."""
+        settled = []
+        retry: list = []
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = [(pool.submit(_execute, spec_dict), item)
+                       for item in pending
+                       for (_spec, spec_dict, _key) in [item]]
+            for future, item in futures:
+                try:
+                    settled.append((item, future.result()))
+                except BrokenProcessPool:
+                    retry.append(item)
+        # Trials in flight when a sibling (or they themselves) killed the
+        # pool: give each its own disposable single-worker pool.
+        for item in retry:
+            _spec, spec_dict, _key = item
+            try:
+                with ProcessPoolExecutor(max_workers=1) as solo:
+                    settled.append((item, solo.submit(_execute,
+                                                      spec_dict).result()))
+            except BrokenProcessPool:
+                settled.append((item, {
+                    "trial_id": spec_dict["trial_id"], "ok": False,
+                    "value": None,
+                    "error": "WorkerDied: process exited abnormally "
+                             "(OOM-kill or hard crash)",
+                    "wall_s": 0.0, "spawn_seed": spec_dict["spawn_seed"]}))
+        return settled
+
+
+def run_trials(specs: list[TrialSpec], *, jobs: int = 1,
+               cache: ResultCache | None = None,
+               on_result=None) -> list[TrialResult]:
+    """Convenience wrapper: ``ParallelRunner(jobs, cache).run(specs)``."""
+    return ParallelRunner(jobs=jobs, cache=cache).run(specs, on_result=on_result)
+
+
+def result_digest(results: list[TrialResult]) -> str:
+    """Order-sensitive digest of per-trial outcomes.
+
+    Serial and parallel runs of the same sweep must produce the same
+    digest — the determinism oracle used by tests and ``bench_par``.
+    """
+    h = sha256()
+    for r in results:
+        h.update(json.dumps([r.trial_id, r.ok, r.error, r.value],
+                            sort_keys=True).encode())
+        h.update(b"\x00")
+    return h.hexdigest()

@@ -1,0 +1,31 @@
+"""Deterministic per-trial seed derivation.
+
+Parallel execution must not change results, so a trial's randomness can
+depend only on the trial's *identity*, never on which worker ran it or
+in what order.  Each trial gets a 63-bit *spawn key* hashed from
+``(experiment, trial_id, root_seed)``; the trial feeds it to whatever
+RNG it builds (``World(seed=...)``, :class:`repro.sim.rng.RngFactory`).
+SHA-256 keeps the derivation stable across Python versions and
+processes (the builtin ``hash`` is salted per interpreter).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["derive_seed"]
+
+#: Field separator; cannot appear in experiment names or trial ids.
+_SEP = "\x1f"
+
+
+def derive_seed(experiment: str, trial_id: str, seed: int) -> int:
+    """The spawn key for one trial: ``hash(experiment, trial_id, seed)``.
+
+    Returns a non-negative 63-bit integer, safe for every RNG seed slot
+    in the package.  Distinct trials of one sweep get independent keys;
+    the same trial gets the same key on every run, serial or parallel.
+    """
+    material = f"{experiment}{_SEP}{trial_id}{_SEP}{int(seed)}".encode()
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:8], "big") >> 1

@@ -1,0 +1,207 @@
+"""Tests for repro.par: seeding, caching, pool semantics, crash isolation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.par import (ParallelRunner, ResultCache, TrialSpec, derive_seed,
+                       result_digest, run_trials, source_hash)
+
+#: Trial functions must be importable top-level callables.
+TOY_FN = "tests.test_par:toy_trial"
+CRASH_FN = "tests.test_par:crashy_trial"
+DIE_FN = "tests.test_par:dying_trial"
+
+
+def toy_trial(config: dict, spawn_seed: int) -> dict:
+    """A deterministic pure function of (config, spawn key)."""
+    return {"x": config["x"] * 2, "spawn_seed": spawn_seed}
+
+
+def crashy_trial(config: dict, spawn_seed: int) -> dict:
+    if config.get("boom"):
+        raise ReproError("simulated trial failure")
+    return {"ok": config["x"]}
+
+
+def dying_trial(config: dict, spawn_seed: int) -> dict:
+    if config.get("die"):
+        import os
+        os._exit(17)               # hard worker death, not an exception
+    return {"ok": config["x"]}
+
+
+def toy_specs(n: int = 6, *, fn: str = TOY_FN, seed: int = 0,
+              **extra) -> list[TrialSpec]:
+    return [TrialSpec(fn=fn, experiment="toy", trial_id=f"t{i}",
+                      config={"x": i, **extra}, seed=seed)
+            for i in range(n)]
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_pinned(self):
+        # Pinned value: the derivation must stay stable across sessions,
+        # or every content-addressed cache entry silently invalidates.
+        assert derive_seed("exp", "trial", 0) == derive_seed("exp", "trial", 0)
+        assert derive_seed("exp", "trial", 0) == 2432253065363132831
+
+    def test_distinct_axes(self):
+        keys = {derive_seed("a", "t", 0), derive_seed("b", "t", 0),
+                derive_seed("a", "u", 0), derive_seed("a", "t", 1)}
+        assert len(keys) == 4
+
+    def test_63_bit_range(self):
+        for i in range(50):
+            key = derive_seed("exp", f"t{i}", 7)
+            assert 0 <= key < 2 ** 63
+
+
+class TestRunnerBasics:
+    def test_ordered_results(self):
+        results = run_trials(toy_specs(5), jobs=1)
+        assert [r.trial_id for r in results] == [f"t{i}" for i in range(5)]
+        assert all(r.ok for r in results)
+        assert [r.value["x"] for r in results] == [0, 2, 4, 6, 8]
+
+    def test_spawn_seed_reaches_trial(self):
+        (result,) = run_trials(toy_specs(1), jobs=1)
+        assert result.value["spawn_seed"] == derive_seed("toy", "t0", 0)
+        assert result.spawn_seed == derive_seed("toy", "t0", 0)
+
+    def test_duplicate_trial_ids_rejected(self):
+        spec = toy_specs(1)[0]
+        with pytest.raises(ReproError, match="duplicate"):
+            run_trials([spec, spec], jobs=1)
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ReproError):
+            ParallelRunner(jobs=0)
+
+    def test_bad_fn_path_is_failure_row(self):
+        spec = TrialSpec(fn="tests.test_par:not_a_function",
+                         experiment="toy", trial_id="bad")
+        (result,) = run_trials([spec], jobs=1)
+        assert not result.ok
+        assert "not_a_function" in result.error
+        with pytest.raises(ReproError, match="bad"):
+            result.require()
+
+
+class TestDeterminism:
+    def test_serial_vs_parallel_identical(self):
+        serial = run_trials(toy_specs(8), jobs=1)
+        parallel = run_trials(toy_specs(8), jobs=4)
+        assert result_digest(serial) == result_digest(parallel)
+        for a, b in zip(serial, parallel):
+            assert (a.trial_id, a.ok, a.value) == (b.trial_id, b.ok, b.value)
+
+    def test_digest_sensitive_to_values(self):
+        base = run_trials(toy_specs(3), jobs=1)
+        changed = run_trials(toy_specs(3, seed=1), jobs=1)
+        assert result_digest(base) != result_digest(changed)
+
+
+class TestCrashIsolation:
+    def test_exception_is_failure_row_not_abort(self):
+        specs = toy_specs(4, fn=CRASH_FN)
+        specs[2] = TrialSpec(fn=CRASH_FN, experiment="toy", trial_id="t2",
+                             config={"x": 2, "boom": True})
+        results = run_trials(specs, jobs=2)
+        assert [r.ok for r in results] == [True, True, False, True]
+        assert "simulated trial failure" in results[2].error
+        assert results[3].value == {"ok": 3}
+
+    def test_hard_worker_death_recorded_and_isolated(self):
+        specs = toy_specs(4, fn=DIE_FN)
+        specs[1] = TrialSpec(fn=DIE_FN, experiment="toy", trial_id="t1",
+                             config={"x": 1, "die": True})
+        results = run_trials(specs, jobs=2)
+        dead = {r.trial_id: r for r in results}["t1"]
+        assert not dead.ok
+        assert "WorkerDied" in dead.error
+        # Every innocent sibling still produced its value.
+        for tid in ("t0", "t2", "t3"):
+            assert dead is not None
+            assert {r.trial_id: r for r in results}[tid].ok
+
+
+class TestCache:
+    def test_second_run_all_hits(self, tmp_path):
+        specs = toy_specs(5)
+        cold = ResultCache(tmp_path)
+        first = run_trials(specs, jobs=2, cache=cold)
+        assert cold.stats() == {"hits": 0, "misses": 5}
+        warm = ResultCache(tmp_path)
+        second = run_trials(specs, jobs=1, cache=warm)
+        assert warm.stats() == {"hits": 5, "misses": 0}
+        assert all(r.cached for r in second)
+        assert result_digest(first) == result_digest(second)
+
+    def test_config_mutation_invalidates_exactly_that_trial(self, tmp_path):
+        specs = toy_specs(5)
+        run_trials(specs, jobs=1, cache=ResultCache(tmp_path))
+        mutated = list(specs)
+        mutated[3] = TrialSpec(fn=TOY_FN, experiment="toy", trial_id="t3",
+                               config={"x": 33})
+        cache = ResultCache(tmp_path)
+        results = run_trials(mutated, jobs=1, cache=cache)
+        assert cache.stats() == {"hits": 4, "misses": 1}
+        assert [r.cached for r in results] == [True, True, True, False, True]
+        assert results[3].value["x"] == 66
+
+    def test_source_hash_invalidates(self, tmp_path):
+        specs = toy_specs(2)
+        run_trials(specs, jobs=1, cache=ResultCache(tmp_path))
+        edited = ResultCache(tmp_path, package_hash="deadbeef")
+        run_trials(specs, jobs=1, cache=edited)
+        assert edited.stats() == {"hits": 0, "misses": 2}
+
+    def test_failures_not_cached(self, tmp_path):
+        spec = TrialSpec(fn=CRASH_FN, experiment="toy", trial_id="boom",
+                         config={"x": 0, "boom": True})
+        cache = ResultCache(tmp_path)
+        run_trials([spec], jobs=1, cache=cache)
+        again = ResultCache(tmp_path)
+        run_trials([spec], jobs=1, cache=again)
+        assert again.stats() == {"hits": 0, "misses": 1}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        specs = toy_specs(1)
+        cache = ResultCache(tmp_path)
+        run_trials(specs, jobs=1, cache=cache)
+        key = cache.key(specs[0].to_dict())
+        victim = tmp_path / key[:2] / f"{key}.json"
+        victim.write_text("{not json")
+        fresh = ResultCache(tmp_path)
+        results = run_trials(specs, jobs=1, cache=fresh)
+        assert fresh.stats() == {"hits": 0, "misses": 1}
+        assert results[0].ok and not results[0].cached
+
+    def test_cache_file_is_inspectable(self, tmp_path):
+        specs = toy_specs(1)
+        cache = ResultCache(tmp_path)
+        run_trials(specs, jobs=1, cache=cache)
+        key = cache.key(specs[0].to_dict())
+        payload = json.loads((tmp_path / key[:2] / f"{key}.json").read_text())
+        assert payload["spec"]["trial_id"] == "t0"
+        assert payload["value"]["x"] == 0
+
+    def test_package_source_hash_stable(self):
+        assert source_hash() == source_hash()
+        assert len(source_hash()) == 64
+
+
+class TestOnResult:
+    def test_callback_sees_every_trial(self, tmp_path):
+        specs = toy_specs(4)
+        cache = ResultCache(tmp_path)
+        run_trials(specs[:2], jobs=1, cache=cache)
+        seen: list[tuple[str, bool]] = []
+        run_trials(specs, jobs=2, cache=ResultCache(tmp_path),
+                   on_result=lambda s, r: seen.append((s.trial_id, r.cached)))
+        assert sorted(t for t, _ in seen) == ["t0", "t1", "t2", "t3"]
+        assert dict(seen)["t0"] is True       # cache hit surfaced
+        assert dict(seen)["t3"] is False

@@ -1,0 +1,213 @@
+"""Fan-out wiring of the three consumers: experiments, run_all, check CLI."""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.par import ResultCache, result_digest, run_trials
+
+
+def tiny_fig07_params():
+    from repro.harness.experiments.fig07_scaling import Fig07Params
+    return Fig07Params(scale=0.05, benchmarks=("h2",),
+                       container_counts=(2, 4))
+
+
+class TestExperimentFanout:
+    def test_fig07_parallel_byte_identical_to_serial(self):
+        # The acceptance oracle: per-trial results from a jobs=4 run
+        # must be byte-identical to jobs=1 (digest over JSON values).
+        from repro.harness.experiments.fig07_scaling import trial_specs
+        specs = trial_specs(tiny_fig07_params())
+        serial = run_trials(specs, jobs=1)
+        parallel = run_trials(specs, jobs=4)
+        assert result_digest(serial) == result_digest(parallel)
+
+    def test_fig07_report_identical_to_serial(self):
+        from repro.harness.experiments.fig07_scaling import run
+        params = tiny_fig07_params()
+        assert (run(params, jobs=1).to_text()
+                == run(params, jobs=2).to_text())
+
+    def test_fig07_cached_rerun_identical(self, tmp_path):
+        from repro.harness.experiments.fig07_scaling import run
+        params = tiny_fig07_params()
+        first = run(params, jobs=2, cache=ResultCache(tmp_path)).to_text()
+        warm = ResultCache(tmp_path)
+        second = run(params, jobs=1, cache=warm).to_text()
+        assert first == second
+        assert warm.misses == 0 and warm.hits > 0
+
+    def test_fig10_parallel_matches_serial(self):
+        from repro.harness.experiments.fig10_npb import Fig10Params, run
+        params = Fig10Params(scale=0.25, benchmarks=("is",), n_containers=2)
+        assert (run(params, jobs=1).to_text()
+                == run(params, jobs=2).to_text())
+
+    def test_ablation_grid_covers_all_subtables(self):
+        from repro.harness.experiments.ablation import (AblationParams,
+                                                        trial_specs)
+        specs = trial_specs(AblationParams(scale=0.25))
+        families = {s.trial_id.split("/")[0] for s in specs}
+        assert families == {"static", "util", "period", "mem", "sizing"}
+        assert len({s.trial_id for s in specs}) == len(specs)
+
+    def test_failed_cell_raises_with_trial_id(self):
+        from repro.harness.experiments.fig07_scaling import run
+        from repro.errors import ReproError
+        params = tiny_fig07_params()
+        bad = type(params)(scale=params.scale, benchmarks=("no-such-bench",),
+                           container_counts=(2,))
+        with pytest.raises(ReproError, match="no-such-bench"):
+            run(bad, jobs=1)
+
+
+class TestRunAllTiming:
+    def test_run_many_reports_per_experiment_timing(self):
+        from repro.harness.run_all import run_many, timing_summary
+        seen = []
+        results, timings = run_many(
+            ["fig01"], quick=True,
+            report=lambda key, result, elapsed: seen.append((key, elapsed)))
+        assert set(timings) == {"fig01"}
+        assert timings["fig01"] > 0
+        assert seen and seen[0][0] == "fig01"
+        summary = timing_summary(timings)
+        assert "fig01" in summary and "total" in summary
+
+    def test_main_prints_timing_summary_and_cache_stats(self, tmp_path,
+                                                        capsys, monkeypatch):
+        from repro.harness.run_all import main
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["--quick", "fig01"]) == 0
+        out = capsys.readouterr().out
+        assert "per-experiment wall clock:" in out
+        assert "trial cache:" in out
+
+    def test_jobs_forwarded_only_to_supporting_experiments(self):
+        import inspect
+        from repro.harness.experiments import ALL_EXPERIMENTS
+        from repro.harness.run_all import _supports_fanout
+        fanout = {k for k, m in ALL_EXPERIMENTS.items() if _supports_fanout(m)}
+        assert {"fig07", "fig08", "fig10", "ablation"} <= fanout
+        for key in fanout:
+            sig = inspect.signature(ALL_EXPERIMENTS[key].run)
+            assert "cache" in sig.parameters
+
+
+def check_args(**overrides) -> argparse.Namespace:
+    parser = argparse.ArgumentParser()
+    from repro.check.cli import add_arguments
+    add_arguments(parser)
+    args = parser.parse_args([])
+    for key, value in overrides.items():
+        setattr(args, key, value)
+    return args
+
+
+class TestCheckCli:
+    def test_sweep_summary_line_stable(self, tmp_path, capsys, monkeypatch):
+        from repro.check.cli import main
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(check_args(seeds=3, jobs=2)) == 0
+        out = capsys.readouterr().out
+        assert "check: seeds=3 failures=0 cache_hits=0" in out
+
+    def test_sweep_second_run_reports_cache_hits(self, tmp_path, capsys,
+                                                 monkeypatch):
+        from repro.check.cli import main
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(check_args(seeds=3)) == 0
+        capsys.readouterr()
+        assert main(check_args(seeds=3)) == 0
+        out = capsys.readouterr().out
+        assert "check: seeds=3 failures=0 cache_hits=3" in out
+
+    def test_parallel_sweep_matches_serial(self, capsys):
+        from repro.check.cli import main
+        assert main(check_args(seeds=4, no_cache=True, verbose=True)) == 0
+        serial = capsys.readouterr().out
+        assert main(check_args(seeds=4, no_cache=True, verbose=True,
+                               jobs=2)) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_replay_emits_summary_line(self, tmp_path, capsys):
+        import glob
+        from repro.check.cli import main
+        fixtures = sorted(glob.glob("tests/regressions/*.json"))
+        if not fixtures:
+            pytest.skip("no committed fixtures")
+        assert main(check_args(replay=fixtures[0])) == 0
+        out = capsys.readouterr().out
+        assert "check: seeds=1 failures=0 cache_hits=0" in out
+
+
+class TestBenchSubcommand:
+    def test_bench_lists_available_benchmarks(self, capsys):
+        from repro.__main__ import main
+        assert main(["bench"]) == 0
+        out = capsys.readouterr().out
+        assert "par" in out and "engine" in out
+
+    def test_bench_rejects_unknown_name(self, capsys):
+        from repro.__main__ import main
+        assert main(["bench", "definitely-not-a-benchmark"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().out
+
+
+class TestBenchParRegressionChecker:
+    def _payload(self, **scenario_overrides):
+        fuzz = {"trials": 4, "jobs": 4, "serial_wall_s": 1.0,
+                "parallel_wall_s": 0.5, "speedup": 2.0,
+                "digest_match": True}
+        figure = dict(fuzz)
+        cache = {"trials": 4, "jobs": 4, "cold_wall_s": 1.0,
+                 "warm_wall_s": 0.01, "warm_hits": 4, "warm_misses": 0,
+                 "digest_match": True}
+        scenarios = {"fuzz": fuzz, "figure": figure, "cache": cache}
+        for key, overrides in scenario_overrides.items():
+            scenarios[key] = dict(scenarios[key], **overrides)
+        return {"benchmark": "bench_par", "quick": True, "jobs": 4,
+                "cpu_count": 8, "scenarios": scenarios}
+
+    def _check(self, tmp_path, baseline, current):
+        import json
+        import sys
+        sys.path.insert(0, "benchmarks")
+        try:
+            import check_par_regression as checker
+        finally:
+            sys.path.pop(0)
+        base_path = tmp_path / "base.json"
+        now_path = tmp_path / "now.json"
+        base_path.write_text(json.dumps(baseline))
+        now_path.write_text(json.dumps(current))
+        return checker.check(now_path, base_path)
+
+    def test_clean_run_passes(self, tmp_path):
+        assert self._check(tmp_path, self._payload(), self._payload()) == []
+
+    def test_slowdown_fails(self, tmp_path):
+        slow = self._payload(fuzz={"serial_wall_s": 10.0})
+        failures = self._check(tmp_path, self._payload(), slow)
+        assert any("serial_wall_s" in f for f in failures)
+
+    def test_digest_mismatch_fails(self, tmp_path):
+        bad = self._payload(figure={"digest_match": False})
+        failures = self._check(tmp_path, self._payload(), bad)
+        assert any("diverged" in f for f in failures)
+
+    def test_cold_cache_fails(self, tmp_path):
+        cold = self._payload(cache={"warm_hits": 1})
+        failures = self._check(tmp_path, self._payload(), cold)
+        assert any("cache" in f for f in failures)
+
+    def test_low_speedup_fails_only_with_cores(self, tmp_path):
+        slowpool = self._payload(fuzz={"speedup": 1.0})
+        failures = self._check(tmp_path, self._payload(), slowpool)
+        assert any("speedup" in f for f in failures)
+        single = dict(slowpool, cpu_count=1)
+        assert self._check(tmp_path, self._payload(), single) == []

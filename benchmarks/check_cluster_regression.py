@@ -1,0 +1,121 @@
+"""Compare a fresh cluster benchmark run against the committed baseline.
+
+CI runs ``bench_cluster.py --quick`` and feeds the result here; the
+check fails if
+
+* any scenario's wall clock exceeds 2x the committed
+  ``BENCH_cluster.json`` baseline,
+* the run reports a serial/parallel digest mismatch (pool determinism
+  broke),
+* the ``repeat`` scenario's placement trace diverged between two
+  in-process runs (simulation determinism broke), or
+* the parallel speedup falls below a floor — only enforced when >= 4
+  cores actually back the pool *and* the baseline's serial sweep is
+  slow enough (>= 1s) for pool overhead not to dominate.
+
+Wall clock on shared CI runners is noisy, hence the generous 2x bound:
+this is a tripwire for algorithmic regressions (placement going
+quadratic, migrations thrashing, the epoch loop rescanning the
+world), not a microbenchmark gate. ::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py --quick \
+        --output /tmp/bench_cluster_now.json
+    python benchmarks/check_cluster_regression.py /tmp/bench_cluster_now.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).resolve().parent / "BENCH_cluster.json"
+
+#: Fail when a wall clock exceeds baseline times this factor.
+MAX_SLOWDOWN = 2.0
+
+#: Absolute grace added to every ceiling: sub-100ms walls (the quick
+#: placement sweep) would otherwise gate on scheduler noise.
+GRACE_S = 0.25
+
+#: Require speedup >= this when >= 4 cores back the pool and the
+#: baseline serial wall is at least MIN_SERIAL_FOR_SPEEDUP_S.
+MIN_SPEEDUP_4CORE = 1.25
+MIN_SERIAL_FOR_SPEEDUP_S = 1.0
+
+_WALL_KEYS = {"placement": ("serial_wall_s", "parallel_wall_s"),
+              "interplay": ("serial_wall_s", "parallel_wall_s"),
+              "repeat": ("first_wall_s", "second_wall_s")}
+
+
+def check(current_path: Path, baseline_path: Path = BASELINE,
+          *, max_slowdown: float = MAX_SLOWDOWN,
+          min_speedup: float = MIN_SPEEDUP_4CORE) -> list[str]:
+    """Return a list of failure messages (empty = pass)."""
+    current = json.loads(current_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    if current.get("quick") != baseline.get("quick"):
+        return [f"quick={current.get('quick')} run compared against "
+                f"quick={baseline.get('quick')} baseline; "
+                f"re-run bench_cluster.py with matching scale"]
+    failures: list[str] = []
+    for key, base in sorted(baseline["scenarios"].items()):
+        now = current["scenarios"].get(key)
+        if now is None:
+            failures.append(f"{key}: missing from current run")
+            continue
+        if now.get("trials") != base.get("trials"):
+            failures.append(f"{key}: trial count drifted "
+                            f"{base.get('trials')} -> {now.get('trials')} "
+                            f"(sweep definition changed; if intended, "
+                            f"regenerate the baseline)")
+        if not now.get("digest_match", False):
+            what = ("placement trace diverged between identical runs"
+                    if key == "repeat" else
+                    "serial/parallel results diverged")
+            failures.append(f"{key}: {what} (determinism regression)")
+        if now.get("failures"):
+            failures.append(f"{key}: {now['failures']} trial(s) failed")
+        for wall_key in _WALL_KEYS.get(key, ()):
+            ceiling = base[wall_key] * max_slowdown + GRACE_S
+            if now[wall_key] > ceiling:
+                failures.append(
+                    f"{key}: {wall_key} {now[wall_key]:.2f}s exceeds "
+                    f"{ceiling:.2f}s (baseline {base[wall_key]:.2f}s "
+                    f"x {max_slowdown:g})")
+    effective = min(current.get("jobs", 1), current.get("cpu_count") or 1)
+    if effective >= 4:
+        for key in ("placement", "interplay"):
+            base = baseline["scenarios"].get(key, {})
+            now = current["scenarios"].get(key)
+            if (now and base.get("serial_wall_s", 0.0)
+                    >= MIN_SERIAL_FOR_SPEEDUP_S
+                    and now.get("speedup", 0.0) < min_speedup):
+                failures.append(
+                    f"{key}: speedup {now['speedup']:.2f}x below "
+                    f"{min_speedup:g}x with {effective} effective cores "
+                    f"(pool overhead regression)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", type=Path,
+                    help="JSON produced by a fresh bench_cluster.py run")
+    ap.add_argument("--baseline", type=Path, default=BASELINE)
+    ap.add_argument("--max-slowdown", type=float, default=MAX_SLOWDOWN)
+    ap.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP_4CORE)
+    args = ap.parse_args(argv)
+    failures = check(args.current, args.baseline,
+                     max_slowdown=args.max_slowdown,
+                     min_speedup=args.min_speedup)
+    for message in failures:
+        print(f"FAIL {message}", file=sys.stderr)
+    if not failures:
+        print("cluster benchmark within bounds of committed baseline")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro run [EXPERIMENTS]    # forwards to repro.harness.run_all
     python -m repro demo                 # the quickstart scenario
     python -m repro serve                # the SLO-autoscaling comparison
+    python -m repro cluster              # cluster placement + HPA/VPA interplay
     python -m repro obs                  # observability demo + exporters
     python -m repro check                # differential fuzzer + invariants
     python -m repro bench [NAME]         # dispatch to benchmarks/ scripts
@@ -75,6 +76,15 @@ def _cmd_serve(args) -> int:
     kwargs = dict(_QUICK_KWARGS["exp_serve"]) if args.quick else {}
     kwargs["seed"] = args.seed
     print(run(ServeParams(**kwargs)).to_text())
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro.harness.experiments.exp_cluster import ClusterExpParams, run
+    from repro.harness.run_all import _QUICK_KWARGS
+    kwargs = dict(_QUICK_KWARGS["exp_cluster"]) if args.quick else {}
+    kwargs["seed"] = args.seed
+    print(run(ClusterExpParams(**kwargs), jobs=args.jobs).to_text())
     return 0
 
 
@@ -197,6 +207,13 @@ def main(argv: list[str] | None = None) -> int:
     serve_p.add_argument("--quick", action="store_true",
                          help="scaled-down scenario for a fast smoke run")
     serve_p.add_argument("--seed", type=int, default=0)
+    cluster_p = sub.add_parser(
+        "cluster", help="cluster placement + HPA/VPA interplay experiment")
+    cluster_p.add_argument("--quick", action="store_true",
+                           help="scaled-down sweep for a fast smoke run")
+    cluster_p.add_argument("--seed", type=int, default=0)
+    cluster_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes for trial-level fan-out")
     obs_p = sub.add_parser(
         "obs", help="observability demo: pressure, histograms, exporters")
     obs_p.add_argument("--quick", action="store_true",
@@ -218,7 +235,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {"info": _cmd_info, "census": _cmd_census,
                 "run": _cmd_run, "demo": _cmd_demo, "serve": _cmd_serve,
-                "obs": _cmd_obs, "check": _cmd_check, "bench": _cmd_bench}
+                "cluster": _cmd_cluster, "obs": _cmd_obs, "check": _cmd_check,
+                "bench": _cmd_bench}
     if args.command is None:
         parser.print_help()
         return 2

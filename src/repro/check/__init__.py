@@ -15,6 +15,8 @@ Entry points::
     python -m repro check --replay FIX.json # re-run a committed fixture
 """
 
+from repro.check.cluster_invariants import (check_cluster,
+                                            check_cluster_snapshot)
 from repro.check.differ import DiffReport, diff_snapshots, run_differential
 from repro.check.generator import generate
 from repro.check.invariants import Invariant, default_suite
@@ -26,4 +28,5 @@ __all__ = [
     "Scenario", "generate", "Invariant", "default_suite",
     "RunResult", "run_scenario", "DiffReport", "diff_snapshots",
     "run_differential", "shrink",
+    "check_cluster", "check_cluster_snapshot",
 ]

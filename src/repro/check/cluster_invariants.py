@@ -1,0 +1,154 @@
+"""Cluster-level conservation invariants over :meth:`Cluster.invariant_snapshot`.
+
+The per-host suite (:mod:`repro.check.invariants`) proves each world
+conserves CPU time and balances its memory ledger.  Migration moves
+state *between* worlds, so a new law is needed to catch bytes or CPU
+seconds leaking in transit:
+
+* host clocks agree at every barrier (lockstep);
+* per-host conservation still holds (migration must not bend it);
+* summed pod CPU integrals equal summed host ledgers — every CPU
+  second a pod ever consumed is attributed to exactly one host, either
+  as live cgroup time or as that host's retired ledger;
+* summed pod memory equals summed host usage — a migrated byte is
+  uncharged on the source and re-charged on the target, never dropped
+  or double-counted;
+* the pod partition is exact: placed + pending + rejected == submitted
+  and every placed pod appears on exactly one host;
+* the migration audit trail is internally consistent.
+
+All checks run on plain snapshot dicts so the fuzzer can diff and
+replay them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+__all__ = ["check_cluster", "check_cluster_snapshot"]
+
+_REL_EPS = 1e-9
+_ABS_EPS = 1e-6
+
+
+def _tol(scale: float) -> float:
+    return _ABS_EPS + _REL_EPS * max(1.0, abs(scale))
+
+
+def check_cluster_snapshot(snap: dict, prev: dict | None = None) -> list[str]:
+    """Audit one cluster snapshot; returns violation strings (empty = ok)."""
+    out: list[str] = []
+    now = snap["now"]
+
+    # -- lockstep clocks ---------------------------------------------------
+    for h in snap["hosts"]:
+        if abs(h["now"] - now) > _tol(now):
+            out.append(f"lockstep: host {h['name']} at t={h['now']!r} "
+                       f"but cluster at t={now!r}")
+
+    # -- per-host conservation (must survive migration churn) --------------
+    for h in snap["hosts"]:
+        budget = h["ncpus"] * h["elapsed"]
+        if abs(h["conservation_error"]) > _tol(budget):
+            out.append(f"host_cpu_conservation: {h['name']} leaked "
+                       f"{h['conservation_error']!r} over budget {budget!r}")
+        balance = h["charge_total"] - h["uncharge_total"]
+        if balance != h["mem_usage"]:
+            out.append(f"host_mem_ledger: {h['name']} balance {balance} != "
+                       f"usage {h['mem_usage']}")
+        if h["mem_free"] < 0:
+            out.append(f"host_mem_ledger: {h['name']} negative free "
+                       f"{h['mem_free']}")
+
+    # -- pod partition -----------------------------------------------------
+    host_pods = [p for h in snap["hosts"] for p in h["pods"]]
+    if len(host_pods) != len(set(host_pods)):
+        out.append("pod_partition: a pod appears on more than one host")
+    if sorted(host_pods) != sorted(snap["pods"]):
+        out.append(f"pod_partition: hosts hold {len(host_pods)} pods but "
+                   f"cluster tracks {len(snap['pods'])}")
+    if snap["placed"] + snap["pending"] + snap["rejected"] != snap["submitted"]:
+        out.append(f"pod_partition: placed {snap['placed']} + pending "
+                   f"{snap['pending']} + rejected {snap['rejected']} != "
+                   f"submitted {snap['submitted']}")
+    for name, pod in snap["pods"].items():
+        if name not in host_pods:
+            continue  # already reported above
+        host = next(h for h in snap["hosts"] if name in h["pods"])
+        if pod["host"] != host["name"]:
+            out.append(f"pod_partition: {name} claims host {pod['host']} "
+                       f"but lives on {host['name']}")
+
+    # -- cluster CPU conservation across migrations ------------------------
+    pod_cpu = sum(p["total_cpu_time"] for p in snap["pods"].values())
+    host_cpu = sum(h["live_pod_cpu_time"] + h["retired_cpu_time"]
+                   for h in snap["hosts"])
+    if abs(pod_cpu - host_cpu) > _tol(max(pod_cpu, host_cpu)):
+        out.append(f"cluster_cpu_conservation: pod integrals {pod_cpu!r} != "
+                   f"host ledgers {host_cpu!r}")
+    pod_retired = sum(p["cpu_time_retired"] for p in snap["pods"].values())
+    rec_cpu = snap["migrations"]["cpu_time_total"]
+    if abs(pod_retired - rec_cpu) > _tol(max(pod_retired, rec_cpu)):
+        out.append(f"cluster_cpu_conservation: retired pod time "
+                   f"{pod_retired!r} != migration records {rec_cpu!r}")
+
+    # -- cluster memory conservation ---------------------------------------
+    pod_mem = sum(p["mem_usage"] for p in snap["pods"].values())
+    host_mem = sum(h["mem_usage"] for h in snap["hosts"])
+    if pod_mem != host_mem:
+        out.append(f"cluster_mem_conservation: pod bytes {pod_mem} != "
+                   f"host usage {host_mem}")
+
+    # -- migration audit trail ---------------------------------------------
+    mig = snap["migrations"]
+    records = mig["records"]
+    if len(records) != mig["count"]:
+        out.append(f"migration_trail: {len(records)} records but count "
+                   f"{mig['count']}")
+    if sum(r["bytes_moved"] for r in records) != mig["bytes_total"]:
+        out.append("migration_trail: record bytes do not sum to bytes_total")
+    per_pod: dict[str, int] = {}
+    for r in records:
+        if r["bytes_moved"] < 0:
+            out.append(f"migration_trail: {r['pod']} moved negative bytes")
+        if r["cpu_time"] < -_ABS_EPS:
+            out.append(f"migration_trail: {r['pod']} retired negative "
+                       f"cpu time")
+        if r["src"] == r["dst"]:
+            out.append(f"migration_trail: {r['pod']} migrated "
+                       f"{r['src']} -> itself")
+        if not (0.0 <= r["time"] <= now + _ABS_EPS):
+            out.append(f"migration_trail: {r['pod']} record at t={r['time']!r} "
+                       f"outside [0, {now!r}]")
+        per_pod[r["pod"]] = per_pod.get(r["pod"], 0) + 1
+    for name, pod in snap["pods"].items():
+        if per_pod.get(name, 0) != pod["migrations"]:
+            out.append(f"migration_trail: {name} counts {pod['migrations']} "
+                       f"migrations but trail has {per_pod.get(name, 0)}")
+
+    # -- monotonicity vs the previous snapshot ------------------------------
+    if prev is not None:
+        if now < prev["now"] - _ABS_EPS:
+            out.append(f"monotone: cluster clock went backwards "
+                       f"{prev['now']!r} -> {now!r}")
+        if snap["submitted"] < prev["submitted"]:
+            out.append("monotone: submitted count went backwards")
+        if mig["count"] < prev["migrations"]["count"]:
+            out.append("monotone: migration count went backwards")
+        for name, p_prev in prev["pods"].items():
+            p_now = snap["pods"].get(name)
+            if p_now is None:
+                out.append(f"monotone: placed pod {name} vanished")
+            elif p_now["total_cpu_time"] < p_prev["total_cpu_time"] - _ABS_EPS:
+                out.append(f"monotone: {name} cpu integral went backwards "
+                           f"({p_prev['total_cpu_time']!r} -> "
+                           f"{p_now['total_cpu_time']!r})")
+    return out
+
+
+def check_cluster(cluster: "Cluster", prev: dict | None = None) -> list[str]:
+    """Snapshot ``cluster`` and audit it (convenience wrapper)."""
+    return check_cluster_snapshot(cluster.invariant_snapshot(), prev)

@@ -1,0 +1,409 @@
+"""The cluster: N lockstep worlds, one scheduler, one audit trail.
+
+The :class:`Cluster` advances its hosts in fixed *epochs*.  Each epoch:
+
+1. demand bursts fire (pods raise/lower their CPU quota);
+2. pending pods are scheduled — gangs first (all-or-nothing when the
+   strategy is gang-aware), then singles best-fit-decreasing;
+3. every host world runs to the epoch boundary (independent event
+   loops, identical clocks at the barrier);
+4. per-pod attained CPU rates are sampled against the SLO and packing
+   density/utilization samples are recorded;
+5. optionally, the rebalancer migrates pods off hosts whose *live*
+   demand exceeds the hot threshold.
+
+Every placement decision is appended to a JSON-able trace whose digest
+is the determinism contract: the same seed must yield the same trace at
+``jobs=1`` and ``jobs=4``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.cluster.host import Host
+from repro.cluster.migration import (MigrationRecord, migrate,
+                                     pod_container_spec, start_pod_workload)
+from repro.cluster.placement import PlacementStrategy, make_strategy
+from repro.cluster.pod import PlacedPod, PodSpec
+from repro.errors import ClusterError
+from repro.units import gib
+
+__all__ = ["ClusterParams", "Cluster"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ClusterParams:
+    """Cluster shape and scheduling policy."""
+
+    n_hosts: int = 8
+    host_ncpus: int = 32
+    host_memory: int = gib(128)
+    #: Scheduling/sampling interval (simulated seconds).
+    epoch: float = 1.0
+    #: Adaptive-view refresh period on every host (None = track CFS).
+    view_update_period: float | None = 1.0
+    strategy: str = "view"
+    #: Enable the hot-host rebalancer.
+    migration: bool = True
+    #: A host is hot when live pod demand exceeds this fraction of cores.
+    hot_frac: float = 0.85
+    max_migrations_per_epoch: int = 4
+    #: A pod-epoch violates when attained < slo_frac * demand.
+    slo_frac: float = 0.95
+    seed: int = 0
+    engine: str = "incremental"
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 1:
+            raise ClusterError(f"n_hosts must be >= 1, got {self.n_hosts}")
+        if self.epoch <= 0:
+            raise ClusterError(f"epoch must be positive, got {self.epoch}")
+        if not 0.0 < self.hot_frac <= 1.0:
+            raise ClusterError(
+                f"hot_frac must be in (0, 1], got {self.hot_frac}")
+        if not 0.0 < self.slo_frac <= 1.0:
+            raise ClusterError(
+                f"slo_frac must be in (0, 1], got {self.slo_frac}")
+
+
+@dataclass
+class _Metrics:
+    epochs: int = 0
+    pod_epochs: int = 0
+    violations: int = 0
+    density_sum: float = 0.0
+    utilization_sum: float = 0.0
+    gangs_placed: int = 0
+    gangs_rejected: int = 0
+    gangs_partial: int = 0
+
+
+class Cluster:
+    """A fleet of simulated hosts under one placement scheduler."""
+
+    def __init__(self, params: ClusterParams | None = None, *,
+                 strategy: PlacementStrategy | None = None):
+        self.params = params or ClusterParams()
+        p = self.params
+        width = max(2, len(str(p.n_hosts - 1)))
+        self.hosts = [
+            Host(f"host{idx:0{width}d}", ncpus=p.host_ncpus,
+                 memory=p.host_memory, seed=p.seed,
+                 view_update_period=p.view_update_period, engine=p.engine)
+            for idx in range(p.n_hosts)
+        ]
+        self.strategy = strategy or make_strategy(p.strategy)
+        self.placed: dict[str, PlacedPod] = {}
+        self.pending: list[PodSpec] = []
+        self.rejected: list[str] = []
+        self.submitted = 0
+        self.migration_records: list[MigrationRecord] = []
+        self.metrics = _Metrics()
+        #: Deterministic event log: (time, event, pod, host) rows.
+        self.trace: list[tuple[float, str, str, str]] = []
+
+    # -- time -----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.hosts[0].now
+
+    @property
+    def cpu_capacity(self) -> int:
+        return sum(h.ncpus for h in self.hosts)
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, spec: PodSpec) -> None:
+        """Queue a pod for the next scheduling round."""
+        if spec.name in self.placed or any(s.name == spec.name
+                                           for s in self.pending):
+            raise ClusterError(f"pod {spec.name!r} already submitted")
+        self.pending.append(spec)
+        self.submitted += 1
+        self.trace.append((self.now, "submit", spec.name, ""))
+
+    def submit_all(self, specs: list[PodSpec]) -> None:
+        for spec in specs:
+            self.submit(spec)
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self, *, until: float) -> None:
+        """Advance all hosts in lockstep epochs to ``until``."""
+        while self.now < until - _EPS:
+            epoch_end = min(self.now + self.params.epoch, until)
+            epoch_len = epoch_end - self.now
+            self._apply_bursts()
+            self._place_pending()
+            for host in self.hosts:
+                host.world.run(until=epoch_end)
+            self._sample_epoch(epoch_len)
+            if self.params.migration:
+                self._rebalance()
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _place_pending(self) -> None:
+        """One scheduling round: gangs first, then singles BFD."""
+        if not self.pending:
+            return
+        gangs: dict[str, list[PodSpec]] = {}
+        singles: list[PodSpec] = []
+        for spec in self.pending:
+            if spec.gang is not None:
+                gangs.setdefault(spec.gang, []).append(spec)
+            else:
+                singles.append(spec)
+        self.pending = []
+
+        for gang_id in sorted(gangs):
+            ranks = gangs[gang_id]
+            if self.strategy.gang_aware:
+                assignment = self.strategy.choose_gang(self.hosts, ranks)
+                if assignment is None:
+                    self.metrics.gangs_rejected += 1
+                    for spec in ranks:
+                        self.rejected.append(spec.name)
+                        self.trace.append((self.now, "reject", spec.name, ""))
+                    continue
+                for spec, host in assignment:
+                    self._admit(spec, host)
+                self.metrics.gangs_placed += 1
+            else:
+                # Gang-blind baseline: ranks scheduled independently;
+                # partial gangs are a real (bad) outcome we count.
+                landed = 0
+                for spec in ranks:
+                    host = self.strategy.choose(self.hosts, spec.footprint(
+                        self.now))
+                    if host is None:
+                        self.rejected.append(spec.name)
+                        self.trace.append((self.now, "reject", spec.name, ""))
+                    else:
+                        self._admit(spec, host)
+                        landed += 1
+                if landed == len(ranks):
+                    self.metrics.gangs_placed += 1
+                elif landed == 0:
+                    self.metrics.gangs_rejected += 1
+                else:
+                    self.metrics.gangs_partial += 1
+
+        # Best-fit-DECREASING: big pods first so fragments stay usable.
+        singles.sort(key=lambda s: (-s.footprint(self.now).cpu_live, s.name))
+        for spec in singles:
+            host = self.strategy.choose(self.hosts, spec.footprint(self.now))
+            if host is None:
+                self.rejected.append(spec.name)
+                self.trace.append((self.now, "reject", spec.name, ""))
+            else:
+                self._admit(spec, host)
+
+    def _admit(self, spec: PodSpec, host: Host) -> None:
+        demand = spec.demand_at(self.now)
+        cspec = pod_container_spec(spec.name, spec, demand)
+        container = host.world.containers.create(cspec)
+        host.world.mm.charge(container.cgroup, spec.mem_demand)
+        pod = PlacedPod(spec, host, container, self.now)
+        start_pod_workload(pod)
+        host.account_add(pod)
+        self.placed[spec.name] = pod
+        self.trace.append((self.now, "place", spec.name, host.name))
+
+    # -- epoch hooks ----------------------------------------------------------
+
+    def _apply_bursts(self) -> None:
+        for pod in self.placed.values():
+            target = pod.spec.demand_at(self.now)
+            if abs(target - pod.demand) < _EPS:
+                continue
+            pod.demand = target
+            cg = pod.container.cgroup
+            period = cg.cpu.cfs_period_us
+            cg.set_cpu_quota(max(1000, int(round(target * period))), period)
+            self.trace.append((self.now, "burst", pod.name, pod.host.name))
+
+    def _sample_epoch(self, epoch_len: float) -> None:
+        m = self.metrics
+        m.epochs += 1
+        attained_total = 0.0
+        demand_total = 0.0
+        for pod in self.placed.values():
+            total = pod.total_cpu_time
+            attained = (total - pod.last_cpu_time) / epoch_len
+            pod.last_cpu_time = total
+            window = min(epoch_len, self.now - pod.placed_at)
+            if window < epoch_len - _EPS:
+                # Partial first epoch: rate over the actual residency.
+                attained = (attained * epoch_len / window) if window > _EPS \
+                    else pod.demand
+            m.pod_epochs += 1
+            demand_total += pod.demand
+            attained_total += min(attained, pod.demand)
+            if attained + _EPS < self.params.slo_frac * pod.demand:
+                pod.violation_epochs += 1
+                m.violations += 1
+        cap = float(self.cpu_capacity)
+        m.density_sum += demand_total / cap
+        m.utilization_sum += attained_total / cap
+
+    # -- migration ------------------------------------------------------------
+
+    def _host_demand(self, host: Host) -> float:
+        return sum(p.demand for p in host.pods.values())
+
+    def _rebalance(self) -> None:
+        """Move the biggest pods off hosts running over the hot threshold."""
+        moved = 0
+        budget = self.params.max_migrations_per_epoch
+        hot = sorted(
+            (h for h in self.hosts
+             if self._host_demand(h) > self.params.hot_frac * h.ncpus),
+            key=lambda h: (-(self._host_demand(h) / h.ncpus), h.name))
+        for host in hot:
+            while (moved < budget and
+                   self._host_demand(host) > self.params.hot_frac * host.ncpus):
+                candidates = sorted(host.pods.values(),
+                                    key=lambda p: (-p.demand, p.name))
+                target_found = False
+                for pod in candidates:
+                    dst = self._pick_target(pod, exclude=host)
+                    if dst is None:
+                        continue
+                    rec = migrate(pod, dst)
+                    self.migration_records.append(rec)
+                    self.trace.append((self.now, "migrate", pod.name,
+                                       dst.name))
+                    moved += 1
+                    target_found = True
+                    break
+                if not target_found:
+                    break           # nothing on this host can move anywhere
+            if moved >= budget:
+                break
+
+    def _pick_target(self, pod: PlacedPod, *, exclude: Host) -> Host | None:
+        fp = pod.footprint()
+        hot_cap = self.params.hot_frac
+        best: Host | None = None
+        best_key: tuple[float, str] | None = None
+        for host in self.hosts:
+            if host is exclude:
+                continue
+            if not self.strategy.feasible(host, fp):
+                continue
+            # Don't create a new hotspot while fixing this one.
+            if self._host_demand(host) + pod.demand > hot_cap * host.ncpus:
+                continue
+            key = (self.strategy.fit_score(host, fp), host.name)
+            if best_key is None or key < best_key:
+                best, best_key = host, key
+        return best
+
+    # -- reporting ------------------------------------------------------------
+
+    def trace_digest(self) -> str:
+        """SHA-256 of the canonical placement/migration trace."""
+        payload = json.dumps(self.trace, sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def summary(self) -> dict:
+        """JSON-able scorecard of the run so far."""
+        m = self.metrics
+        epochs = max(1, m.epochs)
+        return {
+            "strategy": self.strategy.name,
+            "hosts": len(self.hosts),
+            "submitted": self.submitted,
+            "placed": len(self.placed),
+            "rejected": len(self.rejected),
+            "pending": len(self.pending),
+            "migrations": len(self.migration_records),
+            "migrated_bytes": sum(r.bytes_moved
+                                  for r in self.migration_records),
+            "slo_burn": (m.violations / m.pod_epochs) if m.pod_epochs else 0.0,
+            "density": m.density_sum / epochs,
+            "utilization": m.utilization_sum / epochs,
+            "gangs_placed": m.gangs_placed,
+            "gangs_rejected": m.gangs_rejected,
+            "gangs_partial": m.gangs_partial,
+            "trace_digest": self.trace_digest(),
+        }
+
+    def invariant_snapshot(self) -> dict:
+        """Cluster-level digest for ``repro.check.check_cluster``.
+
+        Mirrors :meth:`World.invariant_snapshot` one level up: per-host
+        ledgers in canonical order plus the pod/migration records that
+        tie them together across re-homes.
+        """
+        hosts = []
+        for h in self.hosts:
+            world = h.world
+            if world.sched.dirty:
+                world.sched.reallocate()
+            live_cpu = sum(p.container.cgroup.total_cpu_time
+                           for p in h.pods.values())
+            charge = uncharge = usage = 0
+            for cg in world.cgroups.walk():
+                charge += cg.memory.charge_total
+                uncharge += cg.memory.uncharge_total
+                usage += cg.memory.resident + cg.memory.swapped
+            hosts.append({
+                "name": h.name,
+                "now": world.now,
+                "ncpus": h.ncpus,
+                "elapsed": world.sched.elapsed,
+                "conservation_error": world.sched.conservation_error(),
+                "retired_cpu_time": world.cgroups.retired_cpu_time,
+                "live_pod_cpu_time": live_cpu,
+                "charge_total": charge,
+                "uncharge_total": uncharge,
+                "mem_usage": usage,
+                "mem_free": world.mm.free,
+                "pods": sorted(h.pods),
+            })
+        pods = {
+            name: {
+                "host": p.host.name,
+                "migrations": p.migrations,
+                "total_cpu_time": p.total_cpu_time,
+                "cpu_time_retired": p.cpu_time_retired,
+                "bytes_migrated": p.bytes_migrated,
+                "mem_usage": p.live_bytes(),
+            }
+            for name, p in sorted(self.placed.items())
+        }
+        return {
+            "now": self.now,
+            "submitted": self.submitted,
+            "placed": len(self.placed),
+            "pending": len(self.pending),
+            "rejected": len(self.rejected),
+            "hosts": hosts,
+            "pods": pods,
+            "migrations": {
+                "count": len(self.migration_records),
+                "bytes_total": sum(r.bytes_moved
+                                   for r in self.migration_records),
+                "cpu_time_total": sum(r.cpu_time
+                                      for r in self.migration_records),
+                "records": [
+                    {"pod": r.pod, "src": r.src, "dst": r.dst,
+                     "time": r.time, "bytes_moved": r.bytes_moved,
+                     "cpu_time": r.cpu_time}
+                    for r in self.migration_records
+                ],
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Cluster t={self.now:.1f}s hosts={len(self.hosts)} "
+                f"placed={len(self.placed)} strategy={self.strategy.name}>")

@@ -1,0 +1,88 @@
+"""One cluster host: an independent simulated :class:`~repro.world.World`.
+
+Each host runs its own event loop, scheduler, and memory manager; the
+:class:`~repro.cluster.cluster.Cluster` advances them in lockstep epochs.
+The host additionally keeps the *scheduler-visible* accounting the
+placement strategies read: declared request totals (for the static
+baseline) and live view/usage totals (for adaptive-view packing).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.pod import PlacedPod
+from repro.par.seeds import derive_seed
+from repro.world import World
+
+__all__ = ["Host"]
+
+
+class Host:
+    """A simulated machine in the cluster."""
+
+    def __init__(self, name: str, *, ncpus: int, memory: int, seed: int = 0,
+                 view_update_period: float | None = 1.0,
+                 engine: str = "incremental"):
+        self.name = name
+        self.world = World(ncpus, memory,
+                           seed=derive_seed("cluster-host", name, seed),
+                           sys_ns_update_period=view_update_period,
+                           engine=engine)
+        self.pods: dict[str, PlacedPod] = {}
+        #: Declared request totals (the static scheduler's ledger).
+        self.requested_cpu = 0.0
+        self.requested_mem = 0
+
+    @property
+    def ncpus(self) -> int:
+        return self.world.host.ncpus
+
+    @property
+    def mem_capacity(self) -> int:
+        return self.world.mm.available_capacity
+
+    @property
+    def now(self) -> float:
+        return self.world.now
+
+    # -- static (request-based) accounting ------------------------------------
+
+    def free_cpu_request(self) -> float:
+        return self.ncpus - self.requested_cpu
+
+    def free_mem_request(self) -> int:
+        return self.mem_capacity - self.requested_mem
+
+    # -- live (view-based) accounting ------------------------------------------
+
+    def view_cpu_footprint(self) -> float:
+        """Cores occupied per the adaptive views: Σ min(E_CPU, quota)."""
+        return sum(p.view_cpu_footprint() for p in self.pods.values())
+
+    def free_cpu_view(self) -> float:
+        return self.ncpus - self.view_cpu_footprint()
+
+    def free_mem_view(self) -> int:
+        """Actually-free bytes on the host (the E_MEM numerator's source)."""
+        return self.world.mm.free
+
+    def cpu_usage(self) -> float:
+        """Instantaneous allocated CPU rate (cores) across all pods."""
+        if self.world.sched.dirty:
+            self.world.sched.reallocate()
+        return sum(p.container.cgroup.cpu_rate for p in self.pods.values())
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def account_add(self, pod: PlacedPod) -> None:
+        self.pods[pod.name] = pod
+        self.requested_cpu += pod.spec.cpu_request
+        self.requested_mem += pod.spec.mem_request
+
+    def account_remove(self, pod: PlacedPod) -> None:
+        del self.pods[pod.name]
+        self.requested_cpu -= pod.spec.cpu_request
+        self.requested_mem -= pod.spec.mem_request
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Host {self.name!r} pods={len(self.pods)} "
+                f"req_cpu={self.requested_cpu:.1f}/{self.ncpus}>")

@@ -1,0 +1,104 @@
+"""Container migration between hosts.
+
+Migration is drain → snapshot → re-admit:
+
+1. snapshot the pod's ledgers (bytes resident+swapped, CPU seconds
+   consumed on the source);
+2. destroy the container on the source world — this uncharges its
+   memory and folds its CPU time into the source root's
+   ``retired_cpu_time``, so the *per-host* conservation invariants that
+   ``repro.check`` audits keep holding;
+3. fold the CPU snapshot into the pod's ``cpu_time_retired`` so the
+   *pod-level* integral survives the re-home;
+4. create a fresh container on the target and re-charge the snapshotted
+   bytes there.
+
+The cluster-level invariant (``repro.check.check_cluster``) then ties
+the two sides together: summed host ledgers must equal cluster totals
+no matter how many times pods moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.host import Host
+from repro.cluster.pod import PlacedPod
+from repro.container.spec import ContainerSpec
+from repro.errors import ClusterError
+
+__all__ = ["MigrationRecord", "migrate"]
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One completed migration, for the audit trail."""
+
+    pod: str
+    src: str
+    dst: str
+    time: float
+    bytes_moved: int
+    cpu_time: float
+
+
+def _quota_us(demand: float, period_us: int) -> int:
+    return max(1000, int(round(demand * period_us)))
+
+
+def pod_container_spec(pod_name: str, spec, demand: float) -> ContainerSpec:
+    """The container shape a pod runs under at CPU demand ``demand``."""
+    period = 100_000
+    return ContainerSpec(
+        name=pod_name,
+        cpu_shares=max(2, int(round(spec.cpu_request * 1024))),
+        cpus=_quota_us(demand, period) / period,
+        cpu_period_us=period,
+        memory_limit=max(spec.mem_request, spec.mem_demand),
+    )
+
+
+def start_pod_workload(pod: PlacedPod) -> None:
+    """Spawn the pod's (never-finishing) demand thread.
+
+    The pod is modelled as an open-loop CPU sink: one thread with an
+    effectively infinite work segment, throttled by the cgroup quota to
+    the pod's demand.  Attained rate = min(demand, fair share), which is
+    exactly the fluid signal the adaptive views measure.
+    """
+    t = pod.container.spawn_thread("main")
+    t.assign_work(1e15)
+
+
+def migrate(placed: PlacedPod, dst: Host) -> MigrationRecord:
+    """Move ``placed`` from its current host to ``dst``."""
+    src = placed.host
+    if src is dst:
+        raise ClusterError(
+            f"pod {placed.name!r} is already on host {dst.name!r}")
+    world_src, world_dst = src.world, dst.world
+    cg = placed.container.cgroup
+    bytes_moved = cg.memory.usage_in_bytes
+    cpu_at = cg.total_cpu_time
+
+    # Drain: tear down on the source.  destroy() exits the thread,
+    # uncharges every byte, and folds the cgroup's CPU time into the
+    # source root's retired ledger — per-host conservation holds.
+    world_src.containers.destroy(placed.container)
+    src.account_remove(placed)
+    placed.cpu_time_retired += cpu_at
+
+    # Re-admit on the target with the *live* demand quota.
+    spec = pod_container_spec(placed.name, placed.spec, placed.demand)
+    container = world_dst.containers.create(spec)
+    world_dst.mm.charge(container.cgroup, bytes_moved)
+    placed.container = container
+    placed.host = dst
+    placed.migrations += 1
+    placed.bytes_migrated += bytes_moved
+    dst.account_add(placed)
+    start_pod_workload(placed)
+
+    return MigrationRecord(pod=placed.name, src=src.name, dst=dst.name,
+                           time=world_dst.now, bytes_moved=bytes_moved,
+                           cpu_time=cpu_at)

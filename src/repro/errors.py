@@ -20,6 +20,7 @@ __all__ = [
     "OpenMpError",
     "WorkloadError",
     "ServeError",
+    "ClusterError",
 ]
 
 
@@ -78,3 +79,7 @@ class WorkloadError(ReproError):
 
 class ServeError(ReproError):
     """Invalid serving-stack configuration or misuse (repro.serve)."""
+
+
+class ClusterError(ReproError):
+    """Invalid cluster configuration or placement misuse (repro.cluster)."""

@@ -1,9 +1,10 @@
 """One module per paper figure/table; each exposes ``run(params=None)``."""
 
-from repro.harness.experiments import (ablation, exp_serve, fig01_dockerhub,
-                                       fig02_motivation, fig06_dacapo_spec,
-                                       fig07_scaling, fig08_shares, fig09_hibench,
-                                       fig10_npb, fig11_elastic_dacapo,
+from repro.harness.experiments import (ablation, exp_cluster, exp_serve,
+                                       fig01_dockerhub, fig02_motivation,
+                                       fig06_dacapo_spec, fig07_scaling,
+                                       fig08_shares, fig09_hibench, fig10_npb,
+                                       fig11_elastic_dacapo,
                                        fig12_heap_traces, overhead)
 
 #: Registry used by the run-all driver and the benchmark suite.
@@ -20,6 +21,7 @@ ALL_EXPERIMENTS = {
     "overhead": overhead,
     "ablation": ablation,
     "exp_serve": exp_serve,
+    "exp_cluster": exp_cluster,
 }
 
 __all__ = ["ALL_EXPERIMENTS"] + [m.__name__.rsplit(".", 1)[-1]

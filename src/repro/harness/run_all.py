@@ -43,6 +43,12 @@ _QUICK_KWARGS = {
     "ablation": dict(scale=0.5),
     "exp_serve": dict(ncpus=8, replicas=2, workers=2, base_rate=20.0,
                       warm=5.0, spike_len=8.0, cool=12.0, max_cores=3.0),
+    # Small hosts keep inflated requests oversubscribed (so the static
+    # baseline still rejects pods and the headline comparison survives).
+    "exp_cluster": dict(pods=120, hosts=8, host_ncpus=4, horizon=8.0,
+                        arrival_epochs=4, serve_ncpus=8, serve_rate=20.0,
+                        serve_warm=4.0, serve_spike_len=6.0, serve_cool=8.0,
+                        serve_workers=2),
 }
 
 

@@ -110,6 +110,17 @@ def _execute(spec_dict: dict) -> dict:
             "spawn_seed": spec_dict["spawn_seed"]}
 
 
+def _execute_batch(spec_dicts: list[dict]) -> list[dict]:
+    """Worker entry point for a batch: run each trial, in order.
+
+    Per-trial exceptions are still caught per trial (a crashy config
+    costs one failure row, not the whole batch); only a hard worker
+    death takes the batch down, and the runner then retries its members
+    individually.
+    """
+    return [_execute(d) for d in spec_dicts]
+
+
 def _as_result(raw: dict, *, cached: bool = False) -> TrialResult:
     return TrialResult(trial_id=raw["trial_id"], ok=raw["ok"],
                        value=raw["value"], error=raw.get("error"),
@@ -120,11 +131,31 @@ def _as_result(raw: dict, *, cached: bool = False) -> TrialResult:
 class ParallelRunner:
     """Executes trial sweeps across ``jobs`` worker processes."""
 
-    def __init__(self, jobs: int = 1, cache: ResultCache | None = None):
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
+                 batch_size: int | None = None):
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
+        if batch_size is not None and batch_size < 1:
+            raise ReproError(f"batch_size must be >= 1, got {batch_size}")
         self.jobs = jobs
         self.cache = cache
+        #: Trials per worker submission; ``None`` = auto-chunk.
+        self.batch_size = batch_size
+
+    def _resolve_batch_size(self, n_pending: int) -> int:
+        """Auto-chunking: amortize pool/pickling overhead on small trials.
+
+        Submitting one tiny trial per future makes pool startup dominate
+        (BENCH_par speedup < 1 on small figure runs); batching restores
+        the win.  The auto rule keeps ~4 waves per worker so stragglers
+        still level out, capped at 16 so a dead worker never takes more
+        than one small batch down with it.
+        """
+        if self.batch_size is not None:
+            return self.batch_size
+        if self.jobs == 1:
+            return 1
+        return max(1, min(16, -(-n_pending // (self.jobs * 4))))
 
     # -- execution ---------------------------------------------------------
 
@@ -177,15 +208,22 @@ class ParallelRunner:
         """Fan pending trials out; survive worker deaths with one retry."""
         settled = []
         retry: list = []
+        size = self._resolve_batch_size(len(pending))
+        batches = [pending[i:i + size] for i in range(0, len(pending), size)]
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            futures = [(pool.submit(_execute, spec_dict), item)
-                       for item in pending
-                       for (_spec, spec_dict, _key) in [item]]
-            for future, item in futures:
+            futures = [
+                (pool.submit(_execute_batch,
+                             [spec_dict for _s, spec_dict, _k in batch]),
+                 batch)
+                for batch in batches]
+            for future, batch in futures:
                 try:
-                    settled.append((item, future.result()))
+                    raws = future.result()
+                    settled.extend(zip(batch, raws))
                 except BrokenProcessPool:
-                    retry.append(item)
+                    # One member killed the worker mid-batch: retry every
+                    # member solo so the innocent ones recover.
+                    retry.extend(batch)
         # Trials in flight when a sibling (or they themselves) killed the
         # pool: give each its own disposable single-worker pool.
         for item in retry:
@@ -206,9 +244,12 @@ class ParallelRunner:
 
 def run_trials(specs: list[TrialSpec], *, jobs: int = 1,
                cache: ResultCache | None = None,
+               batch_size: int | None = None,
                on_result=None) -> list[TrialResult]:
     """Convenience wrapper: ``ParallelRunner(jobs, cache).run(specs)``."""
-    return ParallelRunner(jobs=jobs, cache=cache).run(specs, on_result=on_result)
+    return ParallelRunner(jobs=jobs, cache=cache,
+                          batch_size=batch_size).run(specs,
+                                                     on_result=on_result)
 
 
 def result_digest(results: list[TrialResult]) -> str:

@@ -168,6 +168,40 @@ class Autoscaler:
         self._apply_cores(service, cores, force=True)
         return service
 
+    def add_replica(self, name: str, replica: ServiceReplica) -> None:
+        """Bring a horizontally-added replica under vertical management.
+
+        The usage bookmark is advanced by the newcomer's accumulated CPU
+        time so the next ``_window_usage`` sees only *window* deltas,
+        not a step; the current per-replica quota is applied (clamped —
+        more replicas may shrink what each can reserve).
+        """
+        service = self._get(name)
+        if replica in service.replicas:
+            raise ServeError(f"replica already managed by {name!r}")
+        self._accrue()
+        service.replicas.append(replica)
+        service.last_cpu_time += replica.container.cgroup.total_cpu_time
+        self._apply_cores(service, self._clamp_to_host(service, service.cores),
+                          force=True)
+
+    def remove_replica(self, name: str, replica: ServiceReplica) -> None:
+        """Release a replica from management (HPA scale-in)."""
+        service = self._get(name)
+        if replica not in service.replicas:
+            raise ServeError(f"replica not managed by {name!r}")
+        if len(service.replicas) == 1:
+            raise ServeError(f"cannot remove the last replica of {name!r}")
+        self._accrue()
+        service.replicas.remove(replica)
+        service.last_cpu_time -= replica.container.cgroup.total_cpu_time
+
+    def _get(self, name: str) -> ManagedService:
+        try:
+            return self.services[name]
+        except KeyError:
+            raise ServeError(f"no managed service named {name!r}") from None
+
     # -- lifecycle --------------------------------------------------------
 
     def start(self) -> None:

@@ -29,6 +29,8 @@ class Balancer:
         if not replicas:
             raise ServeError("balancer needs at least one replica")
         self.replicas = list(replicas)
+        #: Replicas removed from routing but still finishing requests.
+        self.draining: list[ServiceReplica] = []
         if shed_at is None:
             shed_at = replicas[0].workload.queue_capacity
         if shed_at < 0:
@@ -38,6 +40,34 @@ class Balancer:
         self.shed = 0
         self.peak_queue_depth = 0
         self.peak_outstanding = 0
+
+    # -- dynamic membership (horizontal scaling) ---------------------------
+
+    def add(self, replica: ServiceReplica) -> None:
+        """Put a new replica into the routing set."""
+        if replica in self.replicas or replica in self.draining:
+            raise ServeError("replica already registered with balancer")
+        self.replicas.append(replica)
+
+    def remove(self, replica: ServiceReplica) -> None:
+        """Stop routing to ``replica``; it drains its in-flight work.
+
+        The replica keeps serving what it already accepted (connection
+        draining) and is surfaced by :meth:`reap_drained` once idle.
+        """
+        if replica not in self.replicas:
+            raise ServeError("replica not in routing set")
+        if len(self.replicas) == 1:
+            raise ServeError("cannot remove the last routed replica")
+        self.replicas.remove(replica)
+        self.draining.append(replica)
+
+    def reap_drained(self) -> list[ServiceReplica]:
+        """Return (and forget) draining replicas that finished all work."""
+        done = [r for r in self.draining if r.outstanding == 0]
+        for r in done:
+            self.draining.remove(r)
+        return done
 
     def dispatch(self, request: Request) -> bool:
         """Route ``request``; returns False when it was shed."""
@@ -53,8 +83,9 @@ class Balancer:
 
     @property
     def outstanding(self) -> int:
-        """Total in-flight requests across all replicas."""
-        return sum(r.outstanding for r in self.replicas)
+        """Total in-flight requests, including draining replicas."""
+        return (sum(r.outstanding for r in self.replicas)
+                + sum(r.outstanding for r in self.draining))
 
     @property
     def completed(self) -> int:

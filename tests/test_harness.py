@@ -101,7 +101,8 @@ class TestExperimentRegistry:
         from repro.harness.experiments import ALL_EXPERIMENTS
         assert set(ALL_EXPERIMENTS) == {
             "fig01", "fig02", "fig06", "fig07", "fig08", "fig09", "fig10",
-            "fig11", "fig12", "overhead", "ablation", "exp_serve"}
+            "fig11", "fig12", "overhead", "ablation", "exp_serve",
+            "exp_cluster"}
         for module in ALL_EXPERIMENTS.values():
             assert hasattr(module, "run")
 

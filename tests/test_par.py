@@ -194,6 +194,47 @@ class TestCache:
         assert len(source_hash()) == 64
 
 
+class TestBatching:
+    def test_digest_identical_across_batch_sizes(self):
+        base = run_trials(toy_specs(9), jobs=1)
+        for batch in (1, 2, 4, 16):
+            batched = run_trials(toy_specs(9), jobs=3, batch_size=batch)
+            assert result_digest(batched) == result_digest(base)
+            assert [r.trial_id for r in batched] == [r.trial_id for r in base]
+
+    def test_auto_chunking_rule(self):
+        runner = ParallelRunner(jobs=4)
+        assert runner._resolve_batch_size(4) == 1     # fewer trials than waves
+        assert runner._resolve_batch_size(64) == 4    # 4 waves per worker
+        assert runner._resolve_batch_size(10_000) == 16  # capped
+        assert ParallelRunner(jobs=1)._resolve_batch_size(100) == 1
+        explicit = ParallelRunner(jobs=4, batch_size=7)
+        assert explicit._resolve_batch_size(1_000) == 7
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ReproError, match="batch_size"):
+            ParallelRunner(jobs=2, batch_size=0)
+
+    def test_exception_in_batch_isolated(self):
+        specs = toy_specs(6, fn=CRASH_FN)
+        specs[2] = TrialSpec(fn=CRASH_FN, experiment="toy", trial_id="t2",
+                             config={"x": 2, "boom": True})
+        results = run_trials(specs, jobs=2, batch_size=3)
+        assert [r.ok for r in results] == [True, True, False, True, True, True]
+
+    def test_worker_death_in_batch_retried_solo(self):
+        specs = toy_specs(6, fn=DIE_FN)
+        specs[1] = TrialSpec(fn=DIE_FN, experiment="toy", trial_id="t1",
+                             config={"x": 1, "die": True})
+        results = run_trials(specs, jobs=2, batch_size=3)
+        by_id = {r.trial_id: r for r in results}
+        assert not by_id["t1"].ok
+        assert "WorkerDied" in by_id["t1"].error
+        # Batch-mates of the dead trial recover via the solo retry.
+        for tid in ("t0", "t2", "t3", "t4", "t5"):
+            assert by_id[tid].ok, tid
+
+
 class TestOnResult:
     def test_callback_sees_every_trial(self, tmp_path):
         specs = toy_specs(4)

@@ -128,14 +128,41 @@ def run_repeat(*, quick: bool) -> dict:
     return record
 
 
-def run_all(*, quick: bool, jobs: int) -> dict:
-    return {
+def run_profile(*, quick: bool) -> dict:
+    """One placement trial under the engine self-profiler.
+
+    Reuses the exact trial config of ``placement/view`` so the
+    attribution describes the same work the sweeps above time.
+    """
+    from repro.harness.experiments.exp_cluster import (
+        build_placement_cluster, drive_placement)
+    from repro.obs.profile import EngineProfiler
+
+    params = _params(0, quick=quick)
+    spec = next(s for s in trial_specs(params)
+                if s.trial_id == "placement/view")
+    cluster = build_placement_cluster(dict(spec.config))
+    profiler = EngineProfiler(flight_every=2048).attach_cluster(cluster)
+    drive_placement(cluster, dict(spec.config))
+    profiler.detach()
+    print(profiler.format_report(), file=sys.stderr)
+    record = profiler.report()
+    record.update(scenario="profile", digest=cluster.trace_digest(),
+                  digest_match=True)
+    return record
+
+
+def run_all(*, quick: bool, jobs: int, profile: bool = False) -> dict:
+    scenarios = {
         "placement": run_speedup(
             "placement", _sweep_specs("placement", quick=quick), jobs=jobs),
         "interplay": run_speedup(
             "interplay", _sweep_specs("interplay", quick=quick), jobs=jobs),
         "repeat": run_repeat(quick=quick),
     }
+    if profile:
+        scenarios["profile"] = run_profile(quick=quick)
+    return scenarios
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -145,9 +172,13 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--jobs", type=int,
                     default=min(8, os.cpu_count() or 1),
                     help="parallel worker count (default: min(8, cores))")
+    ap.add_argument("--profile", action="store_true",
+                    help="also run one placement trial under the engine "
+                         "self-profiler and report the attribution")
     ap.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = ap.parse_args(argv)
-    scenarios = run_all(quick=args.quick, jobs=args.jobs)
+    scenarios = run_all(quick=args.quick, jobs=args.jobs,
+                        profile=args.profile)
     payload = {"benchmark": "bench_cluster", "quick": args.quick,
                "jobs": args.jobs, "cpu_count": os.cpu_count(),
                "scenarios": scenarios}

@@ -54,13 +54,30 @@ def _make_world(ncpus: int, seed: int, engine: str | None) -> World:
         return World(ncpus=ncpus, seed=seed)
 
 
+def _make_profiler(profile: bool, world: World):
+    """An attached EngineProfiler, or None when profiling is off."""
+    if not profile:
+        return None
+    from repro.obs.profile import EngineProfiler
+    return EngineProfiler(flight_every=2048).attach_world(world)
+
+
+def _finish_profile(profiler, record: dict) -> None:
+    if profiler is None:
+        return
+    profiler.detach()
+    record["profile"] = profiler.report()
+    print(profiler.format_report(), file=sys.stderr)
+
+
 def run_fleet(*, quick: bool = False, engine: str | None = None,
-              seed: int = 7) -> dict:
+              seed: int = 7, profile: bool = False) -> dict:
     """Dense serve fleet: replicas x workers under Poisson traffic."""
     replicas_n = 16 if quick else 64
     duration = 2.0 if quick else 6.0
     rate = 250.0 if quick else 600.0
     world = _make_world(32, seed, engine)
+    profiler = _make_profiler(profile, world)
     workload = ServiceWorkload(name="fe", mean_demand=0.02, demand_cv=0.5,
                                workers_per_replica=3, queue_capacity=128,
                                resident_memory=mib(64))
@@ -89,19 +106,22 @@ def run_fleet(*, quick: bool = False, engine: str | None = None,
                     timeout=120.0)
     wall = time.perf_counter() - t0
     scaler.stop()
-    return {"scenario": "fleet", "replicas": replicas_n,
-            "completed": balancer.completed, "sim_time": world.now,
-            "steps": world.steps, "wall_s": wall,
-            "steps_per_sec": world.steps / wall if wall > 0 else 0.0}
+    record = {"scenario": "fleet", "replicas": replicas_n,
+              "completed": balancer.completed, "sim_time": world.now,
+              "steps": world.steps, "wall_s": wall,
+              "steps_per_sec": world.steps / wall if wall > 0 else 0.0}
+    _finish_profile(profiler, record)
+    return record
 
 
 def run_churn(*, quick: bool = False, engine: str | None = None,
-              seed: int = 11) -> dict:
+              seed: int = 11, profile: bool = False) -> dict:
     """200 concurrent containers with steady create/destroy churn."""
     n_containers = 60 if quick else 200
     duration = 1.5 if quick else 4.0
     churn_period = 0.025
     world = _make_world(48, seed, engine)
+    profiler = _make_profiler(profile, world)
 
     serial = [0]
 
@@ -127,22 +147,25 @@ def run_churn(*, quick: bool = False, engine: str | None = None,
     world.run(until=duration)
     wall = time.perf_counter() - t0
     handle.cancel()
-    return {"scenario": "churn", "containers": n_containers,
-            "churn_cycles": serial[0] - n_containers,
-            "sim_time": world.now, "steps": world.steps, "wall_s": wall,
-            "steps_per_sec": world.steps / wall if wall > 0 else 0.0}
+    record = {"scenario": "churn", "containers": n_containers,
+              "churn_cycles": serial[0] - n_containers,
+              "sim_time": world.now, "steps": world.steps, "wall_s": wall,
+              "steps_per_sec": world.steps / wall if wall > 0 else 0.0}
+    _finish_profile(profiler, record)
+    return record
 
 
 SCENARIOS = {"fleet": run_fleet, "churn": run_churn}
 
 
-def run_all(*, quick: bool, modes: list[str | None]) -> dict:
+def run_all(*, quick: bool, modes: list[str | None],
+            profile: bool = False) -> dict:
     results: dict[str, dict] = {}
     for mode in modes:
         label = mode or "default"
         for name, fn in SCENARIOS.items():
             key = name if len(modes) == 1 else f"{name}[{label}]"
-            results[key] = fn(quick=quick, engine=mode)
+            results[key] = fn(quick=quick, engine=mode, profile=profile)
             results[key]["engine"] = label
             rec = results[key]
             print(f"{key}: {rec['steps']} steps in {rec['wall_s']:.2f}s "
@@ -156,6 +179,9 @@ def main(argv: list[str] | None = None) -> int:
                     help="smaller scenarios for CI smoke runs")
     ap.add_argument("--mode", choices=["incremental", "scan", "both"],
                     default="incremental")
+    ap.add_argument("--profile", action="store_true",
+                    help="attach the engine self-profiler and report "
+                         "per-subsystem wall-clock attribution")
     ap.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = ap.parse_args(argv)
     modes: list[str | None]
@@ -163,7 +189,7 @@ def main(argv: list[str] | None = None) -> int:
         modes = ["incremental", "scan"]
     else:
         modes = [args.mode]
-    results = run_all(quick=args.quick, modes=modes)
+    results = run_all(quick=args.quick, modes=modes, profile=args.profile)
     payload = {"benchmark": "bench_engine", "quick": args.quick,
                "scenarios": results}
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,112 @@
+"""Compare a fresh telemetry benchmark run against the committed baseline.
+
+CI runs ``bench_obs.py --quick`` and feeds the result here; the check
+fails if
+
+* either scenario's placement trace digest diverged between the
+  instrumented and bare runs (telemetry perturbed the simulation — the
+  passivity contract broke),
+* the ``telemetry`` scenario's overhead ratio blows the committed
+  budget: telemetry-on wall must stay within ``BUDGET_RATIO`` (1.05x)
+  of telemetry-off, plus a small absolute grace because the quick
+  fleet runs in well under a second and scheduler noise would
+  otherwise gate the build, or
+* any wall clock exceeds 2x the committed ``BENCH_obs.json`` baseline
+  (the pipeline itself got algorithmically slower).
+
+The 5% figure is the paper-style "monitoring is effectively free"
+budget; the 2x baseline ceiling is the same generous tripwire the
+other benchmark gates use for shared-runner noise. ::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py --quick \
+        --output /tmp/bench_obs_now.json
+    python benchmarks/check_obs_regression.py /tmp/bench_obs_now.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).resolve().parent / "BENCH_obs.json"
+
+#: Telemetry-on wall must stay within this factor of telemetry-off.
+BUDGET_RATIO = 1.05
+
+#: Absolute grace on the overhead comparison: sub-second quick runs
+#: jitter by tens of milliseconds on shared runners.
+BUDGET_GRACE_S = 0.10
+
+#: Fail when a wall clock exceeds baseline times this factor.
+MAX_SLOWDOWN = 2.0
+GRACE_S = 0.25
+
+
+def check(current_path: Path, baseline_path: Path = BASELINE,
+          *, budget_ratio: float = BUDGET_RATIO,
+          max_slowdown: float = MAX_SLOWDOWN) -> list[str]:
+    """Return a list of failure messages (empty = pass)."""
+    current = json.loads(current_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    if current.get("quick") != baseline.get("quick"):
+        return [f"quick={current.get('quick')} run compared against "
+                f"quick={baseline.get('quick')} baseline; "
+                f"re-run bench_obs.py with matching scale"]
+    failures: list[str] = []
+    for key, base in sorted(baseline["scenarios"].items()):
+        now = current["scenarios"].get(key)
+        if now is None:
+            failures.append(f"{key}: missing from current run")
+            continue
+        if not now.get("digest_match", False):
+            failures.append(f"{key}: trace digest diverged with "
+                            f"instrumentation on (passivity contract "
+                            f"broke)")
+        for wall_key in ("off_wall_s", "on_wall_s"):
+            ceiling = base[wall_key] * max_slowdown + GRACE_S
+            if now[wall_key] > ceiling:
+                failures.append(
+                    f"{key}: {wall_key} {now[wall_key]:.3f}s exceeds "
+                    f"{ceiling:.3f}s (baseline {base[wall_key]:.3f}s "
+                    f"x {max_slowdown:g})")
+
+    # The committed overhead budget: always-on fleet telemetry must be
+    # effectively free.  The profiler scenario is exempt (opt-in tool).
+    tel = current["scenarios"].get("telemetry")
+    if tel is not None:
+        ceiling = tel["off_wall_s"] * budget_ratio + BUDGET_GRACE_S
+        if tel["on_wall_s"] > ceiling:
+            failures.append(
+                f"telemetry: on {tel['on_wall_s']:.3f}s exceeds budget "
+                f"{ceiling:.3f}s (off {tel['off_wall_s']:.3f}s x "
+                f"{budget_ratio:g} + {BUDGET_GRACE_S:g}s grace)")
+        if tel.get("records_streamed", 0) < tel.get("epochs", 0):
+            failures.append(
+                f"telemetry: only {tel.get('records_streamed')} of "
+                f"{tel.get('epochs')} epoch records reached the stream")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", type=Path,
+                    help="JSON produced by a fresh bench_obs.py run")
+    ap.add_argument("--baseline", type=Path, default=BASELINE)
+    ap.add_argument("--budget-ratio", type=float, default=BUDGET_RATIO)
+    ap.add_argument("--max-slowdown", type=float, default=MAX_SLOWDOWN)
+    args = ap.parse_args(argv)
+    failures = check(args.current, args.baseline,
+                     budget_ratio=args.budget_ratio,
+                     max_slowdown=args.max_slowdown)
+    for message in failures:
+        print(f"FAIL {message}", file=sys.stderr)
+    if not failures:
+        print("telemetry benchmark within bounds: digests identical, "
+              "overhead inside the committed budget")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,20 +1,25 @@
 #!/usr/bin/env python3
 """Fleet deployment + metrics: watching effective resources move.
 
-Deploys a compose-style fleet, runs mixed load, and samples each
-container's CPU allocation and effective CPU on a 100 ms period —
-rendered as terminal sparklines, the way an operator would watch a
-Grafana panel during the run.
+Two scenes.  First, a single host: a compose-style fleet under mixed
+load, each container's effective CPU sampled on a 100 ms period and
+rendered as terminal sparklines — the way an operator would watch a
+Grafana panel during the run.  Second, a whole cluster: the streaming
+fleet-telemetry pipeline (`repro.obs.fleet`) attached to a multi-host
+run, printing one operator line per epoch (hosts, p99 stretch, PSI,
+attainment, migrations, oscillations) and the end-of-run rollup.
 
 Run:  python examples/fleet_monitoring.py
 """
 
 from repro import MetricsRecorder, World, deploy_fleet, gib
 from repro.harness.plot import sparkline
+from repro.obs.demo import build_fleet_cluster, fleet_horizon
+from repro.obs.fleet import FleetCollector, format_epoch_line
 from repro.workloads import NativeProcess, sysbench_cpu
 
 
-def main():
+def single_host():
     world = World(ncpus=16, memory=gib(64))
     fleet = deploy_fleet(world, {
         "api": {"replicas": 2, "cpu_shares": 2048, "memory_limit": "8g",
@@ -58,6 +63,40 @@ def main():
     idle = recorder.series("host.idle_capacity")
     print(f"  {'idle':10s} {sparkline(idle.values, lo=0, hi=16)}  "
           f"(mean={idle.time_weighted_mean():.1f} cores)")
+
+
+def whole_cluster():
+    """Scene 2: streaming telemetry over a multi-host cluster run."""
+    print("\ncluster telemetry (per-epoch fleet rollups, streaming):\n")
+    cluster = build_fleet_cluster(seed=0, quick=True, trace=True)
+    collector = FleetCollector()
+    cluster.attach_telemetry(collector)
+
+    horizon = fleet_horizon(True)
+    # Drive the run epoch by epoch so each fleet_epoch record prints as
+    # it is produced — exactly what tailing the JSONL stream looks like.
+    epoch = cluster.params.epoch
+    t = 0.0
+    while t < horizon:
+        t = min(horizon, t + epoch)
+        cluster.run(until=t)
+        print("  " + format_epoch_line(collector.epoch_records[-1]))
+    collector.finish()
+
+    summary = collector.summary()
+    p99 = collector.fleet_series("fleet.psi_cpu_some").percentile(99.0)
+    print(f"\n  run rollup: {summary['epochs']} epochs, "
+          f"{summary['pod_epoch_samples']} pod-epoch samples, "
+          f"e_cpu p99={summary['e_cpu_p99']:.2f} cores, "
+          f"stretch p99={summary['stretch_p99']:.2f}x, "
+          f"psi-some p99={p99 * 100.0:.1f}%, "
+          f"{summary['migrations']} migrations "
+          f"({summary['oscillations']} pods oscillating)")
+
+
+def main():
+    single_host()
+    whole_cluster()
 
 
 if __name__ == "__main__":

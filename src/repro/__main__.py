@@ -88,10 +88,67 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_obs_fleet(args) -> int:
+    """Streaming fleet telemetry over the demo cluster scenario."""
+    import json
+    from repro.errors import ReproError
+    from repro.obs.demo import run_fleet_demo
+    from repro.obs.export import JsonlStreamWriter
+    from repro.obs.fleet import FleetCollector, format_epoch_line
+
+    sink = JsonlStreamWriter(args.output) if args.output else None
+    collector = FleetCollector(sink=sink)
+    try:
+        cluster = run_fleet_demo(args.seed, quick=args.quick,
+                                 collector=collector)
+        for record in collector.epoch_records:
+            print(format_epoch_line(record))
+        print(json.dumps(collector.summary(), indent=2))
+        if args.quick:
+            # CI smoke: telemetry must not perturb the simulation.
+            bare = run_fleet_demo(args.seed, quick=True)
+            if bare.trace_digest() != cluster.trace_digest():
+                raise ReproError("obs fleet self-check failed: telemetry "
+                                 "changed the cluster trace digest")
+    finally:
+        if sink is not None:
+            sink.close()
+    if args.output:
+        print(f"streamed {collector.records_streamed} epoch records "
+              f"to {args.output}")
+    return 0
+
+
+def _cmd_obs_profile(args) -> int:
+    """Engine self-profiler over the demo cluster scenario."""
+    import json
+    from repro.obs.demo import run_fleet_demo
+    from repro.obs.profile import EngineProfiler
+
+    profiler = EngineProfiler(flight_every=1024)
+    run_fleet_demo(args.seed, quick=args.quick, profiler=profiler)
+    if args.format == "jsonl":
+        text = json.dumps(profiler.report())
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote profile report to {args.output}")
+        else:
+            print(text)
+    else:
+        print(profiler.format_report())
+    return 0
+
+
 def _cmd_obs(args) -> int:
     from repro.errors import ReproError
     from repro.obs import jsonl_export, jsonl_import, prometheus_text
     from repro.obs.demo import run_demo
+
+    if args.mode == "fleet":
+        return _cmd_obs_fleet(args)
+    if args.mode == "profile":
+        return _cmd_obs_profile(args)
 
     telemetry = run_demo(args.seed, quick=args.quick)
     world = telemetry.world
@@ -216,6 +273,10 @@ def main(argv: list[str] | None = None) -> int:
                            help="worker processes for trial-level fan-out")
     obs_p = sub.add_parser(
         "obs", help="observability demo: pressure, histograms, exporters")
+    obs_p.add_argument("mode", nargs="?", default="demo",
+                       choices=("demo", "fleet", "profile"),
+                       help="demo: single-world exporters; fleet: streaming "
+                            "cluster telemetry; profile: engine self-profiler")
     obs_p.add_argument("--quick", action="store_true",
                        help="short run + self-checks (the CI smoke path)")
     obs_p.add_argument("--seed", type=int, default=0)

@@ -23,10 +23,11 @@ from repro.check.invariants import Invariant, default_suite
 from repro.check.runner import RunResult, run_scenario
 from repro.check.scenario import Scenario
 from repro.check.shrinker import shrink
+from repro.check.span_tree import check_span_tree
 
 __all__ = [
     "Scenario", "generate", "Invariant", "default_suite",
     "RunResult", "run_scenario", "DiffReport", "diff_snapshots",
     "run_differential", "shrink",
-    "check_cluster", "check_cluster_snapshot",
+    "check_cluster", "check_cluster_snapshot", "check_span_tree",
 ]

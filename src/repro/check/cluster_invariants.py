@@ -150,5 +150,15 @@ def check_cluster_snapshot(snap: dict, prev: dict | None = None) -> list[str]:
 
 
 def check_cluster(cluster: "Cluster", prev: dict | None = None) -> list[str]:
-    """Snapshot ``cluster`` and audit it (convenience wrapper)."""
-    return check_cluster_snapshot(cluster.invariant_snapshot(), prev)
+    """Snapshot ``cluster`` and audit it (convenience wrapper).
+
+    When the cluster runs with tracing enabled, the migration span
+    chains are audited too (:mod:`repro.check.span_tree`): every
+    re-home must leave a complete lifetime→drain→readmit→lifetime
+    chain behind.
+    """
+    out = check_cluster_snapshot(cluster.invariant_snapshot(), prev)
+    if cluster.params.trace:
+        from repro.check.span_tree import check_span_tree
+        out.extend(check_span_tree(cluster))
+    return out

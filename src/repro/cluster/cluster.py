@@ -57,6 +57,9 @@ class ClusterParams:
     slo_frac: float = 0.95
     seed: int = 0
     engine: str = "incremental"
+    #: Enable per-host trace logs (spans/events).  Purely passive: the
+    #: placement trace digest is identical with tracing on or off.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.n_hosts < 1:
@@ -94,9 +97,12 @@ class Cluster:
         self.hosts = [
             Host(f"host{idx:0{width}d}", ncpus=p.host_ncpus,
                  memory=p.host_memory, seed=p.seed,
-                 view_update_period=p.view_update_period, engine=p.engine)
+                 view_update_period=p.view_update_period, engine=p.engine,
+                 trace=p.trace)
             for idx in range(p.n_hosts)
         ]
+        #: Optional fleet telemetry pipeline (see repro.obs.fleet).
+        self.telemetry = None
         self.strategy = strategy or make_strategy(p.strategy)
         self.placed: dict[str, PlacedPod] = {}
         self.pending: list[PodSpec] = []
@@ -104,6 +110,9 @@ class Cluster:
         self.submitted = 0
         self.migration_records: list[MigrationRecord] = []
         self.metrics = _Metrics()
+        #: Per-pod (attained, demand) rates from the most recent epoch
+        #: sample — read by the fleet telemetry collector.
+        self.last_epoch_attained: dict[str, tuple[float, float]] = {}
         #: Deterministic event log: (time, event, pod, host) rows.
         self.trace: list[tuple[float, str, str, str]] = []
 
@@ -134,6 +143,16 @@ class Cluster:
 
     # -- main loop ------------------------------------------------------------
 
+    def attach_telemetry(self, collector) -> None:
+        """Attach a :class:`repro.obs.fleet.FleetCollector`.
+
+        The collector is driven at every epoch barrier by pure reads —
+        it never schedules events inside host worlds, so attaching it
+        cannot perturb the simulation or its digests.
+        """
+        self.telemetry = collector
+        collector.bind(self)
+
     def run(self, *, until: float) -> None:
         """Advance all hosts in lockstep epochs to ``until``."""
         while self.now < until - _EPS:
@@ -146,6 +165,8 @@ class Cluster:
             self._sample_epoch(epoch_len)
             if self.params.migration:
                 self._rebalance()
+            if self.telemetry is not None:
+                self.telemetry.on_epoch(self, epoch_len)
 
     # -- scheduling -----------------------------------------------------------
 
@@ -209,6 +230,10 @@ class Cluster:
         demand = spec.demand_at(self.now)
         cspec = pod_container_spec(spec.name, spec, demand)
         container = host.world.containers.create(cspec)
+        # Incarnation 0 of the pod's span chain; migrations extend it
+        # with follows-linked drain/readmit/lifetime spans.
+        host.world.trace.annotate_span(container.life_span, pod=spec.name,
+                                       incarnation=0)
         host.world.mm.charge(container.cgroup, spec.mem_demand)
         pod = PlacedPod(spec, host, container, self.now)
         start_pod_workload(pod)
@@ -234,6 +259,7 @@ class Cluster:
         m.epochs += 1
         attained_total = 0.0
         demand_total = 0.0
+        self.last_epoch_attained = {}
         for pod in self.placed.values():
             total = pod.total_cpu_time
             attained = (total - pod.last_cpu_time) / epoch_len
@@ -246,6 +272,7 @@ class Cluster:
             m.pod_epochs += 1
             demand_total += pod.demand
             attained_total += min(attained, pod.demand)
+            self.last_epoch_attained[pod.name] = (attained, pod.demand)
             if attained + _EPS < self.params.slo_frac * pod.demand:
                 pod.violation_epochs += 1
                 m.violations += 1

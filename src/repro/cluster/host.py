@@ -21,12 +21,15 @@ class Host:
 
     def __init__(self, name: str, *, ncpus: int, memory: int, seed: int = 0,
                  view_update_period: float | None = 1.0,
-                 engine: str = "incremental"):
+                 engine: str = "incremental", trace: bool = False):
         self.name = name
         self.world = World(ncpus, memory,
                            seed=derive_seed("cluster-host", name, seed),
                            sys_ns_update_period=view_update_period,
-                           engine=engine)
+                           engine=engine, trace=trace)
+        # Stable span addressing: this host's spans are "<name>:<id>",
+        # which is what migration chains reference across re-homes.
+        self.world.trace.log_id = name
         self.pods: dict[str, PlacedPod] = {}
         #: Declared request totals (the static scheduler's ledger).
         self.requested_cpu = 0.0

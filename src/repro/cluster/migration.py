@@ -71,7 +71,16 @@ def start_pod_workload(pod: PlacedPod) -> None:
 
 
 def migrate(placed: PlacedPod, dst: Host) -> MigrationRecord:
-    """Move ``placed`` from its current host to ``dst``."""
+    """Move ``placed`` from its current host to ``dst``.
+
+    When tracing is enabled the move leaves a causally-linked span
+    chain behind: the source's ``migration.drain`` span carries a
+    ``follows`` link to the pod's ending ``container.lifetime`` span,
+    the target's ``migration.readmit`` follows the drain, and the new
+    lifetime span follows the readmit — so a pod's whole history reads
+    as one chain however many times it re-homes
+    (:func:`repro.check.check_span_tree` audits exactly this).
+    """
     src = placed.host
     if src is dst:
         raise ClusterError(
@@ -80,24 +89,39 @@ def migrate(placed: PlacedPod, dst: Host) -> MigrationRecord:
     cg = placed.container.cgroup
     bytes_moved = cg.memory.usage_in_bytes
     cpu_at = cg.total_cpu_time
+    incarnation = placed.migrations
 
     # Drain: tear down on the source.  destroy() exits the thread,
     # uncharges every byte, and folds the cgroup's CPU time into the
     # source root's retired ledger — per-host conservation holds.
+    drain = world_src.trace.begin_span(
+        "migration.drain", placed.name, dst=dst.name,
+        incarnation=incarnation,
+        follows=world_src.trace.gid(placed.container.life_span))
     world_src.containers.destroy(placed.container)
     src.account_remove(placed)
     placed.cpu_time_retired += cpu_at
+    world_src.trace.end_span(drain, bytes_moved=bytes_moved,
+                             cpu_time=cpu_at)
 
     # Re-admit on the target with the *live* demand quota.
+    readmit = world_dst.trace.begin_span(
+        "migration.readmit", placed.name, src=src.name,
+        incarnation=incarnation + 1,
+        follows=world_src.trace.gid(drain))
     spec = pod_container_spec(placed.name, placed.spec, placed.demand)
     container = world_dst.containers.create(spec)
     world_dst.mm.charge(container.cgroup, bytes_moved)
+    world_dst.trace.annotate_span(
+        container.life_span, pod=placed.name, incarnation=incarnation + 1,
+        follows=world_dst.trace.gid(readmit))
     placed.container = container
     placed.host = dst
     placed.migrations += 1
     placed.bytes_migrated += bytes_moved
     dst.account_add(placed)
     start_pod_workload(placed)
+    world_dst.trace.end_span(readmit, bytes_moved=bytes_moved)
 
     return MigrationRecord(pod=placed.name, src=src.name, dst=dst.name,
                            time=world_dst.now, bytes_moved=bytes_moved,

@@ -161,14 +161,24 @@ def generate_pods(config: dict) -> list[tuple[int, dict]]:
 # Trials
 # ---------------------------------------------------------------------------
 
-def _placement_trial(config: dict) -> dict:
-    from repro.check import check_cluster
-    from repro.cluster import Cluster, ClusterParams, PodSpec
+def build_placement_cluster(config: dict, *, trace: bool = False):
+    """The placement trial's cluster, before any pod is submitted.
 
-    cluster = Cluster(ClusterParams(
+    Shared with ``benchmarks/bench_cluster.py``'s profile mode, which
+    needs to instrument the cluster between construction and the run.
+    """
+    from repro.cluster import Cluster, ClusterParams
+
+    return Cluster(ClusterParams(
         n_hosts=config["hosts"], host_ncpus=config["host_ncpus"],
         host_memory=config["host_memory"], epoch=config["epoch"],
-        strategy=config["policy"], seed=config["seed"]))
+        strategy=config["policy"], seed=config["seed"], trace=trace))
+
+
+def drive_placement(cluster, config: dict) -> None:
+    """Run the arrival/epoch loop of a placement trial to its horizon."""
+    from repro.cluster import PodSpec
+
     population = generate_pods(config)
     epoch = config["epoch"]
     horizon = config["horizon"]
@@ -178,6 +188,16 @@ def _placement_trial(config: dict) -> dict:
             if arrival == e:
                 cluster.submit(PodSpec(**kwargs))
         cluster.run(until=(e + 1) * epoch)
+
+
+def _placement_trial(config: dict) -> dict:
+    from repro.check import check_cluster
+
+    # Tracing on: the span-tree audit in check_cluster then validates
+    # the migration-following span chains (and tracing is passive, so
+    # the digest contract with jobs=N workers is unaffected).
+    cluster = build_placement_cluster(config, trace=True)
+    drive_placement(cluster, config)
     summary = cluster.summary()
     summary["violations"] = check_cluster(cluster)
     return summary

@@ -33,7 +33,8 @@ from repro.metrics import Histogram, MetricsRecorder
 from repro.units import gib, mib
 from repro.world import World
 
-__all__ = ["DemoTelemetry", "run_demo"]
+__all__ = ["DemoTelemetry", "run_demo", "build_fleet_cluster",
+           "run_fleet_demo"]
 
 
 @dataclass
@@ -108,3 +109,75 @@ def run_demo(seed: int = 0, *, quick: bool = False) -> DemoTelemetry:
     return DemoTelemetry(world=world, recorder=recorder,
                          histograms=histograms,
                          containers=[throttled, free, memhog])
+
+
+def build_fleet_cluster(seed: int = 0, *, quick: bool = False,
+                        trace: bool = False, n_hosts: int | None = None,
+                        host_ncpus: int | None = None,
+                        n_pods: int | None = None,
+                        horizon: float | None = None):
+    """A small over-committed cluster for the fleet-telemetry surface.
+
+    Deterministic per seed.  Demands are lognormal-ish with a few
+    mid-run bursters, sized so some hosts cross the hot threshold and
+    the rebalancer actually migrates pods — every fleet signal (PSI,
+    stretch, migrations, oscillations) has something to show.  The size
+    overrides let ``benchmarks/bench_obs.py`` run the same scenario at
+    a density where engine work dominates the wall clock.
+    """
+    from repro.cluster import Cluster, ClusterParams, PodSpec
+    from repro.sim.rng import RngFactory
+
+    n_hosts = n_hosts or (3 if quick else 4)
+    ncpus = host_ncpus or (4 if quick else 8)
+    n_pods = n_pods or (12 if quick else 32)
+    cluster = Cluster(ClusterParams(
+        n_hosts=n_hosts, host_ncpus=ncpus, host_memory=gib(8),
+        epoch=1.0, seed=seed, trace=trace, hot_frac=0.8))
+    rng = RngFactory(seed).stream("obs.fleet.pods")
+    horizon = horizon if horizon is not None else fleet_horizon(quick)
+    for i in range(n_pods):
+        # Mean ~0.55 cores: the fleet idles around 55–65% so bursts make
+        # *some* hosts hot while others can still absorb migrations.
+        demand = min(3.0, max(0.1, round(
+            0.55 * float(rng.lognormal(-0.32, 0.8)), 3)))
+        mem = int(min(gib(1), max(mib(32),
+                                  mib(128) * float(rng.lognormal(-0.32, 0.8)))))
+        kwargs = dict(name=f"pod{i:03d}",
+                      cpu_request=round(demand * 1.4, 3),
+                      mem_request=int(mem * 1.5),
+                      cpu_demand=demand, mem_demand=mem)
+        if i % 5 == 0:
+            # Bursters: demand triples mid-run, manufacturing hot hosts.
+            kwargs["burst_demand"] = min(4.0, round(demand * 3.0, 3))
+            kwargs["burst_at"] = round(0.3 * horizon + (i % 7), 3)
+        cluster.submit(PodSpec(**kwargs))
+    return cluster
+
+
+def fleet_horizon(quick: bool) -> float:
+    """Simulated seconds the fleet demo runs for."""
+    return 12.0 if quick else 40.0
+
+
+def run_fleet_demo(seed: int = 0, *, quick: bool = False, collector=None,
+                   profiler=None):
+    """Build and run the fleet scenario; returns the finished cluster.
+
+    ``collector`` (a :class:`~repro.obs.fleet.FleetCollector`) and
+    ``profiler`` (an :class:`~repro.obs.profile.EngineProfiler`) are
+    attached before the run when given; both are passive, so the
+    cluster's trace digest is identical whichever combination is on.
+    """
+    cluster = build_fleet_cluster(seed, quick=quick,
+                                  trace=collector is not None)
+    if collector is not None:
+        cluster.attach_telemetry(collector)
+    if profiler is not None:
+        profiler.attach_cluster(cluster)
+    cluster.run(until=fleet_horizon(quick))
+    if collector is not None:
+        collector.finish()
+    if profiler is not None:
+        profiler.detach()
+    return cluster

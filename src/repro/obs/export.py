@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import re
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import IO, TYPE_CHECKING
 
 from repro.errors import ReproError
 from repro.metrics import Histogram, MetricsRecorder, Series
@@ -33,7 +34,8 @@ from repro.tracelog import TraceEvent, TraceLog, TraceSpan
 if TYPE_CHECKING:  # pragma: no cover
     from repro.world import World
 
-__all__ = ["prometheus_text", "jsonl_export", "jsonl_import", "TelemetryDump"]
+__all__ = ["prometheus_text", "jsonl_export", "jsonl_import",
+           "TelemetryDump", "JsonlStreamWriter"]
 
 _UNSAFE = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -156,6 +158,10 @@ class TelemetryDump:
     events: list[TraceEvent] = field(default_factory=list)
     spans: list[TraceSpan] = field(default_factory=list)
     pressure: dict[str, dict] = field(default_factory=dict)
+    #: Streamed per-epoch fleet rollups (kind="fleet_epoch"), in order.
+    fleet_epochs: list[dict] = field(default_factory=list)
+    #: Engine profiler reports (kind="profile"), in order.
+    profiles: list[dict] = field(default_factory=list)
 
     def to_jsonl(self) -> str:
         return "".join(_dump_line(r) + "\n" for r in self.records)
@@ -230,8 +236,161 @@ def jsonl_import(text: str) -> TelemetryDump:
         elif kind == "pressure":
             dump.pressure[record["cgroup"]] = {
                 "cpu": record["cpu"], "memory": record["memory"]}
+        elif kind == "series_chunk":
+            # Incrementally-streamed series tail: chunks concatenate in
+            # file order, so a re-exported recorder reloads whole.
+            series = dump.series.get(record["name"])
+            if series is None:
+                series = Series(name=record["name"], times=[], values=[])
+                dump.series[record["name"]] = series
+            series.times.extend(record["times"])
+            series.values.extend(record["values"])
+        elif kind == "fleet_epoch":
+            dump.fleet_epochs.append(record)
+        elif kind == "profile":
+            dump.profiles.append(record)
         else:
             raise ReproError(f"unknown telemetry record kind {kind!r} "
                              f"at line {lineno}")
         dump.records.append(record)
     return dump
+
+
+# -- streaming --------------------------------------------------------------
+
+
+class JsonlStreamWriter:
+    """Incremental JSONL telemetry sink with a durability contract.
+
+    Records buffer in memory and spill to the underlying file every
+    ``buffer_records`` writes; leaving the writer as a context manager
+    (or calling :meth:`close`) flushes the tail and ``fsync``\\ s the
+    file, so an interrupted run keeps every record up to the last write
+    instead of silently truncating at an OS buffer boundary.
+
+    The writer keeps per-object cursors, so telemetry sources can be
+    exported *repeatedly* as a run progresses: :meth:`export_recorder`
+    streams only the samples appended since the previous call (as
+    ``series_chunk`` records that :func:`jsonl_import` concatenates
+    back into whole series), and :meth:`export_tracelog` streams only
+    new events and newly-closed spans.  Re-exporting an
+    already-streamed source is therefore additive — never a duplicate,
+    never a truncation.
+    """
+
+    def __init__(self, path_or_file: "str | os.PathLike | IO[str]", *,
+                 buffer_records: int = 256):
+        if buffer_records < 1:
+            raise ReproError(
+                f"buffer_records must be >= 1, got {buffer_records}")
+        if hasattr(path_or_file, "write"):
+            self._fh: IO[str] = path_or_file  # type: ignore[assignment]
+            self._owns_fh = False
+        else:
+            self._fh = open(path_or_file, "w")
+            self._owns_fh = True
+        self._buffer: list[str] = []
+        self._buffer_records = buffer_records
+        self._series_cursors: dict[int, dict[str, int]] = {}
+        self._trace_cursors: dict[int, dict[str, int]] = {}
+        self.records_written = 0
+        self.flushes = 0
+        self.closed = False
+
+    # -- core -------------------------------------------------------------
+
+    def write_record(self, record: dict) -> None:
+        """Queue one JSON record; spills at the buffer watermark."""
+        if self.closed:
+            raise ReproError("write_record on a closed JsonlStreamWriter")
+        self._buffer.append(_dump_line(record) + "\n")
+        self.records_written += 1
+        if len(self._buffer) >= self._buffer_records:
+            self.flush()
+
+    def flush(self, *, sync: bool = False) -> None:
+        """Drain the buffer to the file; ``sync=True`` also fsyncs."""
+        if self._buffer:
+            self._fh.write("".join(self._buffer))
+            self._buffer.clear()
+            self.flushes += 1
+        self._fh.flush()
+        if sync:
+            try:
+                os.fsync(self._fh.fileno())
+            except (OSError, ValueError, AttributeError):
+                pass  # in-memory sinks (StringIO) have no fd to sync
+
+    def close(self) -> None:
+        """Flush, fsync, and (for paths we opened) close the file."""
+        if self.closed:
+            return
+        self.flush(sync=True)
+        if self._owns_fh:
+            self._fh.close()
+        self.closed = True
+
+    def __enter__(self) -> "JsonlStreamWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- incremental sources ----------------------------------------------
+
+    def export_recorder(self, recorder: MetricsRecorder) -> int:
+        """Stream samples appended since this recorder's last export.
+
+        Returns the number of chunk records written.  The first call
+        streams every sample; later calls stream only the new tail, so
+        re-exporting mid-run and again at end-of-run loses nothing and
+        duplicates nothing.
+        """
+        cursors = self._series_cursors.setdefault(id(recorder), {})
+        written = 0
+        for name in recorder.names():
+            series = recorder.series(name)
+            start = cursors.get(name, 0)
+            if len(series.times) <= start:
+                continue
+            self.write_record({"kind": "series_chunk", "name": name,
+                               "seq": start,
+                               "times": list(series.times[start:]),
+                               "values": list(series.values[start:])})
+            cursors[name] = len(series.times)
+            written += 1
+        return written
+
+    def export_histograms(self, histograms: dict[str, Histogram]) -> int:
+        """Stream a snapshot of each histogram (latest supersedes)."""
+        for name in sorted(histograms):
+            self.write_record({"kind": "histogram",
+                               **histograms[name].to_dict()})
+        return len(histograms)
+
+    def export_tracelog(self, tracelog: TraceLog) -> int:
+        """Stream events and closed spans added since the last export."""
+        cursors = self._trace_cursors.setdefault(
+            id(tracelog), {"events": 0, "spans": 0})
+        written = 0
+        events = tracelog.events()
+        emitted_total = len(events) + tracelog.dropped
+        start = max(0, cursors["events"] - tracelog.dropped)
+        for event in events[start:]:
+            self.write_record({"kind": "event", "time": event.time,
+                               "category": event.category,
+                               "message": event.message,
+                               "fields": event.fields})
+            written += 1
+        cursors["events"] = emitted_total
+        spans = tracelog.spans()
+        closed_total = len(spans) + tracelog.spans_dropped
+        start = max(0, cursors["spans"] - tracelog.spans_dropped)
+        for span in spans[start:]:
+            self.write_record({"kind": "span", "id": span.span_id,
+                               "category": span.category,
+                               "message": span.message, "start": span.start,
+                               "end": span.end, "fields": span.fields})
+            written += 1
+        cursors["spans"] = closed_total
+        return written

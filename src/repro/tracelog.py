@@ -76,15 +76,24 @@ class TraceSpan:
 
 
 class TraceLog:
-    """Bounded, filterable event log bound to a clock."""
+    """Bounded, filterable event log bound to a clock.
 
-    def __init__(self, clock, *, capacity: int = 10_000, enabled: bool = False):
+    A log may carry a stable ``log_id`` (the cluster layer uses the host
+    name): span ids are then globally addressable as ``log_id:span_id``
+    via :meth:`gid`, which is what lets a pod's spans reference each
+    other *across* hosts — the causal links the migration-following
+    span chains are built from.
+    """
+
+    def __init__(self, clock, *, capacity: int = 10_000, enabled: bool = False,
+                 log_id: str = ""):
         if capacity < 1:
             raise ReproError(f"trace capacity must be >= 1, got {capacity}")
         self._clock = clock
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self.enabled = enabled
         self.dropped = 0
+        self.log_id = log_id
         self._listeners: list[Callable[[TraceEvent], None]] = []
         self._spans: deque[TraceSpan] = deque(maxlen=capacity)
         self._open_spans: dict[int, TraceSpan] = {}
@@ -138,6 +147,31 @@ class TraceLog:
             self.spans_dropped += 1
         self._spans.append(span)
         return span
+
+    def annotate_span(self, span_id: int, **fields: Any) -> TraceSpan | None:
+        """Merge extra fields into a still-open span.
+
+        Like :meth:`end_span`, unknown ids (including the 0 handed out
+        while disabled) are a silent no-op, so callers can annotate
+        unconditionally.
+        """
+        span = self._open_spans.get(span_id)
+        if span is None:
+            return None
+        span.fields.update(fields)
+        return span
+
+    def gid(self, span_id: int) -> str:
+        """The globally stable address of a span: ``log_id:span_id``.
+
+        Span ids are only unique within one log; prefixing with the
+        log's stable id makes them addressable across a fleet of
+        worlds.  Returns ``""`` for the 0 id of disabled tracing so
+        links built while tracing is off stay inert.
+        """
+        if span_id == 0:
+            return ""
+        return f"{self.log_id}:{span_id}"
 
     @contextmanager
     def span(self, category: str, message: str, **fields: Any):

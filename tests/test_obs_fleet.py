@@ -1,0 +1,292 @@
+"""Fleet telemetry pipeline, engine self-profiler, and span-tree audit.
+
+Three contracts pinned here:
+
+* **exactness** — merging N per-host histograms equals histogramming
+  the concatenated samples (the property that makes fleet rollups
+  lossless), and the ring series bound memory without corrupting the
+  retained window;
+* **passivity** — attaching the fleet collector or the engine profiler
+  leaves the cluster's placement trace digest byte-identical, and
+  detaching the profiler restores every wrapped method;
+* **causality** — migration-following spans form valid chains that
+  :func:`repro.check.span_tree.check_span_tree` accepts on real runs
+  and rejects once corrupted.
+"""
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.check.span_tree import check_span_tree
+from repro.errors import ReproError
+from repro.metrics import Histogram, Series
+from repro.obs.demo import build_fleet_cluster, fleet_horizon, run_fleet_demo
+from repro.obs.export import JsonlStreamWriter
+from repro.obs.fleet import (FLEET_SERIES, FleetCollector,
+                             FleetTelemetryParams, RingSeries,
+                             format_epoch_line)
+from repro.obs.profile import SUBSYSTEMS, EngineProfiler
+
+
+def _quick_run(seed=0, **kwargs):
+    cluster = build_fleet_cluster(seed, quick=True, **kwargs)
+    cluster.run(until=fleet_horizon(True))
+    return cluster
+
+
+class TestHistogramMerge:
+    def _hist(self, name="h"):
+        return Histogram(name, lo=1e-3, hi=1e3, per_decade=5)
+
+    def test_merge_of_hosts_equals_concatenated_samples(self):
+        rng = random.Random(7)
+        per_host = [[rng.lognormvariate(0.0, 1.5) for _ in range(50)]
+                    for _ in range(4)]
+        fleet = self._hist("fleet")
+        for i, samples in enumerate(per_host):
+            host = Histogram.like(fleet, f"host{i}")
+            host.record_many(samples)
+            fleet.merge(host)
+        concat = self._hist("concat")
+        for samples in per_host:
+            concat.record_many(samples)
+        assert fleet.counts == concat.counts
+        assert fleet.count == concat.count == 200
+        assert fleet.total == pytest.approx(concat.total)
+        assert fleet.vmin == concat.vmin
+        assert fleet.vmax == concat.vmax
+        for q in (50.0, 90.0, 99.0):
+            assert fleet.quantile(q) == concat.quantile(q)
+
+    def test_merge_is_associative_across_epoch_rollups(self):
+        # The collector folds hosts into an epoch rollup, then the
+        # rollup into the cumulative histogram; same counts either way.
+        rng = random.Random(11)
+        chunks = [[rng.lognormvariate(0.0, 1.0) for _ in range(20)]
+                  for _ in range(6)]
+        direct = self._hist("direct")
+        staged = self._hist("staged")
+        for pair in (chunks[:3], chunks[3:]):
+            epoch = Histogram.like(staged, "epoch")
+            for chunk in pair:
+                host = Histogram.like(staged, "host")
+                host.record_many(chunk)
+                direct.merge(host)
+                epoch.merge(host)
+            staged.merge(epoch)
+        assert staged.counts == direct.counts
+        assert staged.count == direct.count
+
+    def test_like_shares_layout_and_merges(self):
+        ref = self._hist()
+        clone = Histogram.like(ref, "clone")
+        assert clone.bounds == ref.bounds
+        assert clone.count == 0 and clone.total == 0.0
+        clone.record(1.0)
+        ref.merge(clone)  # layout-compatible by construction
+        assert ref.count == 1
+
+    def test_merge_rejects_different_layouts(self):
+        a = Histogram("a", lo=1e-3, hi=1e3, per_decade=5)
+        b = Histogram("b", lo=1e-2, hi=1e3, per_decade=5)
+        with pytest.raises(ReproError, match="bucket layouts"):
+            a.merge(b)
+
+    def test_record_many_matches_repeated_record(self):
+        values = [0.01, 0.5, 2.0, 150.0, 0.0005, 5e4]  # under+overflow
+        one = self._hist("one")
+        many = self._hist("many")
+        for v in values:
+            one.record(v)
+        many.record_many(values)
+        assert many.counts == one.counts
+        assert many.count == one.count
+        assert many.total == pytest.approx(one.total)
+        assert many.vmin == one.vmin and many.vmax == one.vmax
+
+    def test_record_many_rejects_negative(self):
+        hist = self._hist()
+        with pytest.raises(ReproError, match="negative"):
+            hist.record_many([1.0, -0.5])
+
+
+class TestSeriesPercentile:
+    def test_empty_raises(self):
+        empty = Series(name="s", times=[], values=[])
+        with pytest.raises(ReproError, match="empty"):
+            empty.percentile(50.0)
+
+    def test_singleton(self):
+        single = Series(name="s", times=[1.0], values=[42.0])
+        for q in (1.0, 50.0, 99.0, 100.0):
+            assert single.percentile(q) == 42.0
+
+
+class TestRingSeries:
+    def test_bounded_with_drop_accounting(self):
+        ring = RingSeries("r", capacity=4)
+        for i in range(10):
+            ring.append(float(i), float(i * 10))
+        assert len(ring) == 4
+        assert ring.total_samples == 10
+        assert ring.dropped == 6
+        assert ring.last == 90.0
+        snap = ring.snapshot()
+        assert snap.times == [6.0, 7.0, 8.0, 9.0]
+        assert snap.values == [60.0, 70.0, 80.0, 90.0]
+
+    def test_validation_and_empty(self):
+        with pytest.raises(ReproError, match="capacity"):
+            RingSeries("r", capacity=0)
+        with pytest.raises(ReproError, match="empty"):
+            _ = RingSeries("r", capacity=1).last
+
+
+class TestFleetCollector:
+    def test_telemetry_is_passive_digest_identical(self):
+        bare = _quick_run(seed=0, trace=False)
+        collector = FleetCollector()
+        instrumented = build_fleet_cluster(0, quick=True, trace=True)
+        instrumented.attach_telemetry(collector)
+        instrumented.run(until=fleet_horizon(True))
+        collector.finish()
+        assert instrumented.trace_digest() == bare.trace_digest()
+        assert collector.epochs == int(fleet_horizon(True))
+
+    def test_same_seed_runs_produce_identical_records(self):
+        records = []
+        for _ in range(2):
+            collector = FleetCollector()
+            run_fleet_demo(seed=2, quick=True, collector=collector)
+            records.append(list(collector.epoch_records))
+        assert records[0] == records[1]
+
+    def test_streams_every_epoch_record_as_jsonl(self):
+        sink_file = io.StringIO()
+        sink = JsonlStreamWriter(sink_file, buffer_records=8)
+        collector = FleetCollector(
+            FleetTelemetryParams(flush_watermark=4), sink=sink)
+        run_fleet_demo(seed=0, quick=True, collector=collector)
+        assert collector.records_streamed == collector.epochs
+        lines = [json.loads(line) for line in
+                 sink_file.getvalue().splitlines()]
+        epochs = [rec for rec in lines if rec.get("kind") == "fleet_epoch"]
+        assert [rec["epoch"] for rec in epochs] == \
+            list(range(1, collector.epochs + 1))
+        # finish() also streams the cumulative histogram snapshots.
+        hist_names = {rec.get("name") for rec in lines
+                      if rec.get("kind") == "histogram"}
+        assert {"fleet.e_cpu", "fleet.stretch",
+                "fleet.e_mem_frac"} <= hist_names
+
+    def test_ring_bounds_memory(self):
+        collector = FleetCollector(FleetTelemetryParams(
+            ring_capacity=5, flush_watermark=3))
+        run_fleet_demo(seed=0, quick=True, collector=collector)
+        assert collector.epochs > 5
+        assert len(collector.epoch_records) == 5
+        # No sink: the pending buffer must stay bounded too.
+        assert len(collector._pending) <= 5
+        ring = collector.series["fleet.pods"]
+        assert len(ring) == 5
+        assert ring.dropped == collector.epochs - 5
+
+    def test_signals_and_summary(self):
+        collector = FleetCollector()
+        cluster = run_fleet_demo(seed=0, quick=True, collector=collector)
+        summary = collector.summary()
+        assert summary["epochs"] == collector.epochs
+        assert summary["pod_epoch_samples"] > 0
+        assert summary["e_cpu_p50"] > 0
+        assert summary["migrations"] == len(cluster.migration_records) > 0
+        for name in FLEET_SERIES:
+            assert len(collector.fleet_series(name)) == min(
+                collector.epochs, collector.params.ring_capacity)
+        with pytest.raises(ReproError, match="no fleet series"):
+            collector.fleet_series("fleet.nope")
+        line = format_epoch_line(collector.epoch_records[-1])
+        for token in ("epoch", "pods=", "p99_stretch=", "attain=",
+                      "migrations="):
+            assert token in line
+
+    def test_rebind_to_other_cluster_rejected(self):
+        collector = FleetCollector()
+        first = build_fleet_cluster(0, quick=True, trace=True)
+        first.attach_telemetry(collector)
+        other = build_fleet_cluster(1, quick=True, trace=True)
+        with pytest.raises(ReproError, match="already bound"):
+            other.attach_telemetry(collector)
+
+    def test_params_validation(self):
+        with pytest.raises(ReproError, match="ring_capacity"):
+            FleetTelemetryParams(ring_capacity=0)
+        with pytest.raises(ReproError, match="flush_watermark"):
+            FleetTelemetryParams(flush_watermark=0)
+
+
+class TestEngineProfiler:
+    def test_profiler_is_passive_and_detaches_cleanly(self):
+        bare = _quick_run(seed=0, trace=True)
+        profiled = build_fleet_cluster(0, quick=True, trace=True)
+        profiler = EngineProfiler(flight_every=256)
+        profiler.attach_cluster(profiled)
+        profiled.run(until=fleet_horizon(True))
+        profiler.detach()
+        assert profiled.trace_digest() == bare.trace_digest()
+        # Wrapped methods are restored: no instance-level shadows left.
+        for host in profiled.hosts:
+            world = host.world
+            for obj, attrs in ((world, ("run", "run_until")),
+                               (world.sched, ("reallocate", "advance"))):
+                for attr in attrs:
+                    assert attr not in obj.__dict__
+
+    def test_report_attributes_subsystems(self):
+        profiler = EngineProfiler(flight_every=128)
+        run_fleet_demo(seed=0, quick=True, profiler=profiler)
+        report = profiler.report()
+        assert report["kind"] == "profile"
+        assert set(report["subsystems"]) == set(SUBSYSTEMS)
+        assert report["subsystems"]["fair_solver"]["calls"] > 0
+        assert report["subsystems"]["psi_accrual"]["calls"] > 0
+        assert report["steps"] > 0
+        assert report["wall_s"] > 0
+        attributed = sum(b["wall_s"] for b in report["subsystems"].values())
+        assert attributed + report["unattributed_s"] == \
+            pytest.approx(report["wall_s"], rel=1e-6)
+        table = profiler.format_report()
+        assert "fair_solver" in table and "steps/s" in table
+
+    def test_detach_is_idempotent_and_reports_frozen_wall(self):
+        profiler = EngineProfiler()
+        run_fleet_demo(seed=0, quick=True, profiler=profiler)
+        wall = profiler.report()["wall_s"]
+        profiler.detach()  # second detach: no-op
+        assert profiler.report()["wall_s"] == wall
+
+
+class TestSpanTree:
+    def test_real_run_has_valid_migration_chains(self):
+        cluster = _quick_run(seed=0, trace=True)
+        assert len(cluster.migration_records) > 0
+        assert check_span_tree(cluster) == []
+
+    def test_corrupted_follows_link_detected(self):
+        cluster = _quick_run(seed=0, trace=True)
+        drains = [span for host in cluster.hosts
+                  for span in host.world.trace.spans(
+                      category="migration.drain", include_open=True)]
+        assert drains
+        drains[0].fields["follows"] = "host99:424242"
+        violations = check_span_tree(cluster)
+        assert violations
+        assert any("follows" in v for v in violations)
+
+    def test_tracing_off_is_reported(self):
+        cluster = _quick_run(seed=0, trace=False)
+        violations = check_span_tree(cluster)
+        assert violations
+        assert any("tracing" in v for v in violations)

@@ -43,12 +43,18 @@ from repro.world import World  # noqa: E402
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_engine.json"
 
 
-def _make_world(ncpus: int, seed: int, engine: str | None) -> World:
+def _make_world(ncpus: int, seed: int, engine: str | None,
+                sched_policy: str = "default",
+                reclaim_policy: str = "default") -> World:
     """Build a world, tolerating pre-refactor Worlds without ``engine``."""
+    kwargs = {}
+    if sched_policy != "default" or reclaim_policy != "default":
+        kwargs = {"sched_policy": sched_policy,
+                  "reclaim_policy": reclaim_policy}
     if engine is None:
-        return World(ncpus=ncpus, seed=seed)
+        return World(ncpus=ncpus, seed=seed, **kwargs)
     try:
-        return World(ncpus=ncpus, seed=seed, engine=engine)
+        return World(ncpus=ncpus, seed=seed, engine=engine, **kwargs)
     except TypeError:
         # Pre-refactor engine: only the (then unnamed) scan mode exists.
         return World(ncpus=ncpus, seed=seed)
@@ -71,12 +77,14 @@ def _finish_profile(profiler, record: dict) -> None:
 
 
 def run_fleet(*, quick: bool = False, engine: str | None = None,
-              seed: int = 7, profile: bool = False) -> dict:
+              seed: int = 7, profile: bool = False,
+              sched_policy: str = "default",
+              reclaim_policy: str = "default") -> dict:
     """Dense serve fleet: replicas x workers under Poisson traffic."""
     replicas_n = 16 if quick else 64
     duration = 2.0 if quick else 6.0
     rate = 250.0 if quick else 600.0
-    world = _make_world(32, seed, engine)
+    world = _make_world(32, seed, engine, sched_policy, reclaim_policy)
     profiler = _make_profiler(profile, world)
     workload = ServiceWorkload(name="fe", mean_demand=0.02, demand_cv=0.5,
                                workers_per_replica=3, queue_capacity=128,
@@ -115,12 +123,14 @@ def run_fleet(*, quick: bool = False, engine: str | None = None,
 
 
 def run_churn(*, quick: bool = False, engine: str | None = None,
-              seed: int = 11, profile: bool = False) -> dict:
+              seed: int = 11, profile: bool = False,
+              sched_policy: str = "default",
+              reclaim_policy: str = "default") -> dict:
     """200 concurrent containers with steady create/destroy churn."""
     n_containers = 60 if quick else 200
     duration = 1.5 if quick else 4.0
     churn_period = 0.025
-    world = _make_world(48, seed, engine)
+    world = _make_world(48, seed, engine, sched_policy, reclaim_policy)
     profiler = _make_profiler(profile, world)
 
     serial = [0]

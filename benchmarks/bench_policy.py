@@ -1,0 +1,75 @@
+"""Policy-boundary benchmark: the fleet scenario under each policy bundle.
+
+Runs ``bench_engine``'s dense serving fleet on the incremental engine
+under the built-in policy bundles (``default``, ``burstable``,
+``intent``) and records steps, wall clock and throughput per bundle.
+Two things are being gated:
+
+* **Indirection cost** — the pluggable SchedPolicy/ReclaimPolicy
+  boundary adds a method dispatch per domain solve / reclaim plan; the
+  throughput floor catches that dispatch growing into real work.
+* **Default-policy identity** — under the ``default`` bundle the step
+  count must exactly match the committed baseline (and the ``fleet``
+  scenario of ``BENCH_engine.json``): the boundary refactor must not
+  change the default engine's event sequence.
+
+Run directly to produce ``BENCH_policy.json``::
+
+    PYTHONPATH=src python benchmarks/bench_policy.py --quick
+
+``benchmarks/check_policy_regression.py`` compares a fresh run against
+the committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import bench_engine  # noqa: E402
+
+from repro.policy import resolve_bundle  # noqa: E402
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_policy.json"
+
+#: Bundles the benchmark sweeps, in report order.
+BUNDLES = ("default", "burstable", "intent")
+
+
+def run_all(*, quick: bool, bundles: tuple[str, ...] = BUNDLES) -> dict:
+    results: dict[str, dict] = {}
+    for bundle in bundles:
+        sched, reclaim = resolve_bundle(bundle)
+        key = f"fleet[{bundle}]"
+        rec = bench_engine.run_fleet(quick=quick, engine="incremental",
+                                     sched_policy=sched,
+                                     reclaim_policy=reclaim)
+        rec["bundle"] = bundle
+        rec["sched_policy"] = sched
+        rec["reclaim_policy"] = reclaim
+        results[key] = rec
+        print(f"{key}: {rec['steps']} steps in {rec['wall_s']:.2f}s "
+              f"-> {rec['steps_per_sec']:.0f} steps/s", file=sys.stderr)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="smaller scenarios for CI smoke runs")
+    ap.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = ap.parse_args(argv)
+    results = run_all(quick=args.quick)
+    payload = {"benchmark": "bench_policy", "quick": args.quick,
+               "scenarios": results}
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

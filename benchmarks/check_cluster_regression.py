@@ -26,18 +26,14 @@ world), not a microbenchmark gate. ::
 from __future__ import annotations
 
 import argparse
-import json
-import sys
 from pathlib import Path
+
+import gate
 
 BASELINE = Path(__file__).resolve().parent / "BENCH_cluster.json"
 
-#: Fail when a wall clock exceeds baseline times this factor.
-MAX_SLOWDOWN = 2.0
-
-#: Absolute grace added to every ceiling: sub-100ms walls (the quick
-#: placement sweep) would otherwise gate on scheduler noise.
-GRACE_S = 0.25
+MAX_SLOWDOWN = gate.MAX_SLOWDOWN
+GRACE_S = gate.GRACE_S
 
 #: Require speedup >= this when >= 4 cores back the pool and the
 #: baseline serial wall is at least MIN_SERIAL_FOR_SPEEDUP_S.
@@ -53,23 +49,13 @@ def check(current_path: Path, baseline_path: Path = BASELINE,
           *, max_slowdown: float = MAX_SLOWDOWN,
           min_speedup: float = MIN_SPEEDUP_4CORE) -> list[str]:
     """Return a list of failure messages (empty = pass)."""
-    current = json.loads(current_path.read_text())
-    baseline = json.loads(baseline_path.read_text())
-    if current.get("quick") != baseline.get("quick"):
-        return [f"quick={current.get('quick')} run compared against "
-                f"quick={baseline.get('quick')} baseline; "
-                f"re-run bench_cluster.py with matching scale"]
+    current, baseline = gate.load_pair(current_path, baseline_path)
+    mismatch = gate.quick_mismatch(current, baseline, "bench_cluster.py")
+    if mismatch:
+        return mismatch
     failures: list[str] = []
-    for key, base in sorted(baseline["scenarios"].items()):
-        now = current["scenarios"].get(key)
-        if now is None:
-            failures.append(f"{key}: missing from current run")
-            continue
-        if now.get("trials") != base.get("trials"):
-            failures.append(f"{key}: trial count drifted "
-                            f"{base.get('trials')} -> {now.get('trials')} "
-                            f"(sweep definition changed; if intended, "
-                            f"regenerate the baseline)")
+    for key, base, now in gate.iter_scenarios(baseline, current, failures):
+        failures.extend(gate.trial_drift(key, base, now))
         if not now.get("digest_match", False):
             what = ("placement trace diverged between identical runs"
                     if key == "repeat" else
@@ -77,14 +63,10 @@ def check(current_path: Path, baseline_path: Path = BASELINE,
             failures.append(f"{key}: {what} (determinism regression)")
         if now.get("failures"):
             failures.append(f"{key}: {now['failures']} trial(s) failed")
-        for wall_key in _WALL_KEYS.get(key, ()):
-            ceiling = base[wall_key] * max_slowdown + GRACE_S
-            if now[wall_key] > ceiling:
-                failures.append(
-                    f"{key}: {wall_key} {now[wall_key]:.2f}s exceeds "
-                    f"{ceiling:.2f}s (baseline {base[wall_key]:.2f}s "
-                    f"x {max_slowdown:g})")
-    effective = min(current.get("jobs", 1), current.get("cpu_count") or 1)
+        failures.extend(gate.wall_ceilings(
+            key, base, now, _WALL_KEYS.get(key, ()),
+            max_slowdown=max_slowdown, grace_s=GRACE_S))
+    effective = gate.effective_cores(current)
     if effective >= 4:
         for key in ("placement", "interplay"):
             base = baseline["scenarios"].get(key, {})
@@ -110,11 +92,8 @@ def main(argv: list[str] | None = None) -> int:
     failures = check(args.current, args.baseline,
                      max_slowdown=args.max_slowdown,
                      min_speedup=args.min_speedup)
-    for message in failures:
-        print(f"FAIL {message}", file=sys.stderr)
-    if not failures:
-        print("cluster benchmark within bounds of committed baseline")
-    return 1 if failures else 0
+    return gate.report(failures,
+                       "cluster benchmark within bounds of committed baseline")
 
 
 if __name__ == "__main__":

@@ -18,31 +18,25 @@ O(world) scan creeping back in), not a microbenchmark gate. ::
 from __future__ import annotations
 
 import argparse
-import json
-import sys
 from pathlib import Path
+
+import gate
 
 BASELINE = Path(__file__).resolve().parent / "BENCH_engine.json"
 
 #: Fail when steps/sec drops below baseline divided by this factor.
-MAX_SLOWDOWN = 2.0
+MAX_SLOWDOWN = gate.MAX_SLOWDOWN
 
 
 def check(current_path: Path, baseline_path: Path = BASELINE,
           *, max_slowdown: float = MAX_SLOWDOWN) -> list[str]:
     """Return a list of failure messages (empty = pass)."""
-    current = json.loads(current_path.read_text())
-    baseline = json.loads(baseline_path.read_text())
-    if current.get("quick") != baseline.get("quick"):
-        return [f"quick={current.get('quick')} run compared against "
-                f"quick={baseline.get('quick')} baseline; "
-                f"re-run bench_engine.py with matching scale"]
+    current, baseline = gate.load_pair(current_path, baseline_path)
+    mismatch = gate.quick_mismatch(current, baseline, "bench_engine.py")
+    if mismatch:
+        return mismatch
     failures: list[str] = []
-    for key, base in sorted(baseline["scenarios"].items()):
-        now = current["scenarios"].get(key)
-        if now is None:
-            failures.append(f"{key}: missing from current run")
-            continue
+    for key, base, now in gate.iter_scenarios(baseline, current, failures):
         if now["steps"] != base["steps"]:
             failures.append(
                 f"{key}: step count drifted {base['steps']} -> "
@@ -66,11 +60,8 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
     failures = check(args.current, args.baseline,
                      max_slowdown=args.max_slowdown)
-    for message in failures:
-        print(f"FAIL {message}", file=sys.stderr)
-    if not failures:
-        print("engine benchmark within bounds of committed baseline")
-    return 1 if failures else 0
+    return gate.report(failures,
+                       "engine benchmark within bounds of committed baseline")
 
 
 if __name__ == "__main__":

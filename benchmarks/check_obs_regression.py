@@ -26,9 +26,9 @@ other benchmark gates use for shared-runner noise. ::
 from __future__ import annotations
 
 import argparse
-import json
-import sys
 from pathlib import Path
+
+import gate
 
 BASELINE = Path(__file__).resolve().parent / "BENCH_obs.json"
 
@@ -39,38 +39,27 @@ BUDGET_RATIO = 1.05
 #: jitter by tens of milliseconds on shared runners.
 BUDGET_GRACE_S = 0.10
 
-#: Fail when a wall clock exceeds baseline times this factor.
-MAX_SLOWDOWN = 2.0
-GRACE_S = 0.25
+MAX_SLOWDOWN = gate.MAX_SLOWDOWN
+GRACE_S = gate.GRACE_S
 
 
 def check(current_path: Path, baseline_path: Path = BASELINE,
           *, budget_ratio: float = BUDGET_RATIO,
           max_slowdown: float = MAX_SLOWDOWN) -> list[str]:
     """Return a list of failure messages (empty = pass)."""
-    current = json.loads(current_path.read_text())
-    baseline = json.loads(baseline_path.read_text())
-    if current.get("quick") != baseline.get("quick"):
-        return [f"quick={current.get('quick')} run compared against "
-                f"quick={baseline.get('quick')} baseline; "
-                f"re-run bench_obs.py with matching scale"]
+    current, baseline = gate.load_pair(current_path, baseline_path)
+    mismatch = gate.quick_mismatch(current, baseline, "bench_obs.py")
+    if mismatch:
+        return mismatch
     failures: list[str] = []
-    for key, base in sorted(baseline["scenarios"].items()):
-        now = current["scenarios"].get(key)
-        if now is None:
-            failures.append(f"{key}: missing from current run")
-            continue
+    for key, base, now in gate.iter_scenarios(baseline, current, failures):
         if not now.get("digest_match", False):
             failures.append(f"{key}: trace digest diverged with "
                             f"instrumentation on (passivity contract "
                             f"broke)")
-        for wall_key in ("off_wall_s", "on_wall_s"):
-            ceiling = base[wall_key] * max_slowdown + GRACE_S
-            if now[wall_key] > ceiling:
-                failures.append(
-                    f"{key}: {wall_key} {now[wall_key]:.3f}s exceeds "
-                    f"{ceiling:.3f}s (baseline {base[wall_key]:.3f}s "
-                    f"x {max_slowdown:g})")
+        failures.extend(gate.wall_ceilings(
+            key, base, now, ("off_wall_s", "on_wall_s"),
+            max_slowdown=max_slowdown, grace_s=GRACE_S, digits=3))
 
     # The committed overhead budget: always-on fleet telemetry must be
     # effectively free.  The profiler scenario is exempt (opt-in tool).
@@ -100,12 +89,9 @@ def main(argv: list[str] | None = None) -> int:
     failures = check(args.current, args.baseline,
                      budget_ratio=args.budget_ratio,
                      max_slowdown=args.max_slowdown)
-    for message in failures:
-        print(f"FAIL {message}", file=sys.stderr)
-    if not failures:
-        print("telemetry benchmark within bounds: digests identical, "
-              "overhead inside the committed budget")
-    return 1 if failures else 0
+    return gate.report(failures,
+                       "telemetry benchmark within bounds: digests identical, "
+                       "overhead inside the committed budget")
 
 
 if __name__ == "__main__":

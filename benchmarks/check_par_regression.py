@@ -24,18 +24,14 @@ microbenchmark gate. ::
 from __future__ import annotations
 
 import argparse
-import json
-import sys
 from pathlib import Path
+
+import gate
 
 BASELINE = Path(__file__).resolve().parent / "BENCH_par.json"
 
-#: Fail when a wall clock exceeds baseline times this factor.
-MAX_SLOWDOWN = 2.0
-
-#: Absolute grace added to every ceiling: sub-10ms walls (a fully warm
-#: cache pass) would otherwise gate on filesystem noise.
-GRACE_S = 0.25
+MAX_SLOWDOWN = gate.MAX_SLOWDOWN
+GRACE_S = gate.GRACE_S
 
 #: Require speedup >= this when >= 4 cores actually back the pool.
 MIN_SPEEDUP_4CORE = 1.25
@@ -49,39 +45,25 @@ def check(current_path: Path, baseline_path: Path = BASELINE,
           *, max_slowdown: float = MAX_SLOWDOWN,
           min_speedup: float = MIN_SPEEDUP_4CORE) -> list[str]:
     """Return a list of failure messages (empty = pass)."""
-    current = json.loads(current_path.read_text())
-    baseline = json.loads(baseline_path.read_text())
-    if current.get("quick") != baseline.get("quick"):
-        return [f"quick={current.get('quick')} run compared against "
-                f"quick={baseline.get('quick')} baseline; "
-                f"re-run bench_par.py with matching scale"]
+    current, baseline = gate.load_pair(current_path, baseline_path)
+    mismatch = gate.quick_mismatch(current, baseline, "bench_par.py")
+    if mismatch:
+        return mismatch
     failures: list[str] = []
-    for key, base in sorted(baseline["scenarios"].items()):
-        now = current["scenarios"].get(key)
-        if now is None:
-            failures.append(f"{key}: missing from current run")
-            continue
-        if now.get("trials") != base.get("trials"):
-            failures.append(f"{key}: trial count drifted "
-                            f"{base.get('trials')} -> {now.get('trials')} "
-                            f"(sweep definition changed; if intended, "
-                            f"regenerate the baseline)")
+    for key, base, now in gate.iter_scenarios(baseline, current, failures):
+        failures.extend(gate.trial_drift(key, base, now))
         if not now.get("digest_match", False):
             failures.append(f"{key}: serial/parallel results diverged "
                             f"(determinism regression)")
-        for wall_key in _WALL_KEYS.get(key, ()):
-            ceiling = base[wall_key] * max_slowdown + GRACE_S
-            if now[wall_key] > ceiling:
-                failures.append(
-                    f"{key}: {wall_key} {now[wall_key]:.2f}s exceeds "
-                    f"{ceiling:.2f}s (baseline {base[wall_key]:.2f}s "
-                    f"x {max_slowdown:g})")
+        failures.extend(gate.wall_ceilings(
+            key, base, now, _WALL_KEYS.get(key, ()),
+            max_slowdown=max_slowdown, grace_s=GRACE_S))
     cache_now = current["scenarios"].get("cache")
     if cache_now and cache_now.get("warm_hits") != cache_now.get("trials"):
         failures.append(
             f"cache: warm pass hit {cache_now.get('warm_hits')}/"
             f"{cache_now.get('trials')} trials (cache stopped hitting)")
-    effective = min(current.get("jobs", 1), current.get("cpu_count") or 1)
+    effective = gate.effective_cores(current)
     if effective >= 4:
         for key in ("fuzz", "figure"):
             now = current["scenarios"].get(key)
@@ -104,11 +86,8 @@ def main(argv: list[str] | None = None) -> int:
     failures = check(args.current, args.baseline,
                      max_slowdown=args.max_slowdown,
                      min_speedup=args.min_speedup)
-    for message in failures:
-        print(f"FAIL {message}", file=sys.stderr)
-    if not failures:
-        print("fan-out benchmark within bounds of committed baseline")
-    return 1 if failures else 0
+    return gate.report(failures,
+                       "fan-out benchmark within bounds of committed baseline")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,90 @@
+"""Compare a fresh policy benchmark run against the committed baseline.
+
+CI runs ``bench_policy.py --quick`` and feeds the result here; the
+check fails if
+
+* any bundle's step count drifted from the committed
+  ``BENCH_policy.json`` (per-bundle event sequences are deterministic,
+  so a drift means a policy's behaviour changed, not just its speed),
+* the ``default`` bundle's step count disagrees with the ``fleet``
+  scenario of ``BENCH_engine.json`` at the same scale — the policy
+  boundary must leave the default engine's event sequence untouched, or
+* any bundle's throughput (steps/sec) fell to less than half of the
+  baseline (the policy indirection growing into real work).
+
+::
+
+    PYTHONPATH=src python benchmarks/bench_policy.py --quick \
+        --output /tmp/bench_policy_now.json
+    python benchmarks/check_policy_regression.py /tmp/bench_policy_now.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import gate
+
+BASELINE = Path(__file__).resolve().parent / "BENCH_policy.json"
+ENGINE_BASELINE = Path(__file__).resolve().parent / "BENCH_engine.json"
+
+MAX_SLOWDOWN = gate.MAX_SLOWDOWN
+
+
+def check(current_path: Path, baseline_path: Path = BASELINE,
+          *, max_slowdown: float = MAX_SLOWDOWN,
+          engine_baseline_path: Path = ENGINE_BASELINE) -> list[str]:
+    """Return a list of failure messages (empty = pass)."""
+    current, baseline = gate.load_pair(current_path, baseline_path)
+    mismatch = gate.quick_mismatch(current, baseline, "bench_policy.py")
+    if mismatch:
+        return mismatch
+    failures: list[str] = []
+    for key, base, now in gate.iter_scenarios(baseline, current, failures):
+        if now["steps"] != base["steps"]:
+            failures.append(
+                f"{key}: step count drifted {base['steps']} -> "
+                f"{now['steps']} (policy behaviour changed; if intended, "
+                f"regenerate the baseline)")
+        floor = base["steps_per_sec"] / max_slowdown
+        if now["steps_per_sec"] < floor:
+            failures.append(
+                f"{key}: {now['steps_per_sec']:.0f} steps/s is below "
+                f"{floor:.0f} (baseline {base['steps_per_sec']:.0f} "
+                f"/ {max_slowdown:g})")
+
+    # Cross-check: the default bundle must be the engine benchmark's
+    # fleet scenario, step for step — the policy boundary is a pure
+    # refactor of the default path.
+    default_now = current["scenarios"].get("fleet[default]")
+    if default_now is not None and engine_baseline_path.exists():
+        engine = json.loads(engine_baseline_path.read_text())
+        fleet = engine.get("scenarios", {}).get("fleet")
+        if (fleet is not None
+                and engine.get("quick") == current.get("quick")
+                and default_now["steps"] != fleet["steps"]):
+            failures.append(
+                f"fleet[default]: {default_now['steps']} steps disagrees "
+                f"with BENCH_engine.json fleet ({fleet['steps']}) — the "
+                f"policy boundary changed the default engine's event "
+                f"sequence")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", type=Path,
+                    help="JSON produced by a fresh bench_policy.py run")
+    ap.add_argument("--baseline", type=Path, default=BASELINE)
+    ap.add_argument("--max-slowdown", type=float, default=MAX_SLOWDOWN)
+    args = ap.parse_args(argv)
+    failures = check(args.current, args.baseline,
+                     max_slowdown=args.max_slowdown)
+    return gate.report(failures,
+                       "policy benchmark within bounds of committed baseline")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Shared plumbing for the benchmark regression gates.
+
+Every ``check_*_regression.py`` compares a fresh ``bench_*.py --quick``
+run against its committed ``BENCH_*.json`` baseline with the same
+skeleton: load both JSON payloads, refuse to compare mismatched
+``--quick`` scales, walk the baseline's scenarios (flagging ones the
+current run dropped), apply generous 2x wall-clock ceilings with an
+absolute grace for sub-second runs, and print ``FAIL ...`` lines to
+stderr.  This module owns that skeleton; the per-benchmark checkers
+keep only their domain checks (digest passivity, cache hit rates,
+speedup floors, throughput floors) and their thresholds.
+
+Messages are part of the contract: tests and CI grep for their exact
+shape, so the helpers reproduce the historical wording byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "MAX_SLOWDOWN", "GRACE_S",
+    "load_pair", "quick_mismatch", "iter_scenarios", "trial_drift",
+    "wall_ceilings", "effective_cores", "report",
+]
+
+#: Fail when a wall clock exceeds baseline times this factor.  Wall
+#: clock on shared CI runners is noisy, hence the generous bound: the
+#: gates are tripwires for algorithmic regressions, not microbenchmarks.
+MAX_SLOWDOWN = 2.0
+
+#: Absolute grace added to every wall ceiling: sub-second quick runs
+#: would otherwise gate on scheduler/filesystem noise.
+GRACE_S = 0.25
+
+
+def load_pair(current_path: Path, baseline_path: Path) -> tuple[dict, dict]:
+    """Load the (current, baseline) JSON payloads."""
+    current = json.loads(Path(current_path).read_text())
+    baseline = json.loads(Path(baseline_path).read_text())
+    return current, baseline
+
+
+def quick_mismatch(current: dict, baseline: dict,
+                   bench_script: str) -> list[str]:
+    """The scale-mismatch refusal every gate starts with.
+
+    A ``--quick`` run compared against a full-scale baseline (or vice
+    versa) fails every ceiling trivially; refuse up front instead.
+    """
+    if current.get("quick") != baseline.get("quick"):
+        return [f"quick={current.get('quick')} run compared against "
+                f"quick={baseline.get('quick')} baseline; "
+                f"re-run {bench_script} with matching scale"]
+    return []
+
+
+def iter_scenarios(baseline: dict, current: dict,
+                   failures: list[str]) -> Iterator[tuple[str, dict, dict]]:
+    """Yield ``(key, base, now)`` per baseline scenario, in sorted order.
+
+    Scenarios missing from the current run are appended to ``failures``
+    and skipped — a benchmark silently dropping a scenario must not
+    read as that scenario passing.
+    """
+    for key, base in sorted(baseline["scenarios"].items()):
+        now = current["scenarios"].get(key)
+        if now is None:
+            failures.append(f"{key}: missing from current run")
+            continue
+        yield key, base, now
+
+
+def trial_drift(key: str, base: dict, now: dict) -> list[str]:
+    """Trial-count drift: the sweep definition itself changed."""
+    if now.get("trials") != base.get("trials"):
+        return [f"{key}: trial count drifted "
+                f"{base.get('trials')} -> {now.get('trials')} "
+                f"(sweep definition changed; if intended, "
+                f"regenerate the baseline)"]
+    return []
+
+
+def wall_ceilings(key: str, base: dict, now: dict,
+                  wall_keys: tuple[str, ...], *,
+                  max_slowdown: float = MAX_SLOWDOWN,
+                  grace_s: float = GRACE_S,
+                  digits: int = 2) -> list[str]:
+    """2x-plus-grace ceilings on each of ``wall_keys``."""
+    failures = []
+    for wall_key in wall_keys:
+        ceiling = base[wall_key] * max_slowdown + grace_s
+        if now[wall_key] > ceiling:
+            failures.append(
+                f"{key}: {wall_key} {now[wall_key]:.{digits}f}s exceeds "
+                f"{ceiling:.{digits}f}s (baseline {base[wall_key]:.{digits}f}s "
+                f"x {max_slowdown:g})")
+    return failures
+
+
+def effective_cores(current: dict) -> int:
+    """Cores actually backing the pool: ``min(jobs, cpu_count)``.
+
+    Speedup floors only apply above a core threshold — machines with
+    fewer cores than the baseline are never penalized for lacking
+    parallelism.
+    """
+    return min(current.get("jobs", 1), current.get("cpu_count") or 1)
+
+
+def report(failures: list[str], ok_message: str) -> int:
+    """Print ``FAIL ...`` lines to stderr (or the ok line) and exit-code."""
+    for message in failures:
+        print(f"FAIL {message}", file=sys.stderr)
+    if not failures:
+        print(ok_message)
+    return 1 if failures else 0

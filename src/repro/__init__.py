@@ -23,11 +23,14 @@ from repro.container.fleet import deploy_fleet, parse_size
 from repro.core import (CpuBounds, CpuViewParams, MemorySample, MemViewParams,
                         NsMonitor, ResourceView, SysNamespace)
 from repro.errors import (ContainerError, JvmError, OpenMpError, OutOfMemoryError,
-                          ReproError, WorkloadError)
+                          PolicyError, ReproError, WorkloadError)
 from repro.kernel import CpuSet, Sysconf
 from repro.kernel.mm import MmParams
 from repro.kernel.sched import SchedParams
 from repro.metrics import Histogram, MetricsRecorder, Series
+from repro.policy import (ReclaimPolicy, SchedPolicy, make_reclaim_policy,
+                          make_sched_policy, register_reclaim_policy,
+                          register_sched_policy, resolve_bundle)
 from repro.obs import (CgroupPressure, PressureStall, jsonl_export,
                        jsonl_import, prometheus_text)
 from repro.tracelog import TraceEvent, TraceLog, TraceSpan
@@ -46,7 +49,10 @@ __all__ = [
     "CpuBounds", "CpuViewParams", "MemorySample", "MemViewParams",
     "NsMonitor", "ResourceView", "SysNamespace",
     "ReproError", "ContainerError", "JvmError", "OpenMpError",
-    "OutOfMemoryError", "WorkloadError",
+    "OutOfMemoryError", "PolicyError", "WorkloadError",
+    "SchedPolicy", "ReclaimPolicy", "resolve_bundle",
+    "make_sched_policy", "make_reclaim_policy",
+    "register_sched_policy", "register_reclaim_policy",
     "CpuSet", "Sysconf", "MmParams", "SchedParams",
     "KiB", "MiB", "GiB", "kib", "mib", "gib",
     "__version__",

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro demo                 # the quickstart scenario
     python -m repro serve                # the SLO-autoscaling comparison
     python -m repro cluster              # cluster placement + HPA/VPA interplay
+    python -m repro policy               # policy bundles + mid-run hot-swap
     python -m repro obs                  # observability demo + exporters
     python -m repro check                # differential fuzzer + invariants
     python -m repro bench [NAME]         # dispatch to benchmarks/ scripts
@@ -85,6 +86,15 @@ def _cmd_cluster(args) -> int:
     kwargs = dict(_QUICK_KWARGS["exp_cluster"]) if args.quick else {}
     kwargs["seed"] = args.seed
     print(run(ClusterExpParams(**kwargs), jobs=args.jobs).to_text())
+    return 0
+
+
+def _cmd_policy(args) -> int:
+    from repro.harness.experiments.exp_policy import PolicyParams, run
+    from repro.harness.run_all import _QUICK_KWARGS
+    kwargs = dict(_QUICK_KWARGS["exp_policy"]) if args.quick else {}
+    kwargs["seed"] = args.seed
+    print(run(PolicyParams(**kwargs), jobs=args.jobs).to_text())
     return 0
 
 
@@ -271,6 +281,13 @@ def main(argv: list[str] | None = None) -> int:
     cluster_p.add_argument("--seed", type=int, default=0)
     cluster_p.add_argument("--jobs", type=int, default=1, metavar="N",
                            help="worker processes for trial-level fan-out")
+    policy_p = sub.add_parser(
+        "policy", help="kernel policy bundles + mid-run hot-swap experiment")
+    policy_p.add_argument("--quick", action="store_true",
+                          help="scaled-down sweep for a fast smoke run")
+    policy_p.add_argument("--seed", type=int, default=0)
+    policy_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes for trial-level fan-out")
     obs_p = sub.add_parser(
         "obs", help="observability demo: pressure, histograms, exporters")
     obs_p.add_argument("mode", nargs="?", default="demo",
@@ -296,8 +313,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {"info": _cmd_info, "census": _cmd_census,
                 "run": _cmd_run, "demo": _cmd_demo, "serve": _cmd_serve,
-                "cluster": _cmd_cluster, "obs": _cmd_obs, "check": _cmd_check,
-                "bench": _cmd_bench}
+                "cluster": _cmd_cluster, "policy": _cmd_policy,
+                "obs": _cmd_obs, "check": _cmd_check, "bench": _cmd_bench}
     if args.command is None:
         parser.print_help()
         return 2

@@ -8,11 +8,17 @@ pluggable invariant suite and the two engines' state digests compared
 for byte-identical agreement.  Failures shrink to a minimal replayable
 JSON fixture under ``tests/regressions/``.
 
+A second differential axis runs one scenario under two *policy
+bundles* (:mod:`repro.check.policy_diff`): there the oracle is
+lawfulness under each run's own invariant suite, since distinct
+policies may lawfully allocate differently.
+
 Entry points::
 
     python -m repro check --seeds 200       # fixed-seed sweep (CI fast tier)
     python -m repro check --smoke 60        # randomized smoke, seed printed
     python -m repro check --replay FIX.json # re-run a committed fixture
+    python -m repro check --policy-diff default,burstable --seeds 50
 """
 
 from repro.check.cluster_invariants import (check_cluster,
@@ -20,6 +26,7 @@ from repro.check.cluster_invariants import (check_cluster,
 from repro.check.differ import DiffReport, diff_snapshots, run_differential
 from repro.check.generator import generate
 from repro.check.invariants import Invariant, default_suite
+from repro.check.policy_diff import PolicyDiffReport, run_policy_differential
 from repro.check.runner import RunResult, run_scenario
 from repro.check.scenario import Scenario
 from repro.check.shrinker import shrink
@@ -29,5 +36,6 @@ __all__ = [
     "Scenario", "generate", "Invariant", "default_suite",
     "RunResult", "run_scenario", "DiffReport", "diff_snapshots",
     "run_differential", "shrink",
+    "PolicyDiffReport", "run_policy_differential",
     "check_cluster", "check_cluster_snapshot", "check_span_tree",
 ]

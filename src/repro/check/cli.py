@@ -12,7 +12,12 @@ Modes (combinable with ``--shrink``/``--fixtures``):
   RNG until the wall-clock budget runs out, printing every seed as it
   goes so a failure in CI is reproducible by number.
 * replay: ``--replay FIXTURE.json`` re-runs a committed regression
-  fixture on both engines.
+  fixture on both engines (or, for fixtures carrying a
+  ``policy_pair`` key, under both policy bundles).
+* policy diff: ``--policy-diff A,B`` sweeps the seeds under two policy
+  bundles instead of two engines; the oracle is lawfulness (each run's
+  own invariant suite), not equality — see
+  :mod:`repro.check.policy_diff`.
 
 Every mode ends with the same grep-able summary line
 (``check: seeds=N failures=M cache_hits=K``); exit status is 0 only if
@@ -29,11 +34,15 @@ import random
 import re
 import time
 
+import json
+
 from repro.check.differ import run_differential
 from repro.check.generator import generate
+from repro.check.policy_diff import run_policy_differential
 from repro.check.scenario import Scenario
 from repro.check.shrinker import shrink
-from repro.check.sweep import TRIAL_FN, seed_trial, summary_line
+from repro.check.sweep import (POLICY_TRIAL_FN, TRIAL_FN, seed_trial,
+                               summary_line)
 from repro.par import ResultCache, TrialSpec, default_cache_dir, run_trials
 
 __all__ = ["main", "add_arguments"]
@@ -51,6 +60,11 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                              "wall-clock budget is spent")
     parser.add_argument("--replay", type=str, default=None, metavar="FIXTURE",
                         help="re-run a regression fixture JSON file")
+    parser.add_argument("--policy-diff", type=str, default=None,
+                        metavar="A,B",
+                        help="sweep the seeds under two policy bundles "
+                             "(e.g. default,burstable) instead of two "
+                             "engines")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the seed sweep "
                              "(default 1 = in-process)")
@@ -70,7 +84,16 @@ def _default_fixture_dir() -> str | None:
     return cand if os.path.isdir(cand) else None
 
 
-def _fail(scenario: Scenario, report, args) -> None:
+def _fail(scenario: Scenario, report, args, *,
+          oracle=None, policy_pair: tuple[str, str] | None = None) -> None:
+    """Report, shrink and fixture one failing scenario.
+
+    ``oracle`` maps a mutated scenario to its failure fingerprint
+    (default: the engine differential); ``policy_pair`` is recorded in
+    the fixture so ``--replay`` re-runs it under the same bundles.
+    """
+    if oracle is None:
+        oracle = lambda s: run_differential(s).fingerprint()  # noqa: E731
     print(f"FAIL seed={scenario.seed} "
           f"(ncpus={scenario.ncpus}, mem={scenario.memory >> 20}MiB, "
           f"horizon={scenario.horizon}s, ops={len(scenario)})")
@@ -79,10 +102,13 @@ def _fail(scenario: Scenario, report, args) -> None:
     minimal = scenario
     if args.shrink:
         print(f"shrinking (fingerprint {fingerprint}) ...")
-        minimal = shrink(scenario,
-                         lambda s: run_differential(s).fingerprint())
+        minimal = shrink(scenario, oracle)
         print(f"minimal repro: {len(minimal)} ops, "
               f"horizon {minimal.horizon}s")
+    fixture = minimal.to_dict()
+    if policy_pair is not None:
+        fixture["policy_pair"] = list(policy_pair)
+    fixture_json = json.dumps(fixture, indent=2, sort_keys=True)
     fixture_dir = args.fixtures or _default_fixture_dir()
     if fixture_dir:
         os.makedirs(fixture_dir, exist_ok=True)
@@ -90,14 +116,18 @@ def _fail(scenario: Scenario, report, args) -> None:
         path = os.path.join(fixture_dir,
                             f"{slug}_seed{scenario.seed}.json")
         with open(path, "w") as fh:
-            fh.write(minimal.to_json())
+            fh.write(fixture_json)
             fh.write("\n")
         print(f"fixture written: {path}")
         print(f"replay with: python -m repro check --replay {path}")
     else:
         print("repro scenario JSON:")
-        print(minimal.to_json())
-    print(f"re-run with: python -m repro check --seed {scenario.seed}")
+        print(fixture_json)
+    if policy_pair is not None:
+        print(f"re-run with: python -m repro check --seed {scenario.seed} "
+              f"--policy-diff {policy_pair[0]},{policy_pair[1]}")
+    else:
+        print(f"re-run with: python -m repro check --seed {scenario.seed}")
 
 
 def _print_seed_result(value: dict, *, cached: bool, verbose: bool) -> None:
@@ -152,6 +182,53 @@ def _sweep(seeds: list[int], args) -> int:
     return 0
 
 
+def _policy_sweep(seeds: list[int], pair: tuple[str, str], args) -> int:
+    """Fixed-seed sweep under two policy bundles."""
+    cache = None if args.no_cache else ResultCache(default_cache_dir())
+    specs = [TrialSpec(fn=POLICY_TRIAL_FN,
+                       experiment=f"check-policy-{pair[0]}-{pair[1]}",
+                       trial_id=f"seed{s}",
+                       config={"seed": s, "pair": list(pair)})
+             for s in seeds]
+
+    def on_result(_spec, res):
+        if res.ok:
+            if args.verbose:
+                tag = " (cached)" if res.cached else ""
+                v = res.value
+                status = "ok  " if v.get("ok") else "fail"
+                print(f"{status} seed={v['seed']} ops={v['ops']}{tag}")
+        else:
+            print(f"fail policy trial {res.trial_id}: {res.error}")
+
+    results = run_trials(specs, jobs=args.jobs, cache=cache,
+                         on_result=on_result)
+    failed = [(seed, res) for seed, res in zip(seeds, results)
+              if not res.ok or not res.value.get("ok")]
+    if failed:
+        seed, res = failed[0]
+        if res.ok:                 # lawfulness failure, not a worker crash
+            scenario = generate(seed)
+            report = run_policy_differential(scenario, pair)
+            _fail(scenario, report, args,
+                  oracle=lambda s: run_policy_differential(
+                      s, pair).fingerprint(),
+                  policy_pair=pair)
+        else:
+            print(f"seed {seed} worker failure: {res.error}")
+    hits = cache.hits if cache else 0
+    print(summary_line(seeds=len(seeds), failures=len(failed),
+                       cache_hits=hits))
+    if failed:
+        print(f"check: FAILED (first failure above; "
+              f"{len(failed)}/{len(seeds)} seeds failed under "
+              f"{pair[0]},{pair[1]})")
+        return 1
+    print(f"check: {len(seeds)} scenarios lawful under both "
+          f"{pair[0]!r} and {pair[1]!r} policies, 0 invariant violations")
+    return 0
+
+
 def _smoke(args) -> int:
     deadline = time.monotonic() + args.smoke
     sysrand = random.SystemRandom()
@@ -173,14 +250,30 @@ def _smoke(args) -> int:
 
 def _replay(args) -> int:
     with open(args.replay) as fh:
-        scenario = Scenario.from_json(fh.read())
-    report = run_differential(scenario)
-    print(f"replay {args.replay}: {'ok' if report.ok else 'FAIL'}")
+        data = json.loads(fh.read())
+    scenario = Scenario.from_dict(data)
+    pair = data.get("policy_pair")
+    if pair is not None:
+        report = run_policy_differential(scenario, tuple(pair))
+        what = f"policies {pair[0]},{pair[1]}"
+    else:
+        report = run_differential(scenario)
+        what = "both engines"
+    print(f"replay {args.replay} ({what}): {'ok' if report.ok else 'FAIL'}")
     if not report.ok:
         print(report.summary())
     print(summary_line(seeds=1, failures=0 if report.ok else 1,
                        cache_hits=0))
     return 0 if report.ok else 1
+
+
+def _parse_pair(spec: str) -> tuple[str, str]:
+    parts = [p.strip() for p in spec.split(",")]
+    if len(parts) != 2 or not all(parts):
+        raise SystemExit(
+            f"--policy-diff expects two comma-separated bundle names, "
+            f"got {spec!r}")
+    return (parts[0], parts[1])
 
 
 def main(args: argparse.Namespace) -> int:
@@ -192,4 +285,6 @@ def main(args: argparse.Namespace) -> int:
         seeds = [args.seed]
     else:
         seeds = list(range(args.seed_start, args.seed_start + args.seeds))
+    if args.policy_diff is not None:
+        return _policy_sweep(seeds, _parse_pair(args.policy_diff), args)
     return _sweep(seeds, args)

@@ -106,17 +106,32 @@ def generate(seed: int) -> Scenario:
             emit(t, "uncharge", name, bytes=int(rng.uniform(0.02, 0.3) * avail))
         elif roll < 0.88:
             emit(t, "spawn", name, work=round(rng.uniform(0.05, 0.8), 6))
-        elif roll < 0.94 and workers[name]:
+        elif roll < 0.92 and workers[name]:
             w = rng.randrange(workers[name])
             emit(t, "block", name, worker=w)
             if rng.random() < 0.7:
                 emit(min(round(t + rng.uniform(0.01, 0.5), 6), horizon),
                      "wake", name, worker=w)
+        elif roll < 0.96:
+            emit(t, "set_intent", name,
+                 intent=rng.choice((None, "cache", "heap", "scratch")))
         else:
             # Traffic phase: a burst of short segments until a deadline.
             until = min(round(t + rng.uniform(0.2, 1.0), 6), horizon)
             emit(t, "loop", name, workers=rng.randint(1, 3),
                  segment=round(rng.uniform(0.01, 0.1), 6), until=until)
+
+    # A slice of the worlds hot-swap kernel policies mid-run: the swap's
+    # ledger-conservation assert then runs under arbitrary fuzzed state,
+    # on both engines, for every seed that draws one.
+    if rng.random() < 0.35:
+        for _ in range(rng.randint(1, 2)):
+            sched = rng.choice((None, "default", "burstable"))
+            reclaim = rng.choice((None, "default", "intent"))
+            if sched is None and reclaim is None:
+                sched = "default"
+            emit(t_at(0.1, 0.9), "swap_policy", "world",
+                 sched=sched, reclaim=reclaim)
 
     scn.validate()
     return scn

@@ -63,18 +63,24 @@ class CpuConservation(Invariant):
 
 
 class AllocationCaps(Invariant):
-    """Instantaneous rates respect quota, cpuset and host capacity."""
+    """Instantaneous rates respect quota, cpuset and host capacity.
+
+    The quota/cpuset cap is policy-defined (``SchedPolicy.rate_cap``):
+    the default policy binds both, burstable lets rates lawfully exceed
+    the quota while the domain has slack.
+    """
 
     name = "allocation_caps"
 
     def check(self, world, snap, prev):
         out = []
         total = 0.0
+        rate_cap = world.sched.policy.rate_cap
         for g in snap["groups"]:
             rate = g["cpu_rate"]
             if rate < -_ABS_EPS:
                 out.append(self._v(f"{g['path']}: negative rate {rate!r}"))
-            cap = min(g["quota_cores"], float(g["cpuset_size"]))
+            cap = rate_cap(g["quota_cores"], float(g["cpuset_size"]))
             if rate > cap + _ABS_EPS:
                 out.append(self._v(
                     f"{g['path']}: rate {rate!r} exceeds cap {cap!r} "

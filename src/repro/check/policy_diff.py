@@ -1,0 +1,136 @@
+"""Policy-diff oracle: run one scenario under two policy bundles.
+
+Two modes, selected by whether the bundles are *expected* to agree:
+
+* ``expect_equal=False`` (the fuzzing default): different policies may
+  lawfully produce different allocations, so equality is not the
+  oracle — lawfulness is.  Each run is checked against the full
+  invariant suite (conservation, ledgers, caps under *its own* policy)
+  and the report fails only on violations.  The headline aggregates of
+  both runs are kept side by side so a sweep can also quantify *how
+  much* the policies diverge.
+* ``expect_equal=True``: the bundles are claimed equivalent (e.g. a
+  refactored policy against the original, or ``default`` against
+  itself across a mid-run self-swap), so any snapshot or log mismatch
+  is a failure — exactly the engine differ's contract, but across
+  policies instead of engines.
+
+Both runs use the incremental engine; engine equivalence is the engine
+differ's job, and crossing the two axes would blur which boundary a
+failure indicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.check.differ import diff_snapshots
+from repro.check.invariants import Invariant
+from repro.check.runner import RunResult, run_scenario
+from repro.check.scenario import Scenario
+from repro.policy import resolve_bundle
+
+__all__ = ["PolicyDiffReport", "run_policy_differential"]
+
+
+@dataclass
+class PolicyDiffReport:
+    """Outcome of one two-bundle differential run."""
+
+    #: The two bundle names, as given.
+    pair: tuple[str, str] = ("default", "default")
+    results: dict[str, RunResult] = field(default_factory=dict)
+    #: Snapshot/log mismatches; only populated when ``expect_equal``.
+    divergences: list[str] = field(default_factory=list)
+    #: Invariant violations from either run, prefixed with the bundle.
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and not self.violations
+
+    def fingerprint(self) -> str | None:
+        """Stable failure identity for the shrinker's oracle.
+
+        Same shape as :meth:`DiffReport.fingerprint` — the shrinker
+        mutates the scenario, so only the failure *kind* (which
+        invariant under which bundle, or which diverging field) is
+        stable across mutations.
+        """
+        if self.violations:
+            first = self.violations[0]
+            parts = [p.strip() for p in first.split(":")]
+            return f"invariant:{parts[0]}:{parts[2] if len(parts) > 2 else '?'}"
+        if self.divergences:
+            first = self.divergences[0]
+            field_path = first.split(" ", 1)[0]
+            leaf = field_path.split(".")[-1].split("[")[0]
+            return f"divergence:{leaf}"
+        return None
+
+    def summary(self) -> str:
+        lines = []
+        for v in self.violations[:8]:
+            lines.append(f"  violation  {v}")
+        for d in self.divergences[:8]:
+            lines.append(f"  divergence {d}")
+        extra = len(self.violations) + len(self.divergences) - len(lines)
+        if extra > 0:
+            lines.append(f"  ... and {extra} more")
+        return "\n".join(lines) or "  ok"
+
+    def divergence_summary(self) -> dict:
+        """Headline aggregates of both runs, for quantifying policy drift.
+
+        Not a pass/fail signal — under ``expect_equal=False`` different
+        numbers here are the policies doing their job.
+        """
+        out: dict = {}
+        for bundle, res in self.results.items():
+            final = res.snapshots[-1] if res.snapshots else {}
+            sched = final.get("sched", {})
+            groups = final.get("groups", [])
+            out[bundle] = {
+                "ooms": sum(1 for line in res.log if ":oom:" in line),
+                "throttled_time": sum(g["throttled_time"] for g in groups),
+                "total_cpu_time": sum(g["total_cpu_time"] for g in groups),
+                "swapped": sum(g["swapped"] for g in groups),
+                "elapsed": sched.get("elapsed", 0.0),
+            }
+        return out
+
+
+def run_policy_differential(scenario: Scenario, pair: tuple[str, str], *,
+                            expect_equal: bool = False,
+                            suite_factory=None,
+                            max_mismatches: int = 20) -> PolicyDiffReport:
+    """Run ``scenario`` under both bundles of ``pair`` and judge the runs."""
+    report = PolicyDiffReport(pair=tuple(pair))
+    for bundle in pair:
+        sched, reclaim = resolve_bundle(bundle)
+        suite: list[Invariant] | None = suite_factory() if suite_factory else None
+        res = run_scenario(scenario, "incremental", suite=suite,
+                           sched_policy=sched, reclaim_policy=reclaim)
+        report.results[bundle] = res
+        report.violations.extend(f"{bundle}: {v}" for v in res.violations)
+    if not expect_equal:
+        return report
+    a, b = (report.results[bundle] for bundle in pair)
+    if a.log != b.log:
+        for i, (la, lb) in enumerate(zip(a.log, b.log)):
+            if la != lb:
+                report.divergences.append(f"log[{i}] {la!r} != {lb!r}")
+                break
+        else:
+            report.divergences.append(
+                f"log length {len(a.log)} != {len(b.log)}")
+    for i, (sa, sb) in enumerate(zip(a.snapshots, b.snapshots)):
+        for d in diff_snapshots(sa, sb, f"snapshot[{i}]"):
+            report.divergences.append(d)
+            if len(report.divergences) >= max_mismatches:
+                return report
+        if report.divergences:
+            # Later snapshots inherit the first divergence; stop at the
+            # earliest boundary so the report points at the cause.
+            break
+    return report

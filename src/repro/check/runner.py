@@ -72,13 +72,20 @@ class _Interp:
                 cpus=op.get("cpus"),
                 cpuset=op.get("cpuset"),
                 memory_limit=op.get("memory_limit"),
-                memory_soft_limit=op.get("memory_soft_limit"))
+                memory_soft_limit=op.get("memory_soft_limit"),
+                memory_intent=op.get("memory_intent"))
             c = world.containers.create(spec)
             self.workers[name] = []
             for i in range(int(op.get("workers", 0))):
                 t = c.spawn_thread(f"w{i}")
                 t.assign_work(_FOREVER)
                 self.workers[name].append(t)
+            return "ok"
+        if kind == "swap_policy":
+            # World-level op: no container lookup ("name" is carried for
+            # schema uniformity but unused).
+            world.swap_policy(sched_policy=op.get("sched"),
+                              reclaim_policy=op.get("reclaim"))
             return "ok"
 
         try:
@@ -144,6 +151,9 @@ class _Interp:
             n = min(int(op["bytes"]), c.cgroup.memory.usage_in_bytes)
             self.world.mm.uncharge(c.cgroup, n)
             return "ok"
+        if kind == "set_intent":
+            c.cgroup.set_memory_intent(op.get("intent"))
+            return "ok"
         raise ValueError(f"unhandled op kind {kind!r}")
 
     def _destroy(self, name: str) -> None:
@@ -153,14 +163,17 @@ class _Interp:
 
 def run_scenario(scenario: Scenario, engine: str = "incremental", *,
                  suite: list[Invariant] | None = None,
-                 snapshot_every: bool = True) -> RunResult:
+                 snapshot_every: bool = True,
+                 sched_policy: str = "default",
+                 reclaim_policy: str = "default") -> RunResult:
     """Run ``scenario`` on a fresh world; return snapshots + violations."""
     scenario.validate()
     if suite is None:
         suite = default_suite()
     from repro.kernel.mm.memcg import MmParams
     world = World(ncpus=scenario.ncpus, memory=scenario.memory, engine=engine,
-                  mm_params=MmParams(swap_factor=scenario.swap_factor))
+                  mm_params=MmParams(swap_factor=scenario.swap_factor),
+                  sched_policy=sched_policy, reclaim_policy=reclaim_policy)
     interp = _Interp(world)
     result = RunResult(engine=engine)
     prev: dict | None = None

@@ -32,6 +32,14 @@ Op kinds understood by :mod:`repro.check.runner`:
     ``name``, ``bytes`` — memory workload.  ``charge`` may OOM; the
     runner records (rather than propagates) the kill.  ``uncharge`` is
     clamped to current usage.
+``set_intent``
+    ``name``, ``intent`` — declare the container's memory intent
+    (``"scratch"``/``"cache"``/``"heap"``, ``None`` clears); advisory
+    hint for intent-aware reclaim policies.
+``swap_policy``
+    ``sched`` and/or ``reclaim`` — hot-swap kernel policies mid-run
+    via :meth:`repro.world.World.swap_policy`.  ``name`` is carried
+    but unused (every op names a container for uniformity).
 
 Ops referring to a container that does not exist (never created,
 already destroyed, or OOM-stopped) are recorded as skips — this keeps
@@ -52,7 +60,7 @@ SCHEMA_VERSION = 1
 OP_KINDS = frozenset({
     "create", "destroy", "spawn", "loop", "block", "wake",
     "set_shares", "set_quota", "set_cpuset", "set_limit",
-    "set_soft_limit", "charge", "uncharge",
+    "set_soft_limit", "charge", "uncharge", "set_intent", "swap_policy",
 })
 
 

@@ -14,11 +14,16 @@ from __future__ import annotations
 
 from repro.check.differ import run_differential
 from repro.check.generator import generate
+from repro.check.policy_diff import run_policy_differential
 
-__all__ = ["TRIAL_FN", "seed_trial", "summary_line"]
+__all__ = ["TRIAL_FN", "POLICY_TRIAL_FN", "seed_trial", "policy_trial",
+           "summary_line"]
 
 #: Dotted path handed to TrialSpec.fn.
 TRIAL_FN = "repro.check.sweep:seed_trial"
+
+#: Dotted path for policy-diff sweeps.
+POLICY_TRIAL_FN = "repro.check.sweep:policy_trial"
 
 
 def seed_trial(config: dict, spawn_seed: int) -> dict:
@@ -38,6 +43,29 @@ def seed_trial(config: dict, spawn_seed: int) -> dict:
         final = report.results["incremental"].snapshots[-1]
         value.update(steps=final["steps"], oom=final["mm"]["oom_kills"],
                      groups=len(final["groups"]))
+    else:
+        value.update(fingerprint=report.fingerprint(),
+                     summary=report.summary())
+    return value
+
+
+def policy_trial(config: dict, spawn_seed: int) -> dict:
+    """Run one generated seed under two policy bundles.
+
+    ``config`` carries ``seed`` plus the bundle ``pair``; the oracle is
+    lawfulness (every run must satisfy its own invariant suite), not
+    equality — see :mod:`repro.check.policy_diff`.
+    """
+    seed = int(config["seed"])
+    pair = tuple(config["pair"])
+    scenario = generate(seed)
+    report = run_policy_differential(scenario, pair)
+    value = {"seed": seed, "pair": list(pair), "ok": report.ok,
+             "ops": len(scenario), "ncpus": scenario.ncpus,
+             "memory_mib": scenario.memory >> 20,
+             "horizon": scenario.horizon}
+    if report.ok:
+        value.update(drift=report.divergence_summary())
     else:
         value.update(fingerprint=report.fingerprint(),
                      summary=report.summary())

@@ -60,10 +60,22 @@ class ClusterParams:
     #: Enable per-host trace logs (spans/events).  Purely passive: the
     #: placement trace digest is identical with tracing on or off.
     trace: bool = False
+    #: Kernel policies every host world runs under (see repro.policy).
+    sched_policy: str = "default"
+    reclaim_policy: str = "default"
 
     def __post_init__(self) -> None:
         if self.n_hosts < 1:
             raise ClusterError(f"n_hosts must be >= 1, got {self.n_hosts}")
+        from repro.policy import RECLAIM_POLICIES, SCHED_POLICIES
+        if self.sched_policy not in SCHED_POLICIES:
+            raise ClusterError(
+                f"unknown sched_policy {self.sched_policy!r}: expected one "
+                f"of {sorted(SCHED_POLICIES)}")
+        if self.reclaim_policy not in RECLAIM_POLICIES:
+            raise ClusterError(
+                f"unknown reclaim_policy {self.reclaim_policy!r}: expected "
+                f"one of {sorted(RECLAIM_POLICIES)}")
         if self.epoch <= 0:
             raise ClusterError(f"epoch must be positive, got {self.epoch}")
         if not 0.0 < self.hot_frac <= 1.0:
@@ -98,7 +110,8 @@ class Cluster:
             Host(f"host{idx:0{width}d}", ncpus=p.host_ncpus,
                  memory=p.host_memory, seed=p.seed,
                  view_update_period=p.view_update_period, engine=p.engine,
-                 trace=p.trace)
+                 trace=p.trace, sched_policy=p.sched_policy,
+                 reclaim_policy=p.reclaim_policy)
             for idx in range(p.n_hosts)
         ]
         #: Optional fleet telemetry pipeline (see repro.obs.fleet).

@@ -21,12 +21,16 @@ class Host:
 
     def __init__(self, name: str, *, ncpus: int, memory: int, seed: int = 0,
                  view_update_period: float | None = 1.0,
-                 engine: str = "incremental", trace: bool = False):
+                 engine: str = "incremental", trace: bool = False,
+                 sched_policy: str = "default",
+                 reclaim_policy: str = "default"):
         self.name = name
         self.world = World(ncpus, memory,
                            seed=derive_seed("cluster-host", name, seed),
                            sys_ns_update_period=view_update_period,
-                           engine=engine, trace=trace)
+                           engine=engine, trace=trace,
+                           sched_policy=sched_policy,
+                           reclaim_policy=reclaim_policy)
         # Stable span addressing: this host's spans are "<name>:<id>",
         # which is what migration chains reference across re-homes.
         self.world.trace.log_id = name

@@ -59,6 +59,8 @@ class ContainerRuntime:
             cg.set_memory_limit(spec.memory_limit)
         if spec.memory_soft_limit is not None:
             cg.set_memory_soft_limit(spec.memory_soft_limit)
+        if spec.memory_intent is not None:
+            cg.set_memory_intent(spec.memory_intent)
 
         # 2. original init + namespaces.
         init0 = world.procs.fork(world.procs.init, f"{spec.name}:init0", cgroup=cg)

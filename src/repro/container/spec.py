@@ -23,6 +23,9 @@ class ContainerSpec:
     * ``memory_limit``     — ``--memory`` (``memory.limit_in_bytes``)
     * ``memory_soft_limit``— ``--memory-reservation``
       (``memory.soft_limit_in_bytes``)
+    * ``memory_intent``    — declared use of the container's memory
+      (``"scratch"``/``"cache"``/``"heap"``); advisory hint consumed by
+      intent-aware reclaim policies (:mod:`repro.policy.intent`)
     """
 
     name: str
@@ -32,6 +35,7 @@ class ContainerSpec:
     cpu_period_us: int = DEFAULT_PERIOD_US
     memory_limit: int | None = None
     memory_soft_limit: int | None = None
+    memory_intent: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -50,6 +54,12 @@ class ContainerSpec:
             raise ContainerError(
                 f"soft limit {self.memory_soft_limit} exceeds hard limit "
                 f"{self.memory_limit}")
+        if self.memory_intent is not None:
+            from repro.policy.intent import INTENTS
+            if self.memory_intent not in INTENTS:
+                raise ContainerError(
+                    f"memory_intent must be one of {INTENTS} or None, "
+                    f"got {self.memory_intent!r}")
 
     @property
     def cpu_quota_us(self) -> int | None:

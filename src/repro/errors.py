@@ -21,6 +21,7 @@ __all__ = [
     "WorkloadError",
     "ServeError",
     "ClusterError",
+    "PolicyError",
 ]
 
 
@@ -83,3 +84,7 @@ class ServeError(ReproError):
 
 class ClusterError(ReproError):
     """Invalid cluster configuration or placement misuse (repro.cluster)."""
+
+
+class PolicyError(ReproError):
+    """Unknown policy name or a broken policy state handoff (repro.policy)."""

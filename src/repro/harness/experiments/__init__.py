@@ -1,9 +1,10 @@
 """One module per paper figure/table; each exposes ``run(params=None)``."""
 
-from repro.harness.experiments import (ablation, exp_cluster, exp_serve,
-                                       fig01_dockerhub, fig02_motivation,
-                                       fig06_dacapo_spec, fig07_scaling,
-                                       fig08_shares, fig09_hibench, fig10_npb,
+from repro.harness.experiments import (ablation, exp_cluster, exp_policy,
+                                       exp_serve, fig01_dockerhub,
+                                       fig02_motivation, fig06_dacapo_spec,
+                                       fig07_scaling, fig08_shares,
+                                       fig09_hibench, fig10_npb,
                                        fig11_elastic_dacapo,
                                        fig12_heap_traces, overhead)
 
@@ -22,6 +23,7 @@ ALL_EXPERIMENTS = {
     "ablation": ablation,
     "exp_serve": exp_serve,
     "exp_cluster": exp_cluster,
+    "exp_policy": exp_policy,
 }
 
 __all__ = ["ALL_EXPERIMENTS"] + [m.__name__.rsplit(".", 1)[-1]

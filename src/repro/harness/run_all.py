@@ -49,6 +49,8 @@ _QUICK_KWARGS = {
                         arrival_epochs=4, serve_ncpus=8, serve_rate=20.0,
                         serve_warm=4.0, serve_spike_len=6.0, serve_cool=8.0,
                         serve_workers=2),
+    "exp_policy": dict(ncpus=4, spinners=2, spinner_workers=2, hogs=4,
+                       epochs=6, epoch=0.4),
 }
 
 

@@ -104,7 +104,7 @@ class MemoryController:
 
     __slots__ = ("limit_in_bytes", "soft_limit_in_bytes", "resident", "swapped",
                  "oom_killed", "swapin_total", "swapout_total", "hot_bytes",
-                 "charge_total", "uncharge_total")
+                 "charge_total", "uncharge_total", "intent")
 
     def __init__(self) -> None:
         self.limit_in_bytes: int | None = None
@@ -123,6 +123,9 @@ class MemoryController:
         #: Used by the swap slowdown model — reclaim evicts cold pages
         #: first, so only hot-set evictions cause fault storms.
         self.hot_bytes: int | None = None
+        #: Declared memory intent ("scratch" | "cache" | "heap" | None).
+        #: Advisory: only intent-aware reclaim policies read it.
+        self.intent: str | None = None
 
     @property
     def usage_in_bytes(self) -> int:
@@ -285,6 +288,21 @@ class Cgroup:
             raise CgroupError(f"memory.soft_limit_in_bytes must be positive, got {limit}")
         self.memory.soft_limit_in_bytes = limit
         self.root._notify(CgroupEvent(CgroupEventKind.MEMORY_CHANGED, self))
+
+    def set_memory_intent(self, intent: str | None) -> None:
+        """Declare what the group's memory is *for* (reclaim-policy hint).
+
+        Advisory: the declared intent never changes residency or charge
+        accounting, only how intent-aware reclaim policies rank victims,
+        so no MEMORY_CHANGED event fires.
+        """
+        if intent is not None:
+            from repro.policy.intent import INTENTS
+            if intent not in INTENTS:
+                raise CgroupError(
+                    f"memory intent must be one of {INTENTS} or None, "
+                    f"got {intent!r}")
+        self.memory.intent = intent
 
     # -- derived CPU attributes ---------------------------------------------
 

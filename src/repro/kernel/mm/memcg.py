@@ -27,12 +27,15 @@ progress rates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import MemoryError_, OutOfMemoryError
 from repro.kernel.cgroup import Cgroup, CgroupEventKind, CgroupRoot
-from repro.kernel.mm.kswapd import plan_background_reclaim, plan_direct_reclaim
 from repro.kernel.mm.swap import SwapDevice, SwapParams, swap_slowdown_multiplier
 from repro.kernel.mm.watermarks import Watermarks
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.policy.base import ReclaimPolicy
 
 __all__ = ["MmParams", "MemoryManager"]
 
@@ -56,7 +59,11 @@ class MemoryManager:
     """Byte-granular model of the kernel memory subsystem."""
 
     def __init__(self, total: int, cgroups: CgroupRoot,
-                 params: MmParams | None = None):
+                 params: MmParams | None = None, *,
+                 policy: "ReclaimPolicy | str | None" = None):
+        from repro.policy import make_reclaim_policy
+        self.policy = make_reclaim_policy(
+            "default" if policy is None else policy)
         if total <= 0:
             raise MemoryError_(f"total memory must be positive, got {total}")
         self.total = int(total)
@@ -218,7 +225,7 @@ class MemoryManager:
         self.kswapd_runs += 1
         self._set_reclaiming(True)
         target = (wm.high + need) - self.free
-        plan = plan_background_reclaim(self._all_groups(), target)
+        plan = self._policy_plan("background", self._all_groups(), target)
         if self.event_hook:
             self.event_hook("mm.kswapd", "background reclaim",
                             free=self.free, need=need,
@@ -232,7 +239,7 @@ class MemoryManager:
             self.direct_reclaims += 1
             target = (wm.min + need) - self.free
             others = [g for g in self._all_groups() if g is not charger]
-            plan = plan_direct_reclaim(others, target)
+            plan = self._policy_plan("direct", others, target)
             if self.event_hook:
                 self.event_hook("mm.direct_reclaim", "below min watermark",
                                 free=self.free, need=need,
@@ -241,6 +248,36 @@ class MemoryManager:
                 self._swap_out(victim, take)
         if self.free >= wm.high:
             self._set_reclaiming(False)
+
+    def _policy_plan(self, kind: str, groups: list[Cgroup],
+                     need: int) -> list[tuple[Cgroup, int]]:
+        """Policy indirection for reclaim planning.
+
+        A separate method (rather than inline ``self.policy.plan_*``
+        calls) so the profiler can wrap it; the wrap survives
+        :meth:`set_policy` because the indirection, not the policy
+        instance, carries the instrumentation.
+        """
+        if kind == "background":
+            return self.policy.plan_background(groups, need)
+        return self.policy.plan_direct(groups, need)
+
+    def set_policy(self, policy: "ReclaimPolicy | str") -> dict:
+        """Hot-swap the reclaim policy (plugsched-style).
+
+        Same handoff contract as the scheduler: the outgoing policy
+        exports its state, the incoming one imports what it understands,
+        and ledgers (charge/uncharge totals, swap occupancy, residency)
+        are untouched — :meth:`repro.world.World.swap_policy` asserts
+        that.  Returns the handoff record ``{"from", "to", "state"}``.
+        """
+        from repro.policy import make_reclaim_policy
+        new = make_reclaim_policy(policy)
+        old = self.policy
+        state = old.export_state()
+        new.import_state(state)
+        self.policy = new
+        return {"from": old.name, "to": new.name, "state": state}
 
     def _set_reclaiming(self, active: bool) -> None:
         """Flip the kswapd-active flag, spanning each reclaim episode.
@@ -326,16 +363,19 @@ class MemoryManager:
             self.cgroups.scheduler_dirty(cg)
 
     def _oom_kill(self, cg: Cgroup, requested: int) -> None:
+        # Victim selection is a policy decision (all built-in policies
+        # kill the charger, mirroring memcg-local OOM).
+        victim = self.policy.oom_victim(cg, self._all_groups())
         self.oom_kills += 1
-        cg.memory.oom_killed = True
+        victim.memory.oom_killed = True
         if self.event_hook:
-            self.event_hook("mm.oom_kill", f"cgroup {cg.path} OOM-killed",
+            self.event_hook("mm.oom_kill", f"cgroup {victim.path} OOM-killed",
                             requested=requested, free=self.free,
                             swap_free=self.swap.free)
         raise OutOfMemoryError(
-            f"cgroup {cg.path!r} OOM-killed charging {requested} bytes "
+            f"cgroup {victim.path!r} OOM-killed charging {requested} bytes "
             f"(free={self.free}, swap_free={self.swap.free})",
-            victim=cg.path)
+            victim=victim.path)
 
     # -- introspection ---------------------------------------------------------------
 

@@ -56,8 +56,10 @@ from repro.kernel.cpu import HostCpus
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.task import SimThread
+    from repro.policy.base import SchedPolicy
 
-__all__ = ["SchedParams", "GroupAlloc", "waterfill", "FairScheduler"]
+__all__ = ["SchedParams", "GroupAlloc", "waterfill", "component_pressures",
+           "FairScheduler"]
 
 _EPS = 1e-9
 
@@ -101,6 +103,9 @@ class GroupAlloc:
     demand: float = 0.0   # min(n_threads, |cpuset|), cached for accrual
     pressure: float = 0.0  # contention-domain pressure, memoized
     quota: float = float("inf")  # quota_cores, cached for accrual
+    #: Policy flag: the quota re-asserted itself under domain pressure
+    #: (burstable policy); throttle time accrues only while set.
+    soft_capped: bool = False
 
     @property
     def per_thread_progress(self) -> float:
@@ -160,15 +165,75 @@ def waterfill(weights: list[float], caps: list[float], capacity: float) -> list[
     return alloc
 
 
+def component_pressures(allocs: list[GroupAlloc]) -> list[float]:
+    """Runnable-thread pressure of each group's contention domain.
+
+    The contention domain of group *i* is the union of the cpusets of
+    all groups whose cpusets intersect its own; pressure is the
+    runnable threads in the domain divided by the domain's CPU count.
+    *Other* groups contribute all their runnable threads (their
+    time-slicing pollutes caches and preempts this group's lock
+    holders); the group's *own* threads count only up to its own
+    allocation — time-slicing among your own threads is the
+    ``csw_overhead`` term, not cross-container interference.  A group
+    with a dedicated cpuset therefore never pays interference,
+    however many threads it runs (JDK 9's isolation in Fig. 7).
+
+    Batched by distinct mask: fleets share a handful of cpuset masks,
+    so the pairwise work is O(distinct masks²), not O(groups²).
+
+    Module-level (not scheduler state) so sched policies can share it.
+    """
+    distinct: dict[tuple[int, ...], list] = {}  # key -> [cpu set, n total]
+    keys: list[tuple[int, ...]] = []
+    for g in allocs:
+        key = g.cgroup.effective_cpuset().as_tuple()
+        keys.append(key)
+        info = distinct.get(key)
+        if info is None:
+            distinct[key] = [set(key), g.n_threads]
+        else:
+            info[1] += g.n_threads
+    stats: dict[tuple[int, ...], tuple[int, int]] = {}
+    items = list(distinct.items())
+    for key, (cpus, _n) in items:
+        total = 0                   # exact: integer thread counts
+        domain: set[int] = set(cpus)
+        for key2, (cpus2, n2) in items:
+            if cpus & cpus2:
+                total += n2
+                domain |= cpus2
+        stats[key] = (total, len(domain))
+    pressures: list[float] = []
+    for g, key in zip(allocs, keys):
+        total, domain_size = stats[key]
+        threads = (min(float(g.n_threads), g.rate)
+                   + float(total - g.n_threads))
+        pressures.append(threads / domain_size if domain_size else 0.0)
+    return pressures
+
+
 class FairScheduler:
-    """Scheduler facade: snapshots, accrual, and slack accounting."""
+    """Scheduler mechanism: snapshots, accrual, and slack accounting.
+
+    Allocation *decisions* are delegated to a pluggable
+    :class:`~repro.policy.base.SchedPolicy` (see :mod:`repro.policy`);
+    this class keeps the policy-agnostic machinery — dirty sets, cached
+    contention domains, the completion index, and every conservation
+    ledger — so policies can be hot-swapped mid-run without touching
+    audited state.
+    """
 
     def __init__(self, host: HostCpus, cgroups: CgroupRoot,
                  params: SchedParams | None = None, *,
-                 incremental: bool = True):
+                 incremental: bool = True,
+                 policy: "SchedPolicy | str | None" = None):
         self.host = host
         self.cgroups = cgroups
         self.params = params or SchedParams()
+        from repro.policy import make_sched_policy
+        self.policy = make_sched_policy(
+            "default" if policy is None else policy)
         self._incremental = incremental
         self._snapshot: list[GroupAlloc] = []
         self._galloc: dict[Cgroup, GroupAlloc] = {}
@@ -359,91 +424,55 @@ class FairScheduler:
             self._solve_component(members, capacity)
 
     def _solve_component(self, members: list[Cgroup], capacity: float) -> None:
-        """Waterfill one contention domain and publish rates to its groups.
+        """Solve one contention domain and publish rates to its groups.
 
-        The only place allocation arithmetic happens — shared verbatim by
-        full and partial re-solves, so identical (seq-ordered) inputs
-        yield bit-identical rates regardless of what else was re-solved.
+        The arithmetic lives in the policy (:meth:`_policy_solve`);
+        publication — caching the GroupAlloc, pushing rates to the
+        cgroups, refreshing the completion index — is mechanism and is
+        identical under every policy.  Shared verbatim by full and
+        partial re-solves, so identical (seq-ordered) inputs yield
+        bit-identical rates regardless of what else was re-solved.
         """
-        allocs: list[GroupAlloc] = []
-        for cg in members:
-            n = cg.n_runnable()
-            mask_size = float(len(cg.effective_cpuset()))
-            quota = cg.quota_cores
-            g = GroupAlloc(cgroup=cg, n_threads=n,
-                           weight=float(cg.cpu.shares),
-                           cap=min(quota, mask_size, float(n)),
-                           demand=min(float(n), mask_size), quota=quota)
-            allocs.append(g)
-            self._galloc[cg] = g
-        rates = waterfill([g.weight for g in allocs],
-                          [g.cap for g in allocs], capacity)
-        for g, rate in zip(allocs, rates):
-            g.rate = rate
-        kappa = self.params.csw_overhead
-        gamma = self.params.interference
-        eps = self.params.eps
-        for g, pressure in zip(allocs, self._component_pressures(allocs)):
-            rate = g.rate
-            if rate > eps and g.n_threads > rate:
-                oversub = g.n_threads / rate - 1.0
-                g.efficiency = 1.0 / (1.0 + kappa * oversub)
-            else:
-                g.efficiency = 1.0
-            if pressure > 1.0:
-                g.efficiency *= 1.0 / (1.0 + gamma * (pressure - 1.0))
-            g.pressure = pressure
+        allocs = self._policy_solve(members, capacity)
+        for g in allocs:
             cg = g.cgroup
-            cg.cpu_rate = rate
+            self._galloc[cg] = g
+            cg.cpu_rate = g.rate
             cg._thread_rate = g.per_thread_progress * cg.progress_multiplier
             cg._occ_rate = g.per_thread_occupancy
             if self._incremental:
                 self._push_entry(cg)
 
-    def _component_pressures(self, allocs: list[GroupAlloc]) -> list[float]:
-        """Runnable-thread pressure of each group's contention domain.
+    def _policy_solve(self, members: list[Cgroup],
+                      capacity: float) -> list[GroupAlloc]:
+        """Policy indirection for one domain solve.
 
-        The contention domain of group *i* is the union of the cpusets of
-        all groups whose cpusets intersect its own; pressure is the
-        runnable threads in the domain divided by the domain's CPU count.
-        *Other* groups contribute all their runnable threads (their
-        time-slicing pollutes caches and preempts this group's lock
-        holders); the group's *own* threads count only up to its own
-        allocation — time-slicing among your own threads is the
-        ``csw_overhead`` term, not cross-container interference.  A group
-        with a dedicated cpuset therefore never pays interference,
-        however many threads it runs (JDK 9's isolation in Fig. 7).
-
-        Batched by distinct mask: fleets share a handful of cpuset masks,
-        so the pairwise work is O(distinct masks²), not O(groups²).
+        A separate method (rather than calling ``self.policy.solve``
+        inline) so the profiler can wrap it: the wrap survives
+        :meth:`set_policy` because the indirection, not the policy
+        instance, carries the instrumentation.
         """
-        distinct: dict[tuple[int, ...], list] = {}  # key -> [cpu set, n total]
-        keys: list[tuple[int, ...]] = []
-        for g in allocs:
-            key = g.cgroup.effective_cpuset().as_tuple()
-            keys.append(key)
-            info = distinct.get(key)
-            if info is None:
-                distinct[key] = [set(key), g.n_threads]
-            else:
-                info[1] += g.n_threads
-        stats: dict[tuple[int, ...], tuple[int, int]] = {}
-        items = list(distinct.items())
-        for key, (cpus, _n) in items:
-            total = 0                   # exact: integer thread counts
-            domain: set[int] = set(cpus)
-            for key2, (cpus2, n2) in items:
-                if cpus & cpus2:
-                    total += n2
-                    domain |= cpus2
-            stats[key] = (total, len(domain))
-        pressures: list[float] = []
-        for g, key in zip(allocs, keys):
-            total, domain_size = stats[key]
-            threads = (min(float(g.n_threads), g.rate)
-                       + float(total - g.n_threads))
-            pressures.append(threads / domain_size if domain_size else 0.0)
-        return pressures
+        return self.policy.solve(members, capacity, self.params)
+
+    def set_policy(self, policy: "SchedPolicy | str") -> dict:
+        """Hot-swap the scheduling policy (plugsched-style).
+
+        The outgoing policy exports its internal state, the incoming one
+        imports it (ignoring keys it does not understand), and every
+        domain is marked dirty so the next :meth:`reallocate` re-solves
+        the whole host under the new policy.  Mechanism ledgers are not
+        touched — :meth:`repro.world.World.swap_policy` asserts that.
+
+        Returns the handoff record ``{"from", "to", "state"}``.
+        """
+        from repro.policy import make_sched_policy
+        new = make_sched_policy(policy)
+        old = self.policy
+        state = old.export_state()
+        new.import_state(state)
+        self.policy = new
+        self.mark_dirty()
+        return {"from": old.name, "to": new.name, "state": state}
 
     # -- completion index ------------------------------------------------------
 
@@ -621,14 +650,10 @@ class FairScheduler:
             cg.window_usage += used
             demand = g.demand
             total_demand += demand
-            # Throttling: demand the quota clipped (the fluid analogue of
-            # cpu.stat's throttled_time).
-            quota = g.quota
-            if quota != float("inf"):
-                clipped = max(0.0, demand - quota)
-                if clipped > 0.0 and rate >= quota - 1e-9:
-                    cg.throttled_time += clipped * dt
-                    cg.throttled_wall += dt
+            # Throttle accounting is a policy decision (the default
+            # policy clips demand at the quota; burstable only accrues
+            # while a soft cap is asserted).
+            self.policy.throttle_accrue(g, dt)
             cg.progress_acc += cg._thread_rate * dt
             cg.occupancy_acc += cg._occ_rate * dt
             # CPU some: unmet share of runnable demand; full: runnable but

@@ -9,12 +9,23 @@ wall-clock time to the engine's subsystems:
   ``World.run`` not claimed by a nested probe);
 * ``fair_solver`` — ``FairScheduler.reallocate`` (the water-filling
   fair-share solve);
+* ``sched_policy`` — the pluggable allocation arithmetic
+  (``SchedPolicy.solve`` via the ``_policy_solve`` indirection);
+  exclusive accounting subtracts this from ``fair_solver``, so the
+  solver row is pure mechanism cost;
 * ``psi_accrual`` — ``FairScheduler.advance`` (usage/pressure/throttle
   integral accrual between events);
 * ``memcg`` — charge/uncharge/limit/rebalance paths of the memory
   manager;
+* ``reclaim_policy`` — the pluggable reclaim planning
+  (``ReclaimPolicy.plan_*`` via the ``_policy_plan`` indirection),
+  likewise subtracted from ``memcg``;
 * ``placement`` / ``migration`` — the cluster's scheduling round and
   rebalancer (cluster mode only).
+
+Policy probes wrap the kernel's *indirection* methods, not the policy
+instances, so a mid-run :meth:`World.swap_policy` neither escapes the
+profiler nor breaks detach.
 
 A lightweight flight recorder samples ``(wall, steps, sim-time)`` every
 ``flight_every`` engine steps into a bounded ring, yielding a
@@ -43,8 +54,8 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["EngineProfiler", "SUBSYSTEMS"]
 
 #: Buckets the profiler attributes time to, in report order.
-SUBSYSTEMS = ("event_loop", "fair_solver", "psi_accrual", "memcg",
-              "placement", "migration")
+SUBSYSTEMS = ("event_loop", "fair_solver", "sched_policy", "psi_accrual",
+              "memcg", "reclaim_policy", "placement", "migration")
 
 _MISSING = object()
 
@@ -157,10 +168,12 @@ class EngineProfiler:
         self._wrap(world, "run", "event_loop")
         self._wrap(world, "run_until", "event_loop")
         self._wrap(world.sched, "reallocate", "fair_solver")
+        self._wrap(world.sched, "_policy_solve", "sched_policy")
         self._wrap(world.sched, "advance", "psi_accrual")
         for attr in ("charge", "uncharge", "uncharge_all", "enforce_limit",
                      "rebalance"):
             self._wrap(world.mm, attr, "memcg")
+        self._wrap(world.mm, "_policy_plan", "reclaim_policy")
         self._wrap_step(world)
         return self
 

@@ -54,7 +54,8 @@ class World:
                  mem_view_params: MemViewParams | None = None,
                  sys_ns_update_period: float | None = None,
                  trace: bool = False, seed: int = 0,
-                 engine: str = "incremental"):
+                 engine: str = "incremental",
+                 sched_policy="default", reclaim_policy="default"):
         if engine not in ("incremental", "scan"):
             raise SimulationError(
                 f"unknown engine {engine!r}: expected 'incremental' or 'scan'")
@@ -68,8 +69,10 @@ class World:
         self.cgroups = CgroupRoot(self.host)
         self.cgroups.bind_clock(self.clock)
         self.sched = FairScheduler(self.host, self.cgroups, sched_params,
-                                   incremental=(engine == "incremental"))
-        self.mm = MemoryManager(memory, self.cgroups, mm_params)
+                                   incremental=(engine == "incremental"),
+                                   policy=sched_policy)
+        self.mm = MemoryManager(memory, self.cgroups, mm_params,
+                                policy=reclaim_policy)
         self.mm.event_hook = (
             lambda category, message, **fields:
             self.trace.emit(category, message, **fields))
@@ -217,6 +220,67 @@ class World:
             if not self._step_clamped(deadline):
                 return predicate()
         return True
+
+    # -- policy hot-swap -----------------------------------------------------
+
+    def _policy_ledgers(self) -> dict:
+        """Conserved quantities a policy swap must not perturb.
+
+        Exact values (float bit-patterns and integer byte counts), not
+        tolerances: the swap itself does no accrual, so even the last
+        ulp of every ledger must survive the handoff.
+        """
+        groups = sorted(self.cgroups.walk(), key=lambda c: c.seq)
+        return {
+            "elapsed": self.sched.elapsed,
+            "conservation_error": self.sched.conservation_error(),
+            "cpu_time": sum(cg.total_cpu_time for cg in groups)
+                        + self.cgroups.retired_cpu_time,
+            "throttled_time": sum(cg.throttled_time for cg in groups)
+                              + self.cgroups.retired_throttled_time,
+            "charge_total": sum(cg.memory.charge_total for cg in groups),
+            "uncharge_total": sum(cg.memory.uncharge_total for cg in groups),
+            "resident": sum(cg.memory.resident for cg in groups),
+            "swapped": sum(cg.memory.swapped for cg in groups),
+            "swap_free": self.mm.swap.free,
+        }
+
+    def swap_policy(self, *, sched_policy=None, reclaim_policy=None) -> dict:
+        """Hot-swap kernel policies mid-simulation (plugsched-style).
+
+        Either side may be swapped independently; ``None`` leaves it
+        alone.  The handoff is: resolve any pending reallocation under
+        the *old* policy, move policy-internal state across
+        (``export_state``/``import_state``), re-solve the whole host
+        under the new policy, and assert that every conservation ledger
+        (CPU time, throttle time, charge/uncharge totals, residency,
+        swap occupancy) is bit-exactly what it was — a swap decides the
+        *future*, never rewrites the past.
+
+        Returns the handoff record; raises :class:`PolicyError` if a
+        ledger moved.
+        """
+        from repro.errors import PolicyError
+        if self.sched.dirty:
+            self.sched.reallocate()
+        before = self._policy_ledgers()
+        handoff: dict = {"t": self.clock.now}
+        if sched_policy is not None:
+            handoff["sched"] = self.sched.set_policy(sched_policy)
+            self.sched.reallocate()
+        if reclaim_policy is not None:
+            handoff["reclaim"] = self.mm.set_policy(reclaim_policy)
+        after = self._policy_ledgers()
+        for key, value in before.items():
+            if after[key] != value:
+                raise PolicyError(
+                    f"policy swap perturbed ledger {key!r}: "
+                    f"{value!r} -> {after[key]!r}")
+        self.trace.emit(
+            "policy.swap", "kernel policy hot-swap",
+            sched=handoff.get("sched", {}).get("to"),
+            reclaim=handoff.get("reclaim", {}).get("to"))
+        return handoff
 
     # -- introspection -------------------------------------------------------
 

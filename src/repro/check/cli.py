@@ -18,6 +18,11 @@ Modes (combinable with ``--shrink``/``--fixtures``):
   bundles instead of two engines; the oracle is lawfulness (each run's
   own invariant suite), not equality — see
   :mod:`repro.check.policy_diff`.
+* backend diff: ``--backend-diff A,B`` sweeps the seeds under two
+  engine backends (e.g. ``incremental,vector``) with the same exact
+  byte-equality oracle as the default engine pair; fixtures carry an
+  ``engine_pair`` key so ``--replay`` re-runs them under the same
+  backends.
 
 Every mode ends with the same grep-able summary line
 (``check: seeds=N failures=M cache_hits=K``); exit status is 0 only if
@@ -41,8 +46,8 @@ from repro.check.generator import generate
 from repro.check.policy_diff import run_policy_differential
 from repro.check.scenario import Scenario
 from repro.check.shrinker import shrink
-from repro.check.sweep import (POLICY_TRIAL_FN, TRIAL_FN, seed_trial,
-                               summary_line)
+from repro.check.sweep import (BACKEND_TRIAL_FN, POLICY_TRIAL_FN, TRIAL_FN,
+                               seed_trial, summary_line)
 from repro.par import ResultCache, TrialSpec, default_cache_dir, run_trials
 
 __all__ = ["main", "add_arguments"]
@@ -65,6 +70,11 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                         help="sweep the seeds under two policy bundles "
                              "(e.g. default,burstable) instead of two "
                              "engines")
+    parser.add_argument("--backend-diff", type=str, default=None,
+                        metavar="A,B",
+                        help="sweep the seeds under two engine backends "
+                             "(e.g. incremental,vector) instead of the "
+                             "default incremental,scan pair")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the seed sweep "
                              "(default 1 = in-process)")
@@ -85,12 +95,14 @@ def _default_fixture_dir() -> str | None:
 
 
 def _fail(scenario: Scenario, report, args, *,
-          oracle=None, policy_pair: tuple[str, str] | None = None) -> None:
+          oracle=None, policy_pair: tuple[str, str] | None = None,
+          engine_pair: tuple[str, str] | None = None) -> None:
     """Report, shrink and fixture one failing scenario.
 
     ``oracle`` maps a mutated scenario to its failure fingerprint
-    (default: the engine differential); ``policy_pair`` is recorded in
-    the fixture so ``--replay`` re-runs it under the same bundles.
+    (default: the engine differential); ``policy_pair`` /
+    ``engine_pair`` are recorded in the fixture so ``--replay`` re-runs
+    it under the same bundles or backends.
     """
     if oracle is None:
         oracle = lambda s: run_differential(s).fingerprint()  # noqa: E731
@@ -108,6 +120,8 @@ def _fail(scenario: Scenario, report, args, *,
     fixture = minimal.to_dict()
     if policy_pair is not None:
         fixture["policy_pair"] = list(policy_pair)
+    if engine_pair is not None:
+        fixture["engine_pair"] = list(engine_pair)
     fixture_json = json.dumps(fixture, indent=2, sort_keys=True)
     fixture_dir = args.fixtures or _default_fixture_dir()
     if fixture_dir:
@@ -126,6 +140,9 @@ def _fail(scenario: Scenario, report, args, *,
     if policy_pair is not None:
         print(f"re-run with: python -m repro check --seed {scenario.seed} "
               f"--policy-diff {policy_pair[0]},{policy_pair[1]}")
+    elif engine_pair is not None:
+        print(f"re-run with: python -m repro check --seed {scenario.seed} "
+              f"--backend-diff {engine_pair[0]},{engine_pair[1]}")
     else:
         print(f"re-run with: python -m repro check --seed {scenario.seed}")
 
@@ -229,6 +246,51 @@ def _policy_sweep(seeds: list[int], pair: tuple[str, str], args) -> int:
     return 0
 
 
+def _backend_sweep(seeds: list[int], pair: tuple[str, str], args) -> int:
+    """Fixed-seed sweep under two engine backends (exact equality)."""
+    cache = None if args.no_cache else ResultCache(default_cache_dir())
+    specs = [TrialSpec(fn=BACKEND_TRIAL_FN,
+                       experiment=f"check-backend-{pair[0]}-{pair[1]}",
+                       trial_id=f"seed{s}",
+                       config={"seed": s, "pair": list(pair)})
+             for s in seeds]
+
+    def on_result(_spec, res):
+        if res.ok:
+            _print_seed_result(res.value, cached=res.cached,
+                               verbose=args.verbose)
+        else:
+            print(f"fail backend trial {res.trial_id}: {res.error}")
+
+    results = run_trials(specs, jobs=args.jobs, cache=cache,
+                         on_result=on_result)
+    failed = [(seed, res) for seed, res in zip(seeds, results)
+              if not res.ok or not res.value.get("ok")]
+    if failed:
+        seed, res = failed[0]
+        if res.ok:                       # divergence, not a worker crash
+            scenario = generate(seed)
+            report = run_differential(scenario, engines=pair)
+            _fail(scenario, report, args,
+                  oracle=lambda s: run_differential(
+                      s, engines=pair).fingerprint(),
+                  engine_pair=pair)
+        else:
+            print(f"seed {seed} worker failure: {res.error}")
+    hits = cache.hits if cache else 0
+    print(summary_line(seeds=len(seeds), failures=len(failed),
+                       cache_hits=hits))
+    if failed:
+        print(f"check: FAILED (first failure above; "
+              f"{len(failed)}/{len(seeds)} seeds failed under "
+              f"{pair[0]},{pair[1]})")
+        return 1
+    print(f"check: {len(seeds)} scenarios identical under "
+          f"{pair[0]!r} and {pair[1]!r} backends, 0 invariant violations, "
+          f"0 divergences")
+    return 0
+
+
 def _smoke(args) -> int:
     deadline = time.monotonic() + args.smoke
     sysrand = random.SystemRandom()
@@ -253,9 +315,13 @@ def _replay(args) -> int:
         data = json.loads(fh.read())
     scenario = Scenario.from_dict(data)
     pair = data.get("policy_pair")
+    engine_pair = data.get("engine_pair")
     if pair is not None:
         report = run_policy_differential(scenario, tuple(pair))
         what = f"policies {pair[0]},{pair[1]}"
+    elif engine_pair is not None:
+        report = run_differential(scenario, engines=tuple(engine_pair))
+        what = f"backends {engine_pair[0]},{engine_pair[1]}"
     else:
         report = run_differential(scenario)
         what = "both engines"
@@ -271,8 +337,7 @@ def _parse_pair(spec: str) -> tuple[str, str]:
     parts = [p.strip() for p in spec.split(",")]
     if len(parts) != 2 or not all(parts):
         raise SystemExit(
-            f"--policy-diff expects two comma-separated bundle names, "
-            f"got {spec!r}")
+            f"expected two comma-separated names, got {spec!r}")
     return (parts[0], parts[1])
 
 
@@ -287,4 +352,10 @@ def main(args: argparse.Namespace) -> int:
         seeds = list(range(args.seed_start, args.seed_start + args.seeds))
     if args.policy_diff is not None:
         return _policy_sweep(seeds, _parse_pair(args.policy_diff), args)
+    if args.backend_diff is not None:
+        pair = _parse_pair(args.backend_diff)
+        for name in pair:
+            if name not in ("incremental", "scan", "vector"):
+                raise SystemExit(f"--backend-diff: unknown engine {name!r}")
+        return _backend_sweep(seeds, pair, args)
     return _sweep(seeds, args)

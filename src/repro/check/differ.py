@@ -1,9 +1,13 @@
-"""Differential oracle: run one scenario on both engines, demand equality.
+"""Differential oracle: run one scenario on two engines, demand equality.
 
-The two engine modes (``incremental``, ``scan``) share their allocation
-arithmetic by construction, so every snapshot field — floats included —
-must compare *exactly* equal at every op boundary.  Tolerances would
-only hide the first divergence until it compounds into a visible one.
+The engine modes (``incremental``, ``scan``, ``vector``) share their
+allocation arithmetic by construction, so every snapshot field — floats
+included — must compare *exactly* equal at every op boundary.
+Tolerances would only hide the first divergence until it compounds into
+a visible one.  The default pair is the classic incremental-vs-scan
+oracle; ``engines=`` fuzzes any other backend pair the same way (the
+``--backend-diff`` CLI mode pits the vector backend against either
+scalar engine).
 """
 
 from __future__ import annotations
@@ -90,16 +94,17 @@ def diff_snapshots(a: dict | list | object, b: dict | list | object,
 
 
 def run_differential(scenario: Scenario, *,
+                     engines: tuple[str, str] = ENGINES,
                      suite_factory=None,
                      max_mismatches: int = 20) -> DiffReport:
-    """Run ``scenario`` on both engines and compare their digests."""
+    """Run ``scenario`` on two engines and compare their digests."""
     report = DiffReport()
-    for engine in ENGINES:
+    for engine in engines:
         suite: list[Invariant] | None = suite_factory() if suite_factory else None
         res = run_scenario(scenario, engine, suite=suite)
         report.results[engine] = res
         report.violations.extend(f"{engine}: {v}" for v in res.violations)
-    a, b = (report.results[e] for e in ENGINES)
+    a, b = (report.results[e] for e in engines)
     if a.log != b.log:
         for i, (la, lb) in enumerate(zip(a.log, b.log)):
             if la != lb:

@@ -16,14 +16,17 @@ from repro.check.differ import run_differential
 from repro.check.generator import generate
 from repro.check.policy_diff import run_policy_differential
 
-__all__ = ["TRIAL_FN", "POLICY_TRIAL_FN", "seed_trial", "policy_trial",
-           "summary_line"]
+__all__ = ["TRIAL_FN", "POLICY_TRIAL_FN", "BACKEND_TRIAL_FN", "seed_trial",
+           "policy_trial", "backend_trial", "summary_line"]
 
 #: Dotted path handed to TrialSpec.fn.
 TRIAL_FN = "repro.check.sweep:seed_trial"
 
 #: Dotted path for policy-diff sweeps.
 POLICY_TRIAL_FN = "repro.check.sweep:policy_trial"
+
+#: Dotted path for engine-backend-diff sweeps.
+BACKEND_TRIAL_FN = "repro.check.sweep:backend_trial"
 
 
 def seed_trial(config: dict, spawn_seed: int) -> dict:
@@ -66,6 +69,32 @@ def policy_trial(config: dict, spawn_seed: int) -> dict:
              "horizon": scenario.horizon}
     if report.ok:
         value.update(drift=report.divergence_summary())
+    else:
+        value.update(fingerprint=report.fingerprint(),
+                     summary=report.summary())
+    return value
+
+
+def backend_trial(config: dict, spawn_seed: int) -> dict:
+    """Run one generated seed under two engine backends.
+
+    Same exact-equality oracle as :func:`seed_trial`, but the engine
+    pair comes from ``config["pair"]`` instead of the fixed
+    incremental/scan duo — this is how the vector solve backend is
+    fuzzed against the scalar engines.
+    """
+    seed = int(config["seed"])
+    pair = tuple(config["pair"])
+    scenario = generate(seed)
+    report = run_differential(scenario, engines=pair)
+    value = {"seed": seed, "pair": list(pair), "ok": report.ok,
+             "ops": len(scenario), "ncpus": scenario.ncpus,
+             "memory_mib": scenario.memory >> 20,
+             "horizon": scenario.horizon}
+    if report.ok:
+        final = report.results[pair[0]].snapshots[-1]
+        value.update(steps=final["steps"], oom=final["mm"]["oom_kills"],
+                     groups=len(final["groups"]))
     else:
         value.update(fingerprint=report.fingerprint(),
                      summary=report.summary())

@@ -28,6 +28,11 @@ class NsMonitor:
     def __init__(self, cgroups: CgroupRoot):
         self.cgroups = cgroups
         self._by_cgroup: dict[str, SysNamespace] = {}
+        #: Last-seen ``cpu.shares`` per registered path: the contention
+        #: set depends only on shares, so a CPU_CHANGED event that left
+        #: shares untouched (a quota/period edit) rebinds only the edited
+        #: namespace's bounds — everyone else's inputs are unchanged.
+        self._shares_seen: dict[str, int] = {}
         self.events_seen = 0
         cgroups.subscribe(self._on_cgroup_event)
 
@@ -44,6 +49,7 @@ class NsMonitor:
     def unregister(self, sys_ns: SysNamespace) -> None:
         """Remove a terminated container's namespace and rebalance."""
         self._by_cgroup.pop(sys_ns.cgroup.path, None)
+        self._shares_seen.pop(sys_ns.cgroup.path, None)
         self._refresh_all_cpu(self._all_shares())
 
     def lookup(self, cgroup: Cgroup) -> SysNamespace | None:
@@ -60,14 +66,24 @@ class NsMonitor:
         shares = self._all_shares() if shares is None else shares
         for ns in self._by_cgroup.values():
             ns.refresh_cpu_bounds(shares)
+            self._shares_seen[ns.cgroup.path] = ns.cgroup.cpu.shares
 
     # -- cgroup-event handling -----------------------------------------------
 
     def _on_cgroup_event(self, event: CgroupEvent) -> None:
         self.events_seen += 1
         if event.kind is CgroupEventKind.CPU_CHANGED:
-            if event.cgroup.path in self._by_cgroup:
-                self._refresh_all_cpu()
+            ns = self._by_cgroup.get(event.cgroup.path)
+            if ns is not None:
+                new_shares = event.cgroup.cpu.shares
+                if self._shares_seen.get(event.cgroup.path) == new_shares:
+                    # Quota/period edit: the contention set (the shares
+                    # vector) is untouched, so every other namespace's
+                    # bounds would recompute to the same values — only
+                    # the edited one needs refreshing.
+                    ns.refresh_cpu_bounds(self._all_shares())
+                else:
+                    self._refresh_all_cpu()
         elif event.kind is CgroupEventKind.MEMORY_CHANGED:
             ns = self._by_cgroup.get(event.cgroup.path)
             if ns is not None:

@@ -91,6 +91,13 @@ class MemoryManager:
         #: True while kswapd is actively reclaiming (Algorithm 2 resets
         #: effective memory to the soft limit in that state).
         self.reclaiming = False
+        #: Running sum of every group's resident bytes.  Residency is
+        #: integer-valued and mutated only by the four charge/swap paths
+        #: below, so the counter is exact and replaces the full
+        #: hierarchy walk ``total_resident`` used to cost on every read
+        #: (the free-memory check on each charge).
+        self._total_resident = sum(cg.memory.resident
+                                   for cg in cgroups.walk())
         # Lowering memory.limit_in_bytes below current residency must
         # reclaim the excess, as Linux does on the limit write itself —
         # otherwise `resident <= hard_limit` silently stops holding.
@@ -107,7 +114,12 @@ class MemoryManager:
 
     @property
     def total_resident(self) -> int:
-        return sum(cg.memory.resident for cg in self._all_groups())
+        return self._total_resident
+
+    def audit_resident(self) -> int:
+        """Walk-computed residency minus the running counter (must be 0)."""
+        return (sum(cg.memory.resident for cg in self._all_groups())
+                - self._total_resident)
 
     @property
     def free(self) -> int:
@@ -163,6 +175,7 @@ class MemoryManager:
             mem.swapped += to_swap
             mem.swapout_total += to_swap
         mem.resident += to_resident
+        self._total_resident += to_resident
         mem.charge_total += nbytes
         self._after_change(cg)
 
@@ -184,6 +197,7 @@ class MemoryManager:
             self.swap.release(from_swap)
             mem.swapped -= from_swap
         mem.resident -= nbytes - from_swap
+        self._total_resident -= nbytes - from_swap
         mem.uncharge_total += nbytes
         self._after_change(cg)
 
@@ -307,6 +321,7 @@ class MemoryManager:
         nbytes = min(nbytes, mem.resident)
         granted = self.swap.reserve(nbytes)
         mem.resident -= granted
+        self._total_resident -= granted
         mem.swapped += granted
         mem.swapout_total += granted
         self._after_change(cg)
@@ -323,6 +338,7 @@ class MemoryManager:
         self.swap.release(nbytes)
         mem.swapped -= nbytes
         mem.resident += nbytes
+        self._total_resident += nbytes
         mem.swapin_total += nbytes
         self._after_change(cg)
         return nbytes

@@ -48,11 +48,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.kernel.cgroup import Cgroup, CgroupRoot
 from repro.kernel.cpu import HostCpus
+from repro.obs.pressure import PSI_WINDOWS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.task import SimThread
@@ -68,6 +71,17 @@ _EPS = 1e-9
 #: the heap head is re-evaluated exactly, so the heap orders candidates
 #: while fresh arithmetic decides, keeping both modes byte-identical.
 _CAND_WINDOW = 1e-9
+
+#: A re-push is skipped when the live heap entry was computed from the
+#: same (head target, progress rate) and its estimate agrees with fresh
+#: arithmetic within this tolerance.  Kept a small fraction of
+#: ``_CAND_WINDOW`` so a retained entry can never move a true candidate
+#: out of the re-evaluation window.
+_PUSH_SKIP_TOL = _CAND_WINDOW / 4.0
+
+#: Bound on the domain-solve memo table; cleared wholesale when full
+#: (a plain dict beats an LRU at these hit rates).
+_SOLVE_CACHE_MAX = 8192
 
 
 @dataclass(frozen=True)
@@ -106,6 +120,13 @@ class GroupAlloc:
     #: Policy flag: the quota re-asserted itself under domain pressure
     #: (burstable policy); throttle time accrues only while set.
     soft_capped: bool = False
+    #: The field tuple last published into this (pooled) object; lets
+    #: re-publication skip groups whose solve output did not change.
+    _row: tuple | None = field(default=None, repr=False, compare=False)
+    #: ``policy.throttle_clip`` evaluated at publication (row-static
+    #: policies only): the per-second throttled_time accrual rate the
+    #: mechanism applies each step without calling back into the policy.
+    _clip: float = field(default=0.0, repr=False, compare=False)
 
     @property
     def per_thread_progress(self) -> float:
@@ -124,11 +145,20 @@ class GroupAlloc:
 
 @dataclass
 class _Component:
-    """A cached contention domain: a connected component of cpuset overlap."""
+    """A cached contention domain: a connected component of cpuset overlap.
+
+    ``mask_count`` tracks how many members carry each distinct cpuset
+    mask: a member whose mask is still held by another member can leave
+    (and a member whose exact mask is already present can enter) without
+    changing the component's connectivity or CPU set, so partial
+    re-solves can update membership in place instead of re-running
+    union-find.
+    """
 
     members: list[Cgroup] = field(default_factory=list)  # seq-sorted
     cpus: set[int] = field(default_factory=set)
     capacity: float = 0.0
+    mask_count: dict = field(default_factory=dict)
 
 
 def waterfill(weights: list[float], caps: list[float], capacity: float) -> list[float]:
@@ -194,6 +224,17 @@ def component_pressures(allocs: list[GroupAlloc]) -> list[float]:
             distinct[key] = [set(key), g.n_threads]
         else:
             info[1] += g.n_threads
+    if len(distinct) == 1:
+        # One shared mask (the common fleet shape): the domain is that
+        # mask and every group contends with the whole pool.
+        (key, (cpus, total)), = distinct.items()
+        domain_size = len(cpus)
+        pressures = []
+        for g in allocs:
+            threads = (min(float(g.n_threads), g.rate)
+                       + float(total - g.n_threads))
+            pressures.append(threads / domain_size if domain_size else 0.0)
+        return pressures
     stats: dict[tuple[int, ...], tuple[int, int]] = {}
     items = list(distinct.items())
     for key, (cpus, _n) in items:
@@ -226,7 +267,7 @@ class FairScheduler:
 
     def __init__(self, host: HostCpus, cgroups: CgroupRoot,
                  params: SchedParams | None = None, *,
-                 incremental: bool = True,
+                 incremental: bool = True, vector: bool = False,
                  policy: "SchedPolicy | str | None" = None):
         self.host = host
         self.cgroups = cgroups
@@ -235,8 +276,31 @@ class FairScheduler:
         self.policy = make_sched_policy(
             "default" if policy is None else policy)
         self._incremental = incremental
+        #: Array solve backend (``engine="vector"``): answers pure-policy
+        #: domain solves from flat arrays, bit-identically to the scalar
+        #: path.  Stays None — a graceful scalar fallback — when numpy
+        #: is not installed or the engine did not ask for it.
+        self._vector = None
+        if vector:
+            from repro.kernel.sched import vector as vector_backend
+            if vector_backend.available():
+                self._vector = vector_backend.VectorBackend(cgroups)
         self._snapshot: list[GroupAlloc] = []
         self._galloc: dict[Cgroup, GroupAlloc] = {}
+        #: Pooled per-cgroup GroupAlloc objects: publication writes the
+        #: solved fields into a stable object per group instead of
+        #: allocating fresh ones, so the seq-sorted snapshot only needs
+        #: rebuilding when the busy *membership* changes.
+        self._gpool: dict[Cgroup, GroupAlloc] = {}
+        self._members_changed = True
+        self._n_run_total = 0
+        #: While a partial re-solve publishes: the dirty set it was
+        #: triggered by (None means treat every group as dirty).
+        self._publish_dirty: set[Cgroup] | None = None
+        #: Domain-solve memo: enabled only for pure (stateless) policies
+        #: in incremental mode; scan stays the uncached reference.
+        self._solve_cache: dict | None = None
+        self._refresh_solve_cache()
         self._dirty_all = True
         self._dirty_groups: set[Cgroup] = set()
         # Cached contention domains (incremental mode).
@@ -294,13 +358,24 @@ class FairScheduler:
         so partial re-solves are bit-identical to full ones.
         """
         if self._incremental and not self._dirty_all:
+            # Publication may skip heap re-pushes for groups outside this
+            # set whose solve output is unchanged (their live entries are
+            # still exact; head changes notify separately).
+            self._publish_dirty = self._dirty_groups
             self._solve_partial(self._dirty_groups)
+            self._publish_dirty = None
         else:
             self._solve_full()
         self._dirty_groups.clear()
         self._dirty_all = False
-        self._snapshot = sorted(self._galloc.values(),
-                                key=lambda g: g.cgroup.seq)
+        if self._members_changed:
+            # Publication pools GroupAlloc objects per cgroup, so the
+            # seq-sorted snapshot stays valid while the busy membership
+            # is unchanged; only rate/efficiency fields were rewritten.
+            self._snapshot = sorted(self._galloc.values(),
+                                    key=lambda g: g.cgroup.seq)
+            self._members_changed = False
+        self._n_run_total = sum(g.n_threads for g in self._snapshot)
         self._offline_pressure.clear()
         return self._snapshot
 
@@ -323,6 +398,68 @@ class FairScheduler:
         self._register_components(busy)
 
     def _solve_partial(self, dirty: set[Cgroup]) -> None:
+        # Fast path: every dirty group either stays put, leaves a
+        # component in which another member holds the identical cpuset
+        # mask, or enters a component that already contains its exact
+        # mask.  None of those can change domain connectivity or any
+        # component's CPU set (cpuset *edits* invalidate globally via
+        # ``topology=True``), so membership is updated in place and the
+        # affected components re-solved — re-running union-find would
+        # reproduce them exactly.
+        resolve: set[int] = set()
+        leavers: list[tuple[Cgroup, _Component, tuple]] = []
+        enterers: list[tuple[Cgroup, int, tuple]] = []
+        # Mask counts as they would stand after the pending fast ops:
+        # two leavers sharing a mask held twice must not both pass.
+        delta: dict[tuple[int, tuple], int] = {}
+        fast = True
+        for cg in dirty:
+            gone = cg.destroyed or cg.n_runnable() == 0
+            galloc_entry = cg in self._galloc
+            if galloc_entry:
+                comp_id = self._comp_of[cg]
+                if not gone:
+                    resolve.add(comp_id)
+                    continue
+                comp = self._comps[comp_id]
+                mask = cg.effective_cpuset().as_tuple()
+                key = (comp_id, mask)
+                if comp.mask_count.get(mask, 0) + delta.get(key, 0) >= 2:
+                    delta[key] = delta.get(key, 0) - 1
+                    leavers.append((cg, comp, mask))
+                    resolve.add(comp_id)
+                else:
+                    fast = False
+                    break
+            elif gone:
+                cg.cpu_rate = 0.0
+            else:
+                mask = cg.effective_cpuset().as_tuple()
+                comp_id = self._cpu_comp.get(mask[0]) if mask else None
+                if comp_id is not None:
+                    key = (comp_id, mask)
+                    comp = self._comps[comp_id]
+                    if comp.mask_count.get(mask, 0) + delta.get(key, 0) >= 1:
+                        delta[key] = delta.get(key, 0) + 1
+                        enterers.append((cg, comp_id, mask))
+                        resolve.add(comp_id)
+                        continue
+                fast = False
+                break
+        if fast:
+            for cg, comp, mask in leavers:
+                comp.mask_count[mask] -= 1
+                comp.members.remove(cg)
+                self._retire(cg)
+            for cg, comp_id, mask in enterers:
+                comp = self._comps[comp_id]
+                comp.mask_count[mask] = comp.mask_count.get(mask, 0) + 1
+                insort(comp.members, cg, key=lambda c: c.seq)
+                self._comp_of[cg] = comp_id
+            for comp_id in sorted(resolve):
+                comp = self._comps[comp_id]
+                self._solve_component(comp.members, comp.capacity)
+            return
         affected: set[int] = set()
         entering: list[Cgroup] = []
         for cg in dirty:
@@ -360,7 +497,9 @@ class FairScheduler:
 
     def _retire(self, cg: Cgroup) -> None:
         """Drop a no-longer-busy group from all engine indexes."""
-        self._galloc.pop(cg, None)
+        if self._galloc.pop(cg, None) is not None:
+            self._members_changed = True
+        self._gpool.pop(cg, None)
         self._comp_of.pop(cg, None)
         self._due_zero.discard(cg)
         cg.cpu_rate = 0.0
@@ -416,7 +555,9 @@ class FairScheduler:
                 cpus.update(mask)
             comp_id = next(self._comp_ids)
             capacity = float(len(cpus))
-            self._comps[comp_id] = _Component(members, cpus, capacity)
+            mask_count = {mask: len(by_mask[mask]) for mask in mask_list}
+            self._comps[comp_id] = _Component(members, cpus, capacity,
+                                              mask_count)
             for cg in members:
                 self._comp_of[cg] = comp_id
             for cpu in cpus:
@@ -433,15 +574,128 @@ class FairScheduler:
         partial re-solves, so identical (seq-ordered) inputs yield
         bit-identical rates regardless of what else was re-solved.
         """
-        allocs = self._policy_solve(members, capacity)
-        for g in allocs:
-            cg = g.cgroup
-            self._galloc[cg] = g
+        cache = self._solve_cache
+        key = self._solve_key(members, capacity) if cache is not None else None
+        rows = cache.get(key) if key is not None else None
+        if rows is None and self._vector is not None:
+            rows = self._vector_rows(members, capacity)
+            if rows is not None and key is not None:
+                if len(cache) >= _SOLVE_CACHE_MAX:
+                    cache.clear()
+                cache[key] = rows
+        if rows is None:
+            allocs = self._policy_solve(members, capacity)
+            by_cg = {g.cgroup: g for g in allocs}
+            if len(by_cg) != len(members) or any(cg not in by_cg
+                                                 for cg in members):
+                # Policy returned something other than one alloc per
+                # member: publish directly, bypass pooling and memo.
+                self._members_changed = True
+                policy = self.policy
+                clip_fn = (policy.throttle_clip
+                           if policy.throttle_static else None)
+                for g in allocs:
+                    cg = g.cgroup
+                    self._galloc[cg] = g
+                    self._gpool[cg] = g
+                    if clip_fn is not None:
+                        g._clip = clip_fn(g)
+                    cg.cpu_rate = g.rate
+                    cg._thread_rate = (g.per_thread_progress
+                                       * cg.progress_multiplier)
+                    cg._occ_rate = g.per_thread_occupancy
+                    if self._incremental:
+                        self._push_entry(cg)
+                return
+            rows = tuple(
+                (g.n_threads, g.weight, g.cap, g.rate, g.efficiency,
+                 g.demand, g.pressure, g.quota, g.soft_capped)
+                for g in (by_cg[cg] for cg in members))
+            if key is not None:
+                if len(cache) >= _SOLVE_CACHE_MAX:
+                    cache.clear()
+                cache[key] = rows
+        self._publish_rows(members, rows)
+
+    def _solve_key(self, members: list[Cgroup], capacity: float):
+        """Hashable domain-solve inputs, for the pure-policy memo table.
+
+        A pure policy's solve is a function of exactly these values (plus
+        ``self.params``, immutable for the scheduler's lifetime): the
+        seq-ordered members' shares, quota, mask, and runnable count, and
+        the domain capacity.  ``progress_multiplier`` is deliberately
+        absent — it scales published rates, not the solve.
+        """
+        return (capacity, tuple(
+            (cg.cpu.shares, cg.cpu.cfs_quota_us, cg.cpu.cfs_period_us,
+             cg.n_runnable(),
+             None if cg.cpuset.cpus is None else cg.cpuset.cpus.as_tuple())
+            for cg in members))
+
+    def _publish_rows(self, members: list[Cgroup], rows: tuple) -> None:
+        """Publish solved per-group fields through the GroupAlloc pool."""
+        galloc = self._galloc
+        pool = self._gpool
+        incremental = self._incremental
+        policy = self.policy
+        clip_fn = policy.throttle_clip if policy.throttle_static else None
+        for cg, row in zip(members, rows):
+            g = pool.get(cg)
+            if g is None:
+                g = GroupAlloc(cg, 0, 0.0, 0.0)
+                pool[cg] = g
+            elif (g._row is not None and cg in galloc
+                    and g._row[:6] == row[:6] and g._row[7:] == row[7:]):
+                # Everything published from this group's slice of the
+                # solve is unchanged; at most the memoized domain
+                # pressure moved (the common uncontended-fleet case,
+                # where another group's thread count shifts the shared
+                # pressure but nobody's rates).  Publication can then be
+                # skipped — unless the memory slowdown moved the
+                # progress multiplier underneath the row.
+                if g._row[6] != row[6]:
+                    g.pressure = row[6]
+                g._row = row
+                n = row[0]
+                tr = ((row[3] / n) * row[4] * cg.progress_multiplier
+                      if n else 0.0)
+                if tr == cg._thread_rate:
+                    if incremental:
+                        # A clean group with a live heap entry keeps it:
+                        # the entry was computed from these same rates,
+                        # and completion-head changes re-push through
+                        # ``note_completion_change`` regardless.
+                        dirty = self._publish_dirty
+                        if (dirty is None or cg in dirty
+                                or cg._sched_entry_seq == -1):
+                            self._push_entry(cg)
+                    continue
+            g._row = row
+            (g.n_threads, g.weight, g.cap, g.rate, g.efficiency,
+             g.demand, g.pressure, g.quota, g.soft_capped) = row
+            if clip_fn is not None:
+                g._clip = clip_fn(g)
+            if cg not in galloc:
+                self._members_changed = True
+                galloc[cg] = g
             cg.cpu_rate = g.rate
             cg._thread_rate = g.per_thread_progress * cg.progress_multiplier
             cg._occ_rate = g.per_thread_occupancy
-            if self._incremental:
+            if incremental:
                 self._push_entry(cg)
+
+    def _vector_rows(self, members: list[Cgroup], capacity: float):
+        """Array-backend domain solve (returns publication rows or None).
+
+        A separate method for the same reason as :meth:`_policy_solve`:
+        the profiler wraps it (the ``vector_solve`` bucket), and the
+        indirection survives policy swaps.  ``None`` means the current
+        policy carries no ``vector_kind`` tag the backend understands,
+        and the caller falls back to the scalar solve.
+        """
+        return self._vector.solve_rows(
+            getattr(self.policy, "vector_kind", None),
+            members, capacity, self.params)
 
     def _policy_solve(self, members: list[Cgroup],
                       capacity: float) -> list[GroupAlloc]:
@@ -471,8 +725,26 @@ class FairScheduler:
         state = old.export_state()
         new.import_state(state)
         self.policy = new
+        self._refresh_solve_cache()
+        # Drop cached publication rows: an identical row under the new
+        # policy can still mean a different throttle clip, so every
+        # group must take the full publish path once.
+        for g in self._gpool.values():
+            g._row = None
         self.mark_dirty()
         return {"from": old.name, "to": new.name, "state": state}
+
+    def _refresh_solve_cache(self) -> None:
+        """(Re)arm the domain-solve memo for the current policy.
+
+        Only pure policies (solve a function of the key built by
+        :meth:`_solve_key`) may be memoized, and only in incremental
+        mode — scan stays the uncached brute-force reference.
+        """
+        if self._incremental and getattr(self.policy, "pure", False):
+            self._solve_cache = {}
+        else:
+            self._solve_cache = None
 
     # -- completion index ------------------------------------------------------
 
@@ -487,21 +759,36 @@ class FairScheduler:
 
     def _push_entry(self, cg: Cgroup) -> None:
         """(Re)index a group's earliest completion in the group-level heap."""
-        self._due_zero.discard(cg)
         head = cg._completion_head()
         if head is None:
+            self._due_zero.discard(cg)
             cg._sched_entry_seq = -1
             return
         ttc = head.time_to_completion()
         if ttc == float("inf"):
+            self._due_zero.discard(cg)
             cg._sched_entry_seq = -1
             if head.segment_finished:
                 self._due_zero.add(cg)
             return
+        est = self._time + ttc
+        if (cg._sched_entry_seq != -1
+                and cg._sched_entry_rate == cg._thread_rate
+                and cg._sched_entry_target == head._target
+                and abs(est - cg._sched_entry_est) <= _PUSH_SKIP_TOL):
+            # The live heap entry was computed from the same inputs and
+            # fresh arithmetic agrees within a fraction of the candidate
+            # window: re-pushing would only duplicate it.  (A group with
+            # a live entry is never in ``_due_zero``.)
+            return
+        self._due_zero.discard(cg)
         push_id = next(self._push_ids)
         cg._sched_entry_seq = push_id
+        cg._sched_entry_target = head._target
+        cg._sched_entry_rate = cg._thread_rate
+        cg._sched_entry_est = est
         heap = self._cheap
-        heapq.heappush(heap, (self._time + ttc, push_id, cg))
+        heapq.heappush(heap, (est, push_id, cg))
         # Compact once superseded entries dominate the heap.
         if len(heap) > 64 and len(heap) > 4 * len(self._galloc):
             live = [e for e in heap if e[1] == e[2]._sched_entry_seq]
@@ -521,6 +808,22 @@ class FairScheduler:
         if self.dirty:
             self.reallocate()
         heap = self._cheap
+        while heap and heap[0][1] != heap[0][2]._sched_entry_seq:
+            heapq.heappop(heap)
+        if not heap:
+            return float("inf")
+        # Single-candidate fast path: the second-smallest estimate in a
+        # binary heap is one of the root's two children, so if both lie
+        # beyond the re-evaluation window only the head is a candidate
+        # and fresh arithmetic decides alone (exactly what the general
+        # loop would compute, minus the pop/re-push churn).
+        n = len(heap)
+        limit0 = heap[0][0] + _CAND_WINDOW
+        if ((n < 2 or heap[1][0] > limit0)
+                and (n < 3 or heap[2][0] > limit0)):
+            head = heap[0][2]._completion_head()
+            return (head.time_to_completion() if head is not None
+                    else float("inf"))
         popped: list[tuple[float, int, Cgroup]] = []
         best = float("inf")
         limit: float | None = None
@@ -565,6 +868,10 @@ class FairScheduler:
             self.reallocate()
         heap = self._cheap
         limit = self._time + _CAND_WINDOW
+        while heap and heap[0][1] != heap[0][2]._sched_entry_seq:
+            heapq.heappop(heap)
+        if not self._due_zero and (not heap or heap[0][0] > limit):
+            return []
         candidates: set[Cgroup] = set()
         while heap:
             t_est, push_id, cg = heap[0]
@@ -574,6 +881,9 @@ class FairScheduler:
             if t_est > limit:
                 break
             heapq.heappop(heap)
+            # The entry is gone from the heap for good: mark it invalid
+            # so the re-push below cannot be skipped as redundant.
+            cg._sched_entry_seq = -1
             candidates.add(cg)
         if self._due_zero:
             candidates.update(self._due_zero)
@@ -620,7 +930,10 @@ class FairScheduler:
         return max(0.0, self.host.capacity - self.total_allocated())
 
     def n_runnable_total(self) -> int:
-        return sum(g.n_threads for g in self._snapshot)
+        # Maintained at reallocate time: n_threads fields only change
+        # during publication, so the cached sum equals a fresh sum over
+        # the snapshot at every point in between.
+        return self._n_run_total
 
     # -- accrual (called by the world between events) -----------------------------
 
@@ -635,13 +948,21 @@ class FairScheduler:
         if dt <= 0.0:
             return
         self._time += dt
-        idle = self.idle_capacity()
+        allocated = self.total_allocated()
+        idle = max(0.0, self.host.capacity - allocated)
         self.total_idle_time += idle * dt
         self.window_idle += idle * dt
         eps = self.params.eps
         total_demand = 0.0
         mem_some = 0.0
         mem_full = 1.0 if self._snapshot else 0.0
+        # Every accumulator accrued below shares this dt, so the PSI
+        # window decays are computed once and reused (same exp inputs,
+        # same recurrence — bit-identical to per-call evaluation).
+        decays = tuple(math.exp(-dt / w) for w in PSI_WINDOWS)
+        policy = self.policy
+        throttle_static = policy.throttle_static
+        throttle_accrue = policy.throttle_accrue
         for g in self._snapshot:
             cg = g.cgroup
             rate = g.rate
@@ -652,30 +973,51 @@ class FairScheduler:
             total_demand += demand
             # Throttle accounting is a policy decision (the default
             # policy clips demand at the quota; burstable only accrues
-            # while a soft cap is asserted).
-            self.policy.throttle_accrue(g, dt)
+            # while a soft cap is asserted).  Row-static policies have
+            # the clip precomputed at publication; others are consulted
+            # per step.
+            if throttle_static:
+                clip = g._clip
+                if clip > 0.0:
+                    cg.throttled_time += clip * dt
+                    cg.throttled_wall += dt
+            else:
+                throttle_accrue(g, dt)
             cg.progress_acc += cg._thread_rate * dt
             cg.occupancy_acc += cg._occ_rate * dt
             # CPU some: unmet share of runnable demand; full: runnable but
             # making no progress.  Memory stall is the swap/reclaim
             # slowdown, which hits every thread uniformly (some == full).
-            mem_frac = max(0.0, 1.0 - cg.progress_multiplier)
-            mem_some = max(mem_some, mem_frac)
-            mem_full = min(mem_full, mem_frac)
+            mem_frac = 1.0 - cg.progress_multiplier
+            if mem_frac < 0.0:
+                mem_frac = 0.0
+            if mem_frac > mem_some:
+                mem_some = mem_frac
+            if mem_frac < mem_full:
+                mem_full = mem_frac
             if cg.parent is not None:
-                some = max(0.0, demand - rate) / demand if demand > 0 else 0.0
+                unmet = demand - rate
+                some = unmet / demand if unmet > 0.0 and demand > 0 else 0.0
                 full = 1.0 if (g.n_threads > 0 and rate <= eps) else 0.0
-                cg.pressure.cpu.maybe_advance(dt, some, full)
-                cg.pressure.memory.maybe_advance(dt, mem_frac, mem_frac)
+                pressure = cg.pressure
+                # Same zero-stall skip ``maybe_advance_shared`` applies,
+                # hoisted here to save the no-op method calls.
+                pcpu = pressure.cpu
+                if some != 0.0 or full != 0.0 or pcpu._clock is None:
+                    pcpu.maybe_advance_shared(dt, some, full, decays)
+                pmem = pressure.memory
+                if mem_frac != 0.0 or pmem._clock is None:
+                    pmem.maybe_advance_shared(dt, mem_frac, mem_frac,
+                                              decays)
         # The root cgroup carries host-wide pressure, mirroring how
         # /proc/pressure reads the root group in Linux.
-        allocated = self.total_allocated()
         some = (max(0.0, total_demand - allocated) / total_demand
                 if total_demand > 0 else 0.0)
         full = 1.0 if (total_demand > 0 and allocated <= eps) else 0.0
         root = self.cgroups.root
-        root.pressure.cpu.maybe_advance(dt, some, full)
-        root.pressure.memory.maybe_advance(dt, mem_some, mem_full)
+        root.pressure.cpu.maybe_advance_shared(dt, some, full, decays)
+        root.pressure.memory.maybe_advance_shared(dt, mem_some, mem_full,
+                                                  decays)
 
     def contention_pressure(self, cgroup: Cgroup) -> float:
         """The current contention-domain pressure around ``cgroup``.

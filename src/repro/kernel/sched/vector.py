@@ -1,0 +1,261 @@
+"""Array-backed contention-domain solves: the ``vector`` engine backend.
+
+``World(engine="vector")`` runs the incremental engine with this
+backend answering pure-policy domain solves from flat numpy arrays
+instead of per-group :class:`~repro.kernel.sched.fair.GroupAlloc`
+object churn.  The contract is **operation-order fidelity**, not just
+fixed-point equivalence: every float the backend publishes must be
+bit-identical to what the scalar solve would have produced, because
+downstream completion estimates, PSI integrals, and the golden traces
+compare exact bytes.  That constraint shapes the implementation:
+
+* reductions that the scalar code performs as a left-to-right running
+  sum (``sum(...)``, ``burst_total += cap``) use ``np.cumsum(...)[-1]``,
+  which reduces sequentially and therefore reproduces the scalar
+  rounding exactly — ``np.sum`` does *not* (pairwise summation);
+* the water-filling frozen-entry subtraction stays a Python loop in
+  frozen order: ``remaining`` is a serial dependency whose rounding
+  depends on subtraction order;
+* everything elementwise (fair shares, caps, efficiency, pressure) is
+  safe to vectorize because IEEE-754 scalar ops and numpy's elementwise
+  ufuncs round identically.
+
+Static solve inputs (``cpu.shares`` weight, quota, cpuset mask) live in
+flat arrays with a cgroup → row-index map that persists across
+container churn: rows are filled on first sight, refreshed by cgroup
+``CPU_CHANGED`` events, and recycled through a free list on
+``DESTROYED``.  Only the per-event volatile input — each group's
+runnable-thread count — is gathered per solve.
+
+numpy is an *optional* dependency of this backend alone:
+:func:`available` reports whether it imported, and the scheduler falls
+back to the scalar solve (identical results, by the contract above)
+when it did not.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+try:  # numpy is optional: without it the scheduler solves in scalar.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via sys.modules stub
+    np = None  # type: ignore[assignment]
+
+from repro.kernel.cgroup import CgroupEvent, CgroupEventKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.cgroup import Cgroup, CgroupRoot
+    from repro.kernel.sched.fair import SchedParams
+
+__all__ = ["available", "VectorBackend"]
+
+#: Mirrors ``fair._EPS`` (imported lazily to keep this module loadable
+#: for :func:`available` probes without pulling the scheduler in).
+_EPS = 1e-9
+
+
+def available() -> bool:
+    """True when numpy imported and the backend can run."""
+    return np is not None
+
+
+class VectorBackend:
+    """Flat solve-input arrays plus the cgroup → row-index map.
+
+    One instance per :class:`~repro.kernel.sched.fair.FairScheduler`.
+    The backend understands the two built-in pure policies by their
+    ``vector_kind`` tag and returns publication-ready row tuples (the
+    exact tuples ``_publish_rows`` consumes); any other policy gets
+    ``None`` and the scheduler falls back to the scalar solve.
+    """
+
+    def __init__(self, cgroups: "CgroupRoot"):
+        if np is None:  # pragma: no cover - guarded by available()
+            raise RuntimeError("numpy unavailable: vector backend cannot run")
+        self.cgroups = cgroups
+        self._index: dict["Cgroup", int] = {}
+        self._free: list[int] = []
+        self._top = 0
+        size = 64
+        self._weight = np.zeros(size)
+        self._quota = np.zeros(size)
+        self._mask_size = np.zeros(size)
+        self._mask_key: list[tuple | None] = [None] * size
+        cgroups.subscribe(self._on_event)
+
+    # -- the cgroup → index map (maintained across churn) -------------------
+
+    def _on_event(self, event: CgroupEvent) -> None:
+        kind = event.kind
+        if kind is CgroupEventKind.CPU_CHANGED:
+            i = self._index.get(event.cgroup)
+            if i is not None:
+                self._fill(i, event.cgroup)
+        elif kind is CgroupEventKind.DESTROYED:
+            i = self._index.pop(event.cgroup, None)
+            if i is not None:
+                self._mask_key[i] = None
+                self._free.append(i)
+
+    def _fill(self, i: int, cg: "Cgroup") -> None:
+        self._weight[i] = float(cg.cpu.shares)
+        self._quota[i] = cg.quota_cores
+        mask = cg.effective_cpuset()
+        self._mask_size[i] = float(len(mask))
+        self._mask_key[i] = mask.as_tuple()
+
+    def _ensure(self, cg: "Cgroup") -> int:
+        i = self._index.get(cg)
+        if i is not None:
+            return i
+        if self._free:
+            i = self._free.pop()
+        else:
+            i = self._top
+            self._top += 1
+            if i >= self._weight.shape[0]:
+                self._grow()
+        self._index[cg] = i
+        self._fill(i, cg)
+        return i
+
+    def _grow(self) -> None:
+        size = 2 * self._weight.shape[0]
+        for name in ("_weight", "_quota", "_mask_size"):
+            old = getattr(self, name)
+            grown = np.zeros(size)
+            grown[:old.shape[0]] = old
+            setattr(self, name, grown)
+        self._mask_key.extend([None] * (size - len(self._mask_key)))
+
+    # -- the solve ----------------------------------------------------------
+
+    def solve_rows(self, vector_kind: str | None, members: "list[Cgroup]",
+                   capacity: float, params: "SchedParams"):
+        """Solve one domain; return publication row tuples, or None.
+
+        ``None`` means the policy is not one this backend understands
+        (no ``vector_kind`` tag) and the caller must run the scalar
+        solve instead.
+        """
+        if vector_kind == "waterfill-quota":
+            burst = False
+        elif vector_kind == "waterfill-burst":
+            burst = True
+        else:
+            return None
+        m = len(members)
+        idx = [self._ensure(cg) for cg in members]
+        n_list = [cg.n_runnable() for cg in members]
+        ia = np.array(idx, dtype=np.intp)
+        n_f = np.array(n_list, dtype=np.float64)
+        weight = self._weight[ia]
+        quota = self._quota[ia]
+        mask_size = self._mask_size[ia]
+        demand = np.minimum(n_f, mask_size)
+        soft: list[bool] | np.ndarray
+        if burst:
+            # Burstable: cap at the burst demand; quotas re-assert as
+            # soft caps only when the domain's burst demand exceeds it.
+            cap = np.minimum(mask_size, n_f)
+            burst_total = float(np.cumsum(cap)[-1]) if m else 0.0
+            if burst_total > capacity + params.eps:
+                soft = quota < cap - params.eps
+                if soft.any():
+                    cap = cap.copy()
+                    cap[soft] = np.minimum(quota[soft], cap[soft])
+                soft = soft.tolist()
+            else:
+                soft = [False] * m
+        else:
+            cap = np.minimum(np.minimum(quota, mask_size), n_f)
+            soft = [False] * m
+        rates = self._waterfill(weight, cap, capacity)
+        eps = params.eps
+        eff = np.ones(m)
+        over = (rates > eps) & (n_f > rates)
+        if over.any():
+            kappa = params.csw_overhead
+            eff[over] = 1.0 / (1.0 + kappa * (n_f[over] / rates[over] - 1.0))
+        press = self._pressures(idx, n_list, n_f, rates)
+        hot = press > 1.0
+        if hot.any():
+            gamma = params.interference
+            eff[hot] = eff[hot] * (1.0 / (1.0 + gamma * (press[hot] - 1.0)))
+        weight_l = weight.tolist()
+        cap_l = cap.tolist()
+        rates_l = rates.tolist()
+        eff_l = eff.tolist()
+        demand_l = demand.tolist()
+        press_l = press.tolist()
+        quota_l = quota.tolist()
+        return tuple(
+            (n_list[i], weight_l[i], cap_l[i], rates_l[i], eff_l[i],
+             demand_l[i], press_l[i], quota_l[i], soft[i])
+            for i in range(m))
+
+    @staticmethod
+    def _waterfill(weight, caps, capacity: float):
+        """Vectorized weighted max-min; bit-identical to ``fair.waterfill``.
+
+        Rounds of elementwise fair shares (safe to vectorize) around the
+        two serial dependencies kept scalar-exact: the active-weight
+        total reduces sequentially via ``cumsum``, and frozen caps leave
+        ``remaining`` one at a time in frozen order.
+        """
+        alloc = np.zeros(weight.shape[0])
+        active = np.flatnonzero((caps > _EPS) & (weight > 0.0))
+        remaining = float(capacity)
+        while active.size and remaining > _EPS:
+            wa = weight[active]
+            total_w = float(np.cumsum(wa)[-1])
+            shares = (remaining * wa) / total_w
+            ca = caps[active]
+            frozen = ca <= shares + _EPS
+            if not frozen.any():
+                alloc[active] = shares
+                return alloc
+            frozen_caps = ca[frozen]
+            alloc[active[frozen]] = frozen_caps
+            for c in frozen_caps.tolist():
+                remaining -= c
+            remaining = max(0.0, remaining)
+            active = active[~frozen]
+        return alloc
+
+    def _pressures(self, idx: list[int], n_list: list[int], n_f, rates):
+        """Vectorized ``fair.component_pressures`` over the solve arrays.
+
+        Thread totals and domain sizes are integers (exact in float),
+        so only the final elementwise ``min`` + divide carries rounding
+        — identical to the scalar loop's.
+        """
+        keys = [self._mask_key[i] for i in idx]
+        distinct: dict[tuple, int] = {}
+        for key, n in zip(keys, n_list):
+            distinct[key] = distinct.get(key, 0) + n
+        if len(distinct) == 1:
+            ((key, total),) = distinct.items()
+            domain_size = len(key)
+            if not domain_size:
+                return np.zeros(len(idx))
+            threads = np.minimum(n_f, rates) + (float(total) - n_f)
+            return threads / domain_size
+        sets = {key: set(key) for key in distinct}
+        stats: dict[tuple, tuple[int, int]] = {}
+        for key, cpus in sets.items():
+            total = 0
+            domain = set(cpus)
+            for key2, cpus2 in sets.items():
+                if cpus & cpus2:
+                    total += distinct[key2]
+                    domain |= cpus2
+            stats[key] = (total, len(domain))
+        totals = np.array([float(stats[key][0]) for key in keys])
+        sizes = np.array([float(stats[key][1]) for key in keys])
+        threads = np.minimum(n_f, rates) + (totals - n_f)
+        out = np.zeros(len(idx))
+        nz = sizes > 0.0
+        out[nz] = threads[nz] / sizes[nz]
+        return out

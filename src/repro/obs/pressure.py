@@ -114,6 +114,49 @@ class PressureStall:
             return
         self.advance(dt, some_frac, full_frac)
 
+    def maybe_advance_shared(self, dt: float, some_frac: float,
+                             full_frac: float,
+                             decays: tuple[float, ...]) -> None:
+        """:meth:`maybe_advance` with the window decays precomputed.
+
+        Every accumulator accrued in one scheduler ``advance(dt)`` shares
+        the same ``dt``, so the caller computes ``exp(-dt/W)`` once per
+        window and passes it in; the recurrence below is the same
+        arithmetic as :meth:`advance`, operation for operation, only the
+        (deterministic) ``exp`` evaluations are shared.  Accumulators
+        that fell behind the clock still decay the untouched stretch via
+        :meth:`_sync` with their own exact exponents.
+        """
+        clock = self._clock
+        if clock is not None and some_frac == 0.0 and full_frac == 0.0:
+            return
+        if dt <= 0.0:
+            return
+        if clock is not None:
+            gap = clock.now - self._synced
+            if gap > 0.0:
+                self._synced = clock.now
+                for i, window in enumerate(PSI_WINDOWS):
+                    decay = math.exp(-gap / window)
+                    self._some_avg[i] *= decay
+                    self._full_avg[i] *= decay
+        # Branchy clamps: same values as min(1, max(0, x)), fewer calls.
+        some = some_frac if some_frac > 0.0 else 0.0
+        if some > 1.0:
+            some = 1.0
+        full = full_frac if full_frac > 0.0 else 0.0
+        if full > some:
+            full = some
+        self.some_total += some * dt
+        self.full_total += full * dt
+        some_avg = self._some_avg
+        full_avg = self._full_avg
+        for i, decay in enumerate(decays):
+            some_avg[i] = some_avg[i] * decay + some * (1.0 - decay)
+            full_avg[i] = full_avg[i] * decay + full * (1.0 - decay)
+        if clock is not None:
+            self._synced = clock.now + dt
+
     def avg(self, kind: str, window: float) -> float:
         """Windowed stall-time fraction in [0, 1] (not percent)."""
         if kind not in ("some", "full"):

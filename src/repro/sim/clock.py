@@ -19,17 +19,15 @@ class SimClock:
     as read-only through :attr:`now`.
     """
 
-    __slots__ = ("_now",)
+    __slots__ = ("now",)
 
     def __init__(self, start: float = 0.0):
         if start < 0.0:
             raise SimulationError(f"clock cannot start at negative time {start!r}")
-        self._now = float(start)
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
+        #: Current simulated time in seconds.  A plain attribute rather
+        #: than a property: it is read on every hot path, and only
+        #: :meth:`advance_to` may write it.
+        self.now = float(start)
 
     def advance_to(self, t: float) -> None:
         """Move the clock forward to absolute time ``t``.
@@ -37,9 +35,9 @@ class SimClock:
         Raises :class:`SimulationError` on attempts to move backwards,
         which would indicate a corrupted event queue.
         """
-        if t < self._now:
-            raise SimulationError(f"clock moving backwards: {t!r} < {self._now!r}")
-        self._now = float(t)
+        if t < self.now:
+            raise SimulationError(f"clock moving backwards: {t!r} < {self.now!r}")
+        self.now = float(t)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SimClock(now={self._now:.6f})"
+        return f"SimClock(now={self.now:.6f})"

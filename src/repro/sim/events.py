@@ -26,10 +26,19 @@ class EventHandle:
 
     Periodic timers keep the same handle across firings; cancelling the
     handle stops future firings.
+
+    Handles scheduled with ``transient=True`` return to the loop's free
+    list after they fire and may be handed out again by a later
+    ``call_at`` — the scheduling caller promises not to retain them past
+    the callback.  Only handles that fired normally are ever recycled: a
+    cancelled handle may still be referenced by a stale heap entry (and
+    by the owner who cancelled it), and resetting its ``cancelled`` flag
+    for reuse would resurrect that entry, so cancelled and periodic
+    handles are never pooled.
     """
 
     __slots__ = ("when", "period", "callback", "name", "cancelled", "_fired",
-                 "_loop", "_in_heap")
+                 "_loop", "_in_heap", "_transient")
 
     def __init__(self, when: float, callback: Callable[[], None], *,
                  period: float | None = None, name: str = ""):
@@ -41,6 +50,7 @@ class EventHandle:
         self._fired = False
         self._loop: "EventLoop | None" = None
         self._in_heap = False
+        self._transient = False
 
     def cancel(self) -> None:
         """Prevent the event from firing (again)."""
@@ -62,11 +72,17 @@ class EventHandle:
 class EventLoop:
     """Deterministic discrete-event queue bound to a :class:`SimClock`."""
 
+    #: Free-list bound: enough to absorb a burst of transient one-shots
+    #: without letting a pathological storm pin memory forever.
+    _POOL_MAX = 256
+
     def __init__(self, clock: SimClock):
         self.clock = clock
         self._heap: list[tuple[float, int, EventHandle]] = []
         self._counter = itertools.count()
         self._n_cancelled = 0   # cancelled entries still sitting in the heap
+        #: Recycled transient handles (fired, non-periodic, not in heap).
+        self._pool: list[EventHandle] = []
 
     def _push(self, handle: EventHandle, when: float) -> None:
         handle._loop = self
@@ -102,21 +118,38 @@ class EventLoop:
     # -- scheduling ------------------------------------------------------
 
     def call_at(self, when: float, callback: Callable[[], None], *,
-                name: str = "") -> EventHandle:
-        """Schedule ``callback`` at absolute simulated time ``when``."""
+                name: str = "", transient: bool = False) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated time ``when``.
+
+        ``transient=True`` marks the event as fire-and-forget: the
+        returned handle goes back to a free list after the callback runs
+        and may be reused by a later ``call_at``, so the caller must not
+        retain (or cancel) it once it has fired.  Cancelling a pending
+        transient handle is safe — cancelled handles are never recycled.
+        """
         if when < self.clock.now:
             raise SimulationError(
                 f"cannot schedule event {name!r} at {when!r}, now is {self.clock.now!r}")
-        handle = EventHandle(when, callback, name=name)
+        if transient and self._pool:
+            handle = self._pool.pop()
+            handle.when = when
+            handle.callback = callback
+            handle.name = name
+            handle.cancelled = False
+            handle._fired = False
+        else:
+            handle = EventHandle(when, callback, name=name)
+            handle._transient = transient
         self._push(handle, when)
         return handle
 
     def call_after(self, delay: float, callback: Callable[[], None], *,
-                   name: str = "") -> EventHandle:
+                   name: str = "", transient: bool = False) -> EventHandle:
         """Schedule ``callback`` after ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r} for event {name!r}")
-        return self.call_at(self.clock.now + delay, callback, name=name)
+        return self.call_at(self.clock.now + delay, callback, name=name,
+                            transient=transient)
 
     def call_every(self, period: float, callback: Callable[[], None], *,
                    first_after: float | None = None, name: str = "") -> EventHandle:
@@ -161,12 +194,21 @@ class EventLoop:
                 live += 1
             if not handle._in_heap:
                 flag_errors += 1
+        # A pooled handle must be a fired, uncancelled, non-periodic
+        # transient with no surviving heap entry; anything else in the
+        # free list could be resurrected by reuse.
+        pool_errors = sum(
+            1 for h in self._pool
+            if (h.cancelled or h._in_heap or not h._fired
+                or h.period is not None or not h._transient))
         return {
             "heap_size": len(self._heap),
             "live": live,
             "cancelled": cancelled,
             "tracked_cancelled": self._n_cancelled,
             "flag_errors": flag_errors,
+            "pooled": len(self._pool),
+            "pool_errors": pool_errors,
         }
 
     # -- execution -------------------------------------------------------
@@ -200,6 +242,17 @@ class EventLoop:
         handle._fired = True
         handle.callback()
         # Re-arm periodic timers unless the callback cancelled them.
-        if handle.period is not None and not handle.cancelled:
-            handle.when = self.clock.now + handle.period
-            self._push(handle, handle.when)
+        if handle.period is not None:
+            if not handle.cancelled:
+                handle.when = self.clock.now + handle.period
+                self._push(handle, handle.when)
+        elif (handle._transient and not handle.cancelled
+                and not handle._in_heap
+                and len(self._pool) < self._POOL_MAX):
+            # Recycle: fired-and-done one-shots only.  The guards are
+            # load-bearing — a cancelled handle may still back a stale
+            # heap entry (compaction hasn't swept it yet), and clearing
+            # its ``cancelled`` flag on reuse would resurrect that entry
+            # at its old deadline.
+            handle.callback = None  # type: ignore[assignment]
+            self._pool.append(handle)

@@ -9,8 +9,10 @@ draws seen by existing consumers.
 from __future__ import annotations
 
 import zlib
+from typing import TYPE_CHECKING
 
-import numpy as np
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
 
 __all__ = ["RngFactory"]
 
@@ -22,17 +24,24 @@ class RngFactory:
     ``(root_seed, crc32(name))``; requesting the same name twice returns
     the *same* generator instance so sequential draws continue a single
     stream.
+
+    numpy is imported on the first :meth:`stream` call, not at module
+    import: every :class:`~repro.world.World` owns a factory, but only
+    stochastic consumers (load generators, jittered benchmarks) draw
+    from it, so deterministic simulations run on a numpy-free install.
     """
 
     def __init__(self, root_seed: int = 0):
         self.root_seed = int(root_seed)
-        self._streams: dict[str, np.random.Generator] = {}
+        self._streams: dict[str, "np.random.Generator"] = {}
 
-    def stream(self, name: str) -> np.random.Generator:
+    def stream(self, name: str) -> "np.random.Generator":
         """Return the generator for stream ``name`` (created on demand)."""
         gen = self._streams.get(name)
         if gen is None:
-            seed_seq = np.random.SeedSequence([self.root_seed, zlib.crc32(name.encode())])
+            import numpy as np
+            seed_seq = np.random.SeedSequence(
+                [self.root_seed, zlib.crc32(name.encode())])
             gen = np.random.Generator(np.random.PCG64(seed_seq))
             self._streams[name] = gen
         return gen

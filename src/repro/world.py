@@ -56,9 +56,10 @@ class World:
                  trace: bool = False, seed: int = 0,
                  engine: str = "incremental",
                  sched_policy="default", reclaim_policy="default"):
-        if engine not in ("incremental", "scan"):
+        if engine not in ("incremental", "scan", "vector"):
             raise SimulationError(
-                f"unknown engine {engine!r}: expected 'incremental' or 'scan'")
+                f"unknown engine {engine!r}: expected 'incremental', "
+                f"'scan', or 'vector'")
         self.engine = engine
         self.clock = SimClock()
         self.events = EventLoop(self.clock)
@@ -68,8 +69,11 @@ class World:
         self.host = HostCpus(ncpus)
         self.cgroups = CgroupRoot(self.host)
         self.cgroups.bind_clock(self.clock)
+        # "vector" is the incremental engine with the array solve
+        # backend (bit-identical; scalar fallback when numpy is absent).
         self.sched = FairScheduler(self.host, self.cgroups, sched_params,
-                                   incremental=(engine == "incremental"),
+                                   incremental=(engine != "scan"),
+                                   vector=(engine == "vector"),
                                    policy=sched_policy)
         self.mm = MemoryManager(memory, self.cgroups, mm_params,
                                 policy=reclaim_policy)
@@ -90,6 +94,11 @@ class World:
         self.sys_ns_update_period = sys_ns_update_period
         self.containers = ContainerRuntime(self)
         self.steps = 0
+        #: Next-time pair (clock.now, t_event, ttc) computed by
+        #: :meth:`_step_clamped` and consumed by the :meth:`step` it
+        #: invokes, so clamped stepping does not price the event heap
+        #: and the completion index twice per step.
+        self._pending_step: tuple[float, float | None, float] | None = None
 
     # -- thread helpers ------------------------------------------------------
 
@@ -105,8 +114,13 @@ class World:
         if self.sched.dirty:
             self.sched.reallocate()
         now = self.clock.now
-        t_event = self.events.next_event_time()
-        ttc = self.sched.next_completion()
+        pending = self._pending_step
+        if pending is not None and pending[0] == now:
+            self._pending_step = None
+            t_event, ttc = pending[1], pending[2]
+        else:
+            t_event = self.events.next_event_time()
+            ttc = self.sched.next_completion()
         t_completion = now + ttc if ttc != float("inf") else None
         if t_event is None and t_completion is None:
             return False
@@ -208,6 +222,9 @@ class World:
             if deadline > now:
                 self._accrue_to(deadline)
             return False
+        # Hand the freshly-priced next-times to step(); nothing can
+        # invalidate them between here and the step consuming them.
+        self._pending_step = (now, t_event, ttc)
         return self.step()
 
     def run_until(self, predicate: Callable[[], bool], *,

@@ -204,12 +204,20 @@ class TestBatching:
 
     def test_auto_chunking_rule(self):
         runner = ParallelRunner(jobs=4)
-        assert runner._resolve_batch_size(4) == 1     # fewer trials than waves
+        assert runner._resolve_batch_size(4) == 1     # one per worker
         assert runner._resolve_batch_size(64) == 4    # 4 waves per worker
         assert runner._resolve_batch_size(10_000) == 16  # capped
         assert ParallelRunner(jobs=1)._resolve_batch_size(100) == 1
         explicit = ParallelRunner(jobs=4, batch_size=7)
         assert explicit._resolve_batch_size(1_000) == 7
+
+    def test_small_sweep_gets_one_wave(self):
+        # Figure-sized sweeps take exactly one batch per worker so a
+        # tiny grid is jobs futures, not one future per trial.
+        runner = ParallelRunner(jobs=4)
+        assert runner._resolve_batch_size(8) == 2     # 4 futures of 2
+        assert runner._resolve_batch_size(16) == 4    # 4 futures of 4
+        assert runner._resolve_batch_size(17) == 2    # big sweep: 4 waves
 
     def test_batch_size_validation(self):
         with pytest.raises(ReproError, match="batch_size"):
@@ -233,6 +241,42 @@ class TestBatching:
         # Batch-mates of the dead trial recover via the solo retry.
         for tid in ("t0", "t2", "t3", "t4", "t5"):
             assert by_id[tid].ok, tid
+
+
+class TestWarmPool:
+    """The executor is process-global and survives across sweeps."""
+
+    def test_pool_reused_across_runs(self):
+        from repro.par import runner as runner_mod
+        runner_mod._discard_pool(2)
+        run_trials(toy_specs(4), jobs=2)
+        pool = runner_mod._POOLS.get(2)
+        assert pool is not None
+        run_trials(toy_specs(4, seed=1), jobs=2)
+        assert runner_mod._POOLS.get(2) is pool   # same executor, no refork
+
+    def test_broken_pool_discarded_and_rebuilt(self):
+        from repro.par import runner as runner_mod
+        runner_mod._discard_pool(2)
+        specs = toy_specs(3, fn=DIE_FN)
+        specs[0] = TrialSpec(fn=DIE_FN, experiment="toy", trial_id="t0",
+                             config={"x": 0, "die": True})
+        run_trials(specs, jobs=2, batch_size=1)
+        # The worker death broke the warm pool; it must not be handed out
+        # again.
+        broken = runner_mod._POOLS.get(2)
+        assert broken is None
+        results = run_trials(toy_specs(4), jobs=2)
+        assert all(r.ok for r in results)
+
+    def test_warm_pool_idempotent(self):
+        from repro.par import runner as runner_mod
+        from repro.par import warm_pool
+        warm_pool(1)                 # no-op below 2 jobs
+        warm_pool(2)
+        pool = runner_mod._POOLS.get(2)
+        warm_pool(2)
+        assert runner_mod._POOLS.get(2) is pool
 
 
 class TestOnResult:

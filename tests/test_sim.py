@@ -136,6 +136,117 @@ class TestEventLoop:
         assert self.fired == [1.0, 2.0, 3.0]
 
 
+class TestTransientHandlePool:
+    """Audit of the transient free list against heap compaction.
+
+    The hazard under test: a cancelled handle can still back a heap
+    entry that compaction has not yet swept.  If such a handle were
+    recycled, ``call_at`` resets ``cancelled = False`` — resurrecting
+    the stale entry at its old deadline.  The pool must therefore only
+    ever contain fired, uncancelled, out-of-heap one-shots.
+    """
+
+    def setup_method(self):
+        self.clock = SimClock()
+        self.loop = EventLoop(self.clock)
+        self.fired: list = []
+
+    def test_fired_transient_is_recycled(self):
+        h1 = self.loop.call_after(1.0, lambda: self.fired.append("a"),
+                                  transient=True)
+        self.loop.run_until(2.0)
+        assert self.loop.integrity()["pooled"] == 1
+        h2 = self.loop.call_after(1.0, lambda: self.fired.append("b"),
+                                  transient=True)
+        assert h2 is h1          # free-list reuse
+        self.loop.run_until(4.0)
+        assert self.fired == ["a", "b"]
+        assert self.loop.integrity()["pool_errors"] == 0
+
+    def test_cancelled_transient_never_pooled(self):
+        h = self.loop.call_after(1.0, lambda: self.fired.append("x"),
+                                 transient=True)
+        h.cancel()
+        self.loop.run_until(2.0)
+        audit = self.loop.integrity()
+        assert audit["pooled"] == 0
+        assert self.fired == []
+        # A fresh transient must be a new handle, not the cancelled one.
+        h2 = self.loop.call_after(1.0, lambda: None, transient=True)
+        assert h2 is not h
+
+    def test_periodic_handles_never_pooled(self):
+        h = self.loop.call_every(1.0, lambda: self.fired.append("t"))
+        self.loop.run_until(3.5)
+        h.cancel()
+        self.loop.run_until(5.0)
+        assert self.loop.integrity()["pooled"] == 0
+
+    def test_recycle_does_not_resurrect_compacted_entry(self):
+        # Build a heap big enough to arm compaction (>= 64 entries),
+        # then cancel a majority including a transient whose stale entry
+        # compaction sweeps.  Reusing the pool afterwards must not fire
+        # anything at the cancelled handle's old deadline.
+        victims = [self.loop.call_at(50.0 + i, (lambda j=i: self.fired.append(j)),
+                                     transient=True)
+                   for i in range(40)]
+        keepers = [self.loop.call_at(90.0 + i, lambda: self.fired.append("keep"))
+                   for i in range(30)]
+        for v in victims:
+            v.cancel()                      # triggers compaction mid-loop
+        audit = self.loop.integrity()
+        assert audit["cancelled"] == audit["tracked_cancelled"]
+        # Compaction ran at least once: most victims' entries are gone.
+        assert sum(1 for v in victims if not v._in_heap) >= 36
+        # Drain the pool hard: schedule and fire many transients; none
+        # may alias a cancelled victim.
+        for i in range(40):
+            h = self.loop.call_after(1.0 + i * 0.01, lambda: None,
+                                     transient=True)
+            assert h not in victims
+        self.loop.run_until(10.0)
+        audit = self.loop.integrity()
+        assert audit["flag_errors"] == 0
+        assert audit["pool_errors"] == 0
+        assert self.fired == []             # no resurrected victim fired
+        self.loop.run_until(60.0)
+        assert self.fired == []             # old deadlines stay dead
+        for k in keepers:
+            k.cancel()
+
+    def test_pool_is_bounded(self):
+        for i in range(EventLoop._POOL_MAX + 50):
+            self.loop.call_after(0.001 * (i + 1), lambda: None,
+                                 transient=True)
+        self.loop.run_until(10.0)
+        audit = self.loop.integrity()
+        assert audit["pooled"] <= EventLoop._POOL_MAX
+        assert audit["pool_errors"] == 0
+
+    def test_cancel_after_fire_is_harmless(self):
+        # Consumers are told not to cancel a fired transient, but a
+        # late cancel must at worst waste the handle, never corrupt.
+        h = self.loop.call_after(1.0, lambda: self.fired.append("a"),
+                                 transient=True)
+        self.loop.run_until(2.0)
+        h.cancel()
+        h2 = self.loop.call_after(1.0, lambda: self.fired.append("b"),
+                                  transient=True)
+        self.loop.run_until(4.0)
+        assert self.fired == ["a", "b"]
+        assert self.loop.integrity()["pool_errors"] == 0
+
+
+def _has_numpy() -> bool:
+    try:
+        import numpy  # noqa: F401
+        return True
+    except ImportError:
+        return False
+
+
+@pytest.mark.skipif(not _has_numpy(),
+                    reason="RngFactory streams need the optional numpy")
 class TestRngFactory:
     def test_same_name_same_stream(self):
         f = RngFactory(42)

@@ -19,6 +19,7 @@ Entry points::
     python -m repro check --smoke 60        # randomized smoke, seed printed
     python -m repro check --replay FIX.json # re-run a committed fixture
     python -m repro check --policy-diff default,burstable --seeds 50
+    python -m repro check --shard-diff --seeds 50   # jobs=1 vs sharded
 """
 
 from repro.check.cluster_invariants import (check_cluster,
@@ -29,6 +30,7 @@ from repro.check.invariants import Invariant, default_suite
 from repro.check.policy_diff import PolicyDiffReport, run_policy_differential
 from repro.check.runner import RunResult, run_scenario
 from repro.check.scenario import Scenario
+from repro.check.shard_diff import ShardDiffReport, run_shard_differential
 from repro.check.shrinker import shrink
 from repro.check.span_tree import check_span_tree
 
@@ -37,5 +39,6 @@ __all__ = [
     "RunResult", "run_scenario", "DiffReport", "diff_snapshots",
     "run_differential", "shrink",
     "PolicyDiffReport", "run_policy_differential",
+    "ShardDiffReport", "run_shard_differential",
     "check_cluster", "check_cluster_snapshot", "check_span_tree",
 ]

@@ -75,6 +75,11 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                         help="sweep the seeds under two engine backends "
                              "(e.g. incremental,vector) instead of the "
                              "default incremental,scan pair")
+    parser.add_argument("--shard-diff", action="store_true",
+                        help="sweep randomized clusters at jobs=1 vs "
+                             "sharded layouts (byte-identity + invariant "
+                             "oracle); runs in-process since each trial "
+                             "spawns its own shard workers")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the seed sweep "
                              "(default 1 = in-process)")
@@ -291,6 +296,42 @@ def _backend_sweep(seeds: list[int], pair: tuple[str, str], args) -> int:
     return 0
 
 
+def _shard_sweep(seeds: list[int], args) -> int:
+    """Fixed-seed cluster sweep at jobs=1 vs sharded layouts.
+
+    Runs in-process: every trial spawns its own persistent shard
+    workers, so fanning the sweep itself out would nest process pools
+    inside daemonic workers.  Scenarios are small; the sweep is cheap.
+    """
+    from repro.check.shard_diff import run_shard_differential
+    failures = 0
+    first = None
+    for seed in seeds:
+        report = run_shard_differential(seed)
+        if report.ok:
+            if args.verbose:
+                print(f"ok   seed={report.seed} epochs={report.epochs} "
+                      f"pods={report.pods} "
+                      f"migrations={report.migrations}")
+        else:
+            failures += 1
+            first = first or report
+            print(f"fail seed={report.seed} "
+                  f"fingerprint={report.fingerprint()}")
+    if first is not None:
+        print(first.summary())
+        print(f"re-run with: python -m repro check --shard-diff "
+              f"--seed {first.seed}")
+    print(summary_line(seeds=len(seeds), failures=failures, cache_hits=0))
+    if failures:
+        print(f"check: FAILED ({failures}/{len(seeds)} seeds diverged "
+              f"across shard layouts)")
+        return 1
+    print(f"check: {len(seeds)} cluster scenarios byte-identical across "
+          f"shard layouts, 0 invariant violations, 0 divergences")
+    return 0
+
+
 def _smoke(args) -> int:
     deadline = time.monotonic() + args.smoke
     sysrand = random.SystemRandom()
@@ -350,6 +391,8 @@ def main(args: argparse.Namespace) -> int:
         seeds = [args.seed]
     else:
         seeds = list(range(args.seed_start, args.seed_start + args.seeds))
+    if args.shard_diff:
+        return _shard_sweep(seeds, args)
     if args.policy_diff is not None:
         return _policy_sweep(seeds, _parse_pair(args.policy_diff), args)
     if args.backend_diff is not None:

@@ -1,0 +1,216 @@
+"""Shard-layout differential fuzzing for the cluster control plane.
+
+The sharded execution backend (:mod:`repro.cluster.shard`) promises
+that ``Cluster(params, jobs=N)`` is *byte-identical* to ``jobs=1`` for
+every shard layout: same placement trace, same invariant snapshot,
+same rolling barrier-report digest.  This module is the fuzzer that
+earns the promise the same way the engine pair earned theirs — by
+running randomized scenarios under several layouts and diffing the
+results exactly.
+
+Each seed derives one randomized cluster scenario — host count and
+shape, strategy, epoch length, hot threshold, bursty/gang pod mix,
+staggered submission waves, tracing and telemetry on or off — and runs
+it at ``jobs=1`` plus one or more sharded layouts.  The oracle is
+three-fold:
+
+1. **equality** — ``trace_digest()``, ``epoch_sample_digest()`` and the
+   full ``invariant_snapshot()`` JSON must match the in-process run
+   byte for byte at every epoch boundary;
+2. **lawfulness** — every epoch snapshot must pass
+   :func:`repro.check.check_cluster_snapshot` (with the previous epoch
+   as the monotonicity baseline);
+3. **trace audit** — when the scenario runs traced, the sharded run's
+   migration span chains must pass
+   :func:`repro.check.span_tree.check_span_tree`, which exercises the
+   cross-process ``follows`` links.
+
+Wired into ``python -m repro check --shard-diff`` (see
+:mod:`repro.check.cli`) and CI's ``cluster-shard`` job.  Scenarios stay
+deliberately small: migrations and gang rejections are common, so a
+50-seed sweep covers cross-shard drains/readmits many times over.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.check.cluster_invariants import check_cluster_snapshot
+from repro.par.seeds import derive_seed
+from repro.units import gib, mib
+
+__all__ = ["ShardDiffReport", "run_shard_differential"]
+
+_STRATEGIES = ("view", "static", "view-gang", "static-gang")
+
+
+@dataclass
+class ShardDiffReport:
+    """Outcome of one seed's layout differential."""
+
+    seed: int
+    layouts: tuple[int, ...]
+    epochs: int = 0
+    migrations: int = 0
+    pods: int = 0
+    divergences: list[str] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and not self.violations
+
+    def fingerprint(self) -> str:
+        if self.ok:
+            return ""
+        first = (self.divergences or self.violations)[0]
+        return first.split(":", 1)[0]
+
+    def summary(self) -> str:
+        lines = [f"shard-diff seed={self.seed} layouts={self.layouts} "
+                 f"epochs={self.epochs} pods={self.pods} "
+                 f"migrations={self.migrations}"]
+        lines += [f"  divergence: {d}" for d in self.divergences[:10]]
+        lines += [f"  violation:  {v}" for v in self.violations[:10]]
+        return "\n".join(lines)
+
+
+def _scenario(seed: int) -> dict:
+    """Derive one randomized cluster scenario from a seed.
+
+    Hosts are kept small and the hot threshold low so the rebalancer
+    fires often — cross-shard migrations are the interesting paths.
+    """
+    rng = random.Random(derive_seed("check-shard-diff", "scenario", seed))
+    n_hosts = rng.randint(2, 6)
+    ncpus = rng.choice((2, 4, 8))
+    epoch = rng.choice((0.25, 0.5, 1.0))
+    params = {
+        "n_hosts": n_hosts,
+        "host_ncpus": ncpus,
+        "host_memory": rng.choice((gib(1), gib(2), gib(4))),
+        "epoch": epoch,
+        "strategy": rng.choice(_STRATEGIES),
+        "hot_frac": rng.choice((0.6, 0.7, 0.85)),
+        "max_migrations_per_epoch": rng.randint(1, 4),
+        "seed": seed,
+        "trace": rng.random() < 0.5,
+    }
+    n_pods = rng.randint(8, int(3.0 * n_hosts * ncpus))
+    specs = []
+    horizon = epoch * rng.randint(6, 12)
+    for i in range(n_pods):
+        demand = round(rng.uniform(0.1, 1.5), 2)
+        request = round(demand * rng.uniform(1.0, 2.5), 2)
+        mem_demand = mib(rng.choice((32, 64, 128)))
+        spec = {
+            "name": f"pod{i:03d}",
+            "cpu_request": request,
+            "mem_request": mem_demand * rng.choice((1, 2)),
+            "cpu_demand": demand,
+            "mem_demand": mem_demand,
+        }
+        if rng.random() < 0.4:
+            spec["burst_demand"] = round(demand * rng.uniform(1.5, 4.0), 2)
+            spec["burst_at"] = round(rng.uniform(0.2, 0.8) * horizon, 2)
+        if rng.random() < 0.25:
+            spec["gang"] = f"gang{rng.randint(0, 3)}"
+        specs.append(spec)
+    # Staggered submission: a wave at t=0 and one or two mid-run waves,
+    # so admissions also land on clusters with history.
+    waves = sorted({0.0} | {round(rng.uniform(0.2, 0.8) * horizon, 2)
+                            for _ in range(rng.randint(0, 2))})
+    per_wave: list[list[dict]] = [[] for _ in waves]
+    for spec in specs:
+        per_wave[rng.randrange(len(waves))].append(spec)
+    return {"params": params, "horizon": horizon, "telemetry":
+            rng.random() < 0.5, "waves": list(zip(waves, per_wave))}
+
+
+def _run(scenario: dict, jobs: int) -> dict:
+    """One scenario at one layout; returns digests + per-epoch snapshots."""
+    from repro.cluster import Cluster, ClusterParams, PodSpec
+
+    params = ClusterParams(**scenario["params"])
+    cluster = Cluster(params, jobs=jobs)
+    try:
+        collector = None
+        if scenario["telemetry"]:
+            from repro.obs.fleet import FleetCollector
+            collector = FleetCollector()
+            cluster.attach_telemetry(collector)
+        waves = list(scenario["waves"])
+        horizon = scenario["horizon"]
+        snaps: list[dict] = []
+        t = 0.0
+        while t < horizon - 1e-9:
+            while waves and waves[0][0] <= t + 1e-9:
+                _at, specs = waves.pop(0)
+                for spec in specs:
+                    cluster.submit(PodSpec(**spec))
+            t = min(t + params.epoch, horizon)
+            cluster.run(until=t)
+            snaps.append(cluster.invariant_snapshot())
+        span_violations: list[str] = []
+        if params.trace:
+            from repro.check.span_tree import check_span_tree
+            span_violations = check_span_tree(cluster)
+        return {
+            "trace_digest": cluster.trace_digest(),
+            "sample_digest": cluster.epoch_sample_digest(),
+            "snaps": snaps,
+            "span_violations": span_violations,
+            "migrations": len(cluster.migration_records),
+            "pods": len(cluster.placed),
+            "telemetry_epochs": collector.epochs if collector else 0,
+        }
+    finally:
+        cluster.close()
+
+
+def run_shard_differential(seed: int,
+                           layouts: tuple[int, ...] = (2, 3)
+                           ) -> ShardDiffReport:
+    """Run one seed at ``jobs=1`` and every sharded layout; diff exactly."""
+    scenario = _scenario(seed)
+    report = ShardDiffReport(seed=seed, layouts=layouts)
+    base = _run(scenario, 1)
+    report.epochs = len(base["snaps"])
+    report.migrations = base["migrations"]
+    report.pods = base["pods"]
+
+    # Lawfulness of the in-process run (the reference semantics).
+    prev = None
+    for i, snap in enumerate(base["snaps"]):
+        for v in check_cluster_snapshot(snap, prev):
+            report.violations.append(f"{v} [jobs=1 epoch {i}]")
+        prev = snap
+    report.violations.extend(
+        f"{v} [jobs=1]" for v in base["span_violations"])
+
+    base_json = [json.dumps(s, sort_keys=True) for s in base["snaps"]]
+    for jobs in layouts:
+        other = _run(scenario, jobs)
+        tag = f"jobs={jobs}"
+        if other["trace_digest"] != base["trace_digest"]:
+            report.divergences.append(
+                f"trace_digest: {tag} {other['trace_digest'][:16]} != "
+                f"jobs=1 {base['trace_digest'][:16]}")
+        if other["sample_digest"] != base["sample_digest"]:
+            report.divergences.append(
+                f"sample_digest: {tag} diverged from jobs=1")
+        if other["telemetry_epochs"] != base["telemetry_epochs"]:
+            report.divergences.append(
+                f"telemetry: {tag} saw {other['telemetry_epochs']} epochs, "
+                f"jobs=1 saw {base['telemetry_epochs']}")
+        for i, snap in enumerate(other["snaps"]):
+            if json.dumps(snap, sort_keys=True) != base_json[i]:
+                report.divergences.append(
+                    f"invariant_snapshot: {tag} epoch {i} is not "
+                    f"byte-identical to jobs=1")
+                break
+        report.violations.extend(
+            f"{v} [{tag}]" for v in other["span_violations"])
+    return report

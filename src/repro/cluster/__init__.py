@@ -16,18 +16,23 @@ Entry points::
 
 from repro.cluster.cluster import Cluster, ClusterParams
 from repro.cluster.hpa import HorizontalAutoscaler, HpaParams
-from repro.cluster.host import Host
-from repro.cluster.migration import MigrationRecord, migrate
+from repro.cluster.host import Host, HostLedger
+from repro.cluster.migration import (MigrationRecord, drain_pod, migrate,
+                                     readmit_pod)
 from repro.cluster.placement import (GangBinPack, PlacementStrategy,
                                      StaticRequestBinPack, ViewBinPack,
                                      make_strategy)
-from repro.cluster.pod import Footprint, PlacedPod, PodSpec
+from repro.cluster.pod import Footprint, PlacedPod, PodRecord, PodSpec
+from repro.cluster.shard import (InlineShardExecutor, ProcessShardExecutor,
+                                 ShardWorker, shard_hosts)
 
 __all__ = [
-    "Cluster", "ClusterParams", "Host",
-    "PodSpec", "PlacedPod", "Footprint",
+    "Cluster", "ClusterParams", "Host", "HostLedger",
+    "PodSpec", "PlacedPod", "PodRecord", "Footprint",
     "PlacementStrategy", "StaticRequestBinPack", "ViewBinPack",
     "GangBinPack", "make_strategy",
-    "MigrationRecord", "migrate",
+    "MigrationRecord", "migrate", "drain_pod", "readmit_pod",
+    "ShardWorker", "InlineShardExecutor", "ProcessShardExecutor",
+    "shard_hosts",
     "HorizontalAutoscaler", "HpaParams",
 ]

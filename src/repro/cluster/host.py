@@ -9,11 +9,16 @@ baseline) and live view/usage totals (for adaptive-view packing).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.cluster.pod import PlacedPod
 from repro.par.seeds import derive_seed
 from repro.world import World
 
-__all__ = ["Host"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.pod import PodRecord
+
+__all__ = ["Host", "HostLedger"]
 
 
 class Host:
@@ -92,4 +97,90 @@ class Host:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Host {self.name!r} pods={len(self.pods)} "
+                f"req_cpu={self.requested_cpu:.1f}/{self.ncpus}>")
+
+
+class HostLedger:
+    """Control-plane shadow of one host.
+
+    Presents the same duck-typed surface the placement strategies read
+    (``free_cpu_request``/``free_cpu_view``/``free_mem_view``/…), but
+    backed entirely by barrier-cached values and incremental deltas —
+    no live ``World`` access, so the real host can live in another
+    process.  The incremental ``demand_cpu`` sum is also what kills the
+    old O(pods) ``_host_demand`` recompute inside migration probes.
+    """
+
+    def __init__(self, name: str, *, ncpus: int, mem_capacity: int):
+        self.name = name
+        self.ncpus = ncpus
+        self.mem_capacity = mem_capacity
+        self.pods: dict[str, PodRecord] = {}
+        #: Declared request totals (the static scheduler's ledger).
+        self.requested_cpu = 0.0
+        self.requested_mem = 0
+        #: Incremental Σ live demand — updated on admit/burst/migrate,
+        #: never recomputed O(pods) in the rebalance loop.
+        self.demand_cpu = 0.0
+        #: Barrier-cached free bytes, adjusted by admission/migration
+        #: deltas between barriers.
+        self.mem_free = mem_capacity
+        #: Per-pod view footprints plus their running sum, kept exactly
+        #: consistent: every update goes through :meth:`set_view`.
+        self._view_cpu: dict[str, float] = {}
+        self._view_sum = 0.0
+
+    # -- static (request-based) accounting ---------------------------------
+
+    def free_cpu_request(self) -> float:
+        return self.ncpus - self.requested_cpu
+
+    def free_mem_request(self) -> int:
+        return self.mem_capacity - self.requested_mem
+
+    # -- live (view-based) accounting ---------------------------------------
+
+    def view_cpu_footprint(self) -> float:
+        return self._view_sum
+
+    def free_cpu_view(self) -> float:
+        return self.ncpus - self._view_sum
+
+    def free_mem_view(self) -> int:
+        return self.mem_free
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def set_view(self, pod_name: str, value: float) -> None:
+        """Set one pod's view footprint, keeping the running sum exact."""
+        self._view_sum += value - self._view_cpu.get(pod_name, 0.0)
+        self._view_cpu[pod_name] = value
+
+    def account_add(self, rec: "PodRecord") -> None:
+        self.pods[rec.name] = rec
+        self.requested_cpu += rec.spec.cpu_request
+        self.requested_mem += rec.spec.mem_request
+        self.demand_cpu += rec.demand
+        self.set_view(rec.name, rec.view_cpu_footprint())
+
+    def account_remove(self, rec: "PodRecord") -> None:
+        del self.pods[rec.name]
+        self.requested_cpu -= rec.spec.cpu_request
+        self.requested_mem -= rec.spec.mem_request
+        self.demand_cpu -= rec.demand
+        self._view_sum -= self._view_cpu.pop(rec.name, 0.0)
+
+    def refresh_views(self) -> None:
+        """Recompute the view sum from per-pod records (barrier resync).
+
+        Rebuilding in sorted pod order gives a canonical float-summation
+        order, so the ledger is bit-identical across shard layouts."""
+        self._view_cpu = {name: self.pods[name].view_cpu_footprint()
+                          for name in sorted(self.pods)}
+        self._view_sum = sum(self._view_cpu.values())
+        self.demand_cpu = sum(self.pods[name].demand
+                              for name in sorted(self.pods))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<HostLedger {self.name!r} pods={len(self.pods)} "
                 f"req_cpu={self.requested_cpu:.1f}/{self.ncpus}>")

@@ -13,6 +13,15 @@ Migration is drain → snapshot → re-admit:
 4. create a fresh container on the target and re-charge the snapshotted
    bytes there.
 
+The two halves are deliberately separable — :func:`drain_pod` runs
+where the source world lives, :func:`readmit_pod` where the target
+world lives, and everything that crosses between them (the
+:func:`drain_pod` payload) is a plain picklable dict.  That is what
+lets the sharded backend (:mod:`repro.cluster.shard`) migrate a pod
+between two worker *processes* with byte-identical results: the drain
+payload rides the control plane from one shard to the other exactly as
+it rides a function call in-process.
+
 The cluster-level invariant (``repro.check.check_cluster``) then ties
 the two sides together: summed host ledgers must equal cluster totals
 no matter how many times pods moved.
@@ -23,11 +32,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.host import Host
-from repro.cluster.pod import PlacedPod
+from repro.cluster.pod import PlacedPod, PodSpec
 from repro.container.spec import ContainerSpec
 from repro.errors import ClusterError
 
-__all__ = ["MigrationRecord", "migrate"]
+__all__ = ["MigrationRecord", "migrate", "drain_pod", "readmit_pod"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +53,16 @@ class MigrationRecord:
 
 def _quota_us(demand: float, period_us: int) -> int:
     return max(1000, int(round(demand * period_us)))
+
+
+def quota_cores(demand: float, period_us: int = 100_000) -> float:
+    """The CFS quota (in cores) a pod at ``demand`` actually runs under.
+
+    The control plane uses this to predict the quota a worker-side
+    ``set_cpu_quota`` will produce, so shadow view footprints match the
+    live cgroup exactly (including the 1ms quota floor).
+    """
+    return _quota_us(demand, period_us) / period_us
 
 
 def pod_container_spec(pod_name: str, spec, demand: float) -> ContainerSpec:
@@ -70,32 +89,28 @@ def start_pod_workload(pod: PlacedPod) -> None:
     t.assign_work(1e15)
 
 
-def migrate(placed: PlacedPod, dst: Host) -> MigrationRecord:
-    """Move ``placed`` from its current host to ``dst``.
+def drain_pod(placed: PlacedPod, *, dst_name: str) -> dict:
+    """Tear a pod down on its current host; return the transfer payload.
 
-    When tracing is enabled the move leaves a causally-linked span
-    chain behind: the source's ``migration.drain`` span carries a
-    ``follows`` link to the pod's ending ``container.lifetime`` span,
-    the target's ``migration.readmit`` follows the drain, and the new
-    lifetime span follows the readmit — so a pod's whole history reads
-    as one chain however many times it re-homes
-    (:func:`repro.check.check_span_tree` audits exactly this).
+    When tracing is enabled the drain leaves a ``migration.drain`` span
+    behind, ``follows``-linked to the pod's ending
+    ``container.lifetime`` span.  The returned payload is everything
+    the re-admit side needs, all picklable: snapshotted bytes, the CPU
+    integral consumed here, and the drain span's global id for the
+    cross-host ``follows`` chain.
     """
     src = placed.host
-    if src is dst:
-        raise ClusterError(
-            f"pod {placed.name!r} is already on host {dst.name!r}")
-    world_src, world_dst = src.world, dst.world
+    world_src = src.world
     cg = placed.container.cgroup
     bytes_moved = cg.memory.usage_in_bytes
     cpu_at = cg.total_cpu_time
     incarnation = placed.migrations
 
-    # Drain: tear down on the source.  destroy() exits the thread,
-    # uncharges every byte, and folds the cgroup's CPU time into the
-    # source root's retired ledger — per-host conservation holds.
+    # destroy() exits the thread, uncharges every byte, and folds the
+    # cgroup's CPU time into the source root's retired ledger — per-host
+    # conservation holds.
     drain = world_src.trace.begin_span(
-        "migration.drain", placed.name, dst=dst.name,
+        "migration.drain", placed.name, dst=dst_name,
         incarnation=incarnation,
         follows=world_src.trace.gid(placed.container.life_span))
     world_src.containers.destroy(placed.container)
@@ -103,26 +118,73 @@ def migrate(placed: PlacedPod, dst: Host) -> MigrationRecord:
     placed.cpu_time_retired += cpu_at
     world_src.trace.end_span(drain, bytes_moved=bytes_moved,
                              cpu_time=cpu_at)
+    return {"pod": placed.name, "spec": placed.spec, "src": src.name,
+            "demand": placed.demand, "bytes_moved": bytes_moved,
+            "cpu_time": cpu_at, "incarnation": incarnation,
+            "drain_gid": world_src.trace.gid(drain)}
 
-    # Re-admit on the target with the *live* demand quota.
+
+def readmit_pod(dst: Host, payload: dict) -> PlacedPod:
+    """Re-admit a drained pod on ``dst`` from a :func:`drain_pod` payload.
+
+    Creates a fresh container at the pod's *live* demand quota,
+    re-charges the snapshotted bytes, and restarts the workload.  The
+    new ``migration.readmit`` and lifetime spans ``follows``-link to
+    the drain span's global id, so the chain stays causally readable
+    even when source and target live in different processes.
+    """
+    world_dst = dst.world
+    spec: PodSpec = payload["spec"]
+    incarnation = payload["incarnation"]
+    bytes_moved = payload["bytes_moved"]
     readmit = world_dst.trace.begin_span(
-        "migration.readmit", placed.name, src=src.name,
-        incarnation=incarnation + 1,
-        follows=world_src.trace.gid(drain))
-    spec = pod_container_spec(placed.name, placed.spec, placed.demand)
-    container = world_dst.containers.create(spec)
+        "migration.readmit", payload["pod"], src=payload["src"],
+        incarnation=incarnation + 1, follows=payload["drain_gid"])
+    cspec = pod_container_spec(payload["pod"], spec, payload["demand"])
+    container = world_dst.containers.create(cspec)
     world_dst.mm.charge(container.cgroup, bytes_moved)
     world_dst.trace.annotate_span(
-        container.life_span, pod=placed.name, incarnation=incarnation + 1,
+        container.life_span, pod=payload["pod"],
+        incarnation=incarnation + 1,
         follows=world_dst.trace.gid(readmit))
-    placed.container = container
-    placed.host = dst
-    placed.migrations += 1
-    placed.bytes_migrated += bytes_moved
+    placed = PlacedPod(spec, dst, container, world_dst.now)
+    placed.demand = payload["demand"]
+    placed.migrations = incarnation + 1
+    placed.cpu_time_retired = payload.get("cpu_time_retired",
+                                          payload["cpu_time"])
+    placed.bytes_migrated = payload.get("bytes_migrated", bytes_moved)
     dst.account_add(placed)
     start_pod_workload(placed)
     world_dst.trace.end_span(readmit, bytes_moved=bytes_moved)
+    return placed
 
+
+def migrate(placed: PlacedPod, dst: Host) -> MigrationRecord:
+    """Move ``placed`` from its current host to ``dst`` (in-process).
+
+    Composition of :func:`drain_pod` + :func:`readmit_pod` for callers
+    holding both hosts in one process; the sharded executor performs
+    the same two steps as separate worker calls.  The move leaves a
+    causally-linked span chain behind — the source's ``migration.drain``
+    span follows the pod's ending ``container.lifetime`` span, the
+    target's ``migration.readmit`` follows the drain, and the new
+    lifetime span follows the readmit
+    (:func:`repro.check.check_span_tree` audits exactly this).
+    """
+    src = placed.host
+    if src is dst:
+        raise ClusterError(
+            f"pod {placed.name!r} is already on host {dst.name!r}")
+    payload = drain_pod(placed, dst_name=dst.name)
+    payload["cpu_time_retired"] = placed.cpu_time_retired
+    payload["bytes_migrated"] = placed.bytes_migrated + payload["bytes_moved"]
+    fresh = readmit_pod(dst, payload)
+    # Callers holding the original record keep it live across the move.
+    placed.container = fresh.container
+    placed.host = dst
+    placed.migrations = fresh.migrations
+    placed.bytes_migrated = fresh.bytes_migrated
+    dst.pods[placed.name] = placed
     return MigrationRecord(pod=placed.name, src=src.name, dst=dst.name,
-                           time=world_dst.now, bytes_moved=bytes_moved,
-                           cpu_time=cpu_at)
+                           time=dst.world.now, bytes_moved=payload["bytes_moved"],
+                           cpu_time=payload["cpu_time"])

@@ -7,14 +7,18 @@ really consume once running — the signal the adaptive views surface).
 The gap between the two is the overcommit opportunity the view-based
 scheduler exploits.
 
-A :class:`PlacedPod` is the cluster's runtime record of one admitted
-pod: which host holds it, the live container handle, and the ledgers
-that must survive migration (cumulative CPU time across hosts, bytes
-moved).
+A :class:`PlacedPod` is the *worker-side* runtime record of one
+admitted pod: which host holds it, the live container handle, and the
+ledgers that must survive migration (cumulative CPU time across hosts,
+bytes moved).  A :class:`PodRecord` is the *control-plane* shadow of
+the same pod — no container handle, only the barrier-refreshed values
+the scheduler reads — so the cluster can make placement and migration
+decisions without reaching into (possibly remote) worlds.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -22,9 +26,9 @@ from repro.errors import ClusterError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.container.container import Container
-    from repro.cluster.host import Host
+    from repro.cluster.host import Host, HostLedger
 
-__all__ = ["PodSpec", "Footprint", "PlacedPod"]
+__all__ = ["PodSpec", "Footprint", "PlacedPod", "PodRecord"]
 
 
 @dataclass(frozen=True)
@@ -169,4 +173,70 @@ class PlacedPod:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<PlacedPod {self.name!r} on {self.host.name} "
+                f"demand={self.demand:.2f} migrations={self.migrations}>")
+
+
+class PodRecord:
+    """Control-plane shadow of one admitted pod.
+
+    Holds no container handle — only the values the scheduler reads,
+    refreshed from the owning shard at each epoch barrier.  Between
+    barriers the record is updated by the same deterministic deltas the
+    worker applies (quota changes on burst, ledger folds on migration),
+    so placement decisions are identical no matter which process the
+    live world lives in.
+    """
+
+    def __init__(self, spec: PodSpec, host: "HostLedger", placed_at: float):
+        self.spec = spec
+        self.host = host
+        self.placed_at = placed_at
+        #: Live CPU demand (tracks burst phase changes).
+        self.demand = spec.demand_at(placed_at)
+        self.migrations = 0
+        #: CPU seconds consumed on *previous* hosts.
+        self.cpu_time_retired = 0.0
+        #: Bytes carried across migrations, cumulative.
+        self.bytes_migrated = 0
+        #: Epoch-window bookmark for attained-rate sampling.
+        self.last_cpu_time = 0.0
+        #: Epochs in which the pod's attained rate missed its SLO.
+        self.violation_epochs = 0
+        #: CPU seconds on the *current* host, as of the last barrier.
+        self.live_cpu_time = 0.0
+        #: Barrier-cached E_CPU view.  A fresh container's view is
+        #: unbounded until it has run (sys_ns.e_cpu starts optimistic),
+        #: so the shadow starts at +inf and the quota bounds the
+        #: footprint until the first report lands.
+        self.e_cpu = math.inf
+        #: Barrier-cached CFS quota in cores (control-side predicted
+        #: on admit/burst/migrate, confirmed at every barrier).
+        self.quota_cores = 0.0
+        #: Barrier-cached resident bytes.
+        self._live_bytes = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def total_cpu_time(self) -> float:
+        """Pod-lifetime CPU seconds, across every host it has run on."""
+        return self.cpu_time_retired + self.live_cpu_time
+
+    def view_cpu_footprint(self) -> float:
+        """Shadow of :meth:`PlacedPod.view_cpu_footprint`."""
+        return min(self.e_cpu, self.quota_cores)
+
+    def live_bytes(self) -> int:
+        return self._live_bytes
+
+    def footprint(self) -> Footprint:
+        return Footprint(cpu_request=self.spec.cpu_request,
+                         mem_request=self.spec.mem_request,
+                         cpu_live=self.view_cpu_footprint(),
+                         mem_live=self.live_bytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<PodRecord {self.name!r} on {self.host.name} "
                 f"demand={self.demand:.2f} migrations={self.migrations}>")

@@ -1,0 +1,497 @@
+"""Sharded cluster execution: persistent workers own the host worlds.
+
+Hosts in a :class:`~repro.cluster.cluster.Cluster` are fully
+independent between epoch barriers — separate event loops, separate
+schedulers, identical clocks at every barrier.  That is exactly the
+structure partitioned conservative discrete-event simulation exploits,
+and this module is the partition: ``Cluster(params, jobs=N)`` splits
+the host list into N contiguous shards, each owned for the whole run
+by one persistent worker process
+(:class:`~repro.par.workers.PersistentWorkerPool`).  **No ``World``
+object ever crosses a process boundary** — workers build their own
+hosts from ``(params, host names)`` and everything on the wire is a
+compact canonical command or report:
+
+* *down* each epoch: per-host command batches — ``("burst", pod,
+  demand)`` quota changes and ``("admit", spec, demand)`` placements —
+  plus the barrier time to run to;
+* *up* each epoch: per-host sample batches — per-pod attained CPU
+  integrals, ``E_CPU`` views, live quota and resident bytes, plus the
+  host's free memory — everything the control plane's shadow ledgers
+  and the SLO sampler need;
+* *across*, for migrations: the existing drain → snapshot(bytes + cpu
+  integral) → readmit payload from :mod:`repro.cluster.migration`,
+  which was already serialization-shaped.
+
+Determinism argument (why ``jobs=N`` is byte-identical to ``jobs=1``):
+
+1. the control plane makes every decision from its own shadow state,
+   refreshed only at barriers from worker reports — identical code and
+   state in both modes (``jobs=1`` runs the very same
+   :class:`ShardWorker` through :class:`InlineShardExecutor`);
+2. worker reports are floats/ints/strings, and pickling those is
+   exact — a report read through a pipe is bit-equal to one read
+   in-process;
+3. reports are merged in canonical (control-plane) host order, never
+   completion order;
+4. each world only sees its own per-host command stream, applied in
+   control order — the projection of the global command sequence onto
+   one host is the same whichever process applies it.
+
+Worker death is survivable because worlds are deterministic: the
+process executor journals every state-mutating command per shard, and
+on :class:`~repro.par.workers.WorkerDied` it respawns the slot and
+replays the journal, reproducing the dead shard's state byte for byte
+before retrying the failed call.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.cluster.host import Host
+from repro.cluster.migration import drain_pod, pod_container_spec, \
+    readmit_pod, start_pod_workload
+from repro.cluster.pod import PlacedPod
+from repro.errors import ClusterError, ReproError
+from repro.par.workers import PersistentWorkerPool, WorkerDied
+
+__all__ = ["ShardWorker", "InlineShardExecutor", "ProcessShardExecutor",
+           "build_shard_worker", "make_executor", "shard_hosts"]
+
+#: Dotted path of the worker factory, resolved inside worker processes.
+_FACTORY = "repro.cluster.shard:build_shard_worker"
+
+
+def shard_hosts(host_names: list[str], jobs: int) -> list[list[str]]:
+    """Contiguous, balanced partition of ``host_names`` into ``jobs`` shards.
+
+    Purely cosmetic for determinism: digests must be (and are)
+    identical for every layout, because reports are merged in global
+    host order regardless of which shard produced them.
+    """
+    jobs = max(1, min(jobs, len(host_names)))
+    base, extra = divmod(len(host_names), jobs)
+    shards: list[list[str]] = []
+    start = 0
+    for i in range(jobs):
+        size = base + (1 if i < extra else 0)
+        shards.append(host_names[start:start + size])
+        start += size
+    return shards
+
+
+class ShardWorker:
+    """One shard: real ``Host`` worlds plus their command interpreter.
+
+    Lives either in-process (``jobs=1``) or inside a persistent worker
+    process (``jobs>1``); the cluster control plane only ever talks to
+    it through the picklable method payloads below, so the two modes
+    execute identical code on identical values.
+    """
+
+    def __init__(self, params, host_names: list[str]):
+        self.params = params
+        self.hosts: dict[str, Host] = {
+            name: Host(name, ncpus=params.host_ncpus,
+                       memory=params.host_memory, seed=params.seed,
+                       view_update_period=params.view_update_period,
+                       engine=params.engine, trace=params.trace,
+                       sched_policy=params.sched_policy,
+                       reclaim_policy=params.reclaim_policy)
+            for name in host_names
+        }
+        self.order = list(host_names)
+        #: pod name -> host name, for drain routing.
+        self.pod_home: dict[str, str] = {}
+        self._collectors = None
+
+    # -- epoch barrier -----------------------------------------------------
+
+    def hello(self, _payload=None) -> list[dict]:
+        """Initial per-host ledger state, before any epoch ran."""
+        return [{"host": name,
+                 "ncpus": self.hosts[name].ncpus,
+                 "mem_capacity": self.hosts[name].mem_capacity,
+                 "mem_free": self.hosts[name].free_mem_view()}
+                for name in self.order]
+
+    def epoch(self, payload: dict) -> list[dict]:
+        """Apply one epoch's command batch, run to the barrier, report.
+
+        ``payload["ops"]`` maps host name to its projected command
+        list, in control-plane order; ``payload["until"]`` is the
+        barrier time.  The report is everything the control plane's
+        shadow ledgers consume, with per-pod rows in sorted-name order
+        so the merged batch is canonical.
+        """
+        ops = payload["ops"]
+        until = payload["until"]
+        for name in self.order:
+            host_ops = ops.get(name)
+            if host_ops:
+                self._apply_ops(self.hosts[name], host_ops)
+        for name in self.order:
+            self.hosts[name].world.run(until=until)
+        return [self._report(self.hosts[name]) for name in self.order]
+
+    def _apply_ops(self, host: Host, host_ops: list) -> None:
+        for op in host_ops:
+            kind = op[0]
+            if kind == "burst":
+                _kind, pod_name, demand = op
+                pod = host.pods[pod_name]
+                pod.demand = demand
+                cg = pod.container.cgroup
+                period = cg.cpu.cfs_period_us
+                cg.set_cpu_quota(max(1000, int(round(demand * period))),
+                                 period)
+            elif kind == "admit":
+                _kind, spec, demand = op
+                self._admit(host, spec, demand)
+            else:  # pragma: no cover - protocol error
+                raise ClusterError(f"unknown shard op {kind!r}")
+
+    def _admit(self, host: Host, spec, demand: float) -> None:
+        cspec = pod_container_spec(spec.name, spec, demand)
+        container = host.world.containers.create(cspec)
+        # Incarnation 0 of the pod's span chain; migrations extend it
+        # with follows-linked drain/readmit/lifetime spans.
+        host.world.trace.annotate_span(container.life_span, pod=spec.name,
+                                       incarnation=0)
+        host.world.mm.charge(container.cgroup, spec.mem_demand)
+        pod = PlacedPod(spec, host, container, host.world.now)
+        pod.demand = demand
+        start_pod_workload(pod)
+        host.account_add(pod)
+        self.pod_home[spec.name] = host.name
+
+    def _report(self, host: Host) -> dict:
+        pods = []
+        for name in sorted(host.pods):
+            pod = host.pods[name]
+            cg = pod.container.cgroup
+            pods.append([name, cg.total_cpu_time,
+                         cg.memory.usage_in_bytes,
+                         float(pod.container.sys_ns.e_cpu),
+                         cg.quota_cores])
+        return {"host": host.name, "now": host.world.now,
+                "mem_free": host.free_mem_view(), "pods": pods}
+
+    # -- migration ---------------------------------------------------------
+
+    def drain(self, payload: dict) -> dict:
+        """Drain a pod off this shard; returns the transfer payload."""
+        pod_name = payload["pod"]
+        home = self.pod_home.pop(pod_name, None)
+        if home is None:
+            raise ClusterError(f"shard does not hold pod {pod_name!r}")
+        host = self.hosts[home]
+        placed = host.pods[pod_name]
+        return drain_pod(placed, dst_name=payload["dst"])
+
+    def readmit(self, payload: dict) -> None:
+        """Re-admit a drained pod on this shard's ``payload['host']``."""
+        host = self.hosts[payload["host"]]
+        readmit_pod(host, payload)
+        self.pod_home[payload["pod"]] = host.name
+
+    # -- audits ------------------------------------------------------------
+
+    def snapshot(self, _payload=None) -> dict:
+        """Per-host invariant rows plus per-pod live integrals.
+
+        The rows are exactly the host block of
+        :meth:`Cluster.invariant_snapshot`; the shard also hashes its
+        own rows into a per-shard invariant digest so cross-process
+        divergence is attributable to a shard without shipping worlds.
+        """
+        rows = []
+        live: dict[str, dict] = {}
+        for name in self.order:
+            h = self.hosts[name]
+            world = h.world
+            if world.sched.dirty:
+                world.sched.reallocate()
+            live_cpu = 0.0
+            for pod_name in sorted(h.pods):
+                cg = h.pods[pod_name].container.cgroup
+                live[pod_name] = {
+                    "live_cpu_time": cg.total_cpu_time,
+                    "mem_usage": cg.memory.usage_in_bytes,
+                }
+                live_cpu += cg.total_cpu_time
+            charge = uncharge = usage = 0
+            for cg in world.cgroups.walk():
+                charge += cg.memory.charge_total
+                uncharge += cg.memory.uncharge_total
+                usage += cg.memory.resident + cg.memory.swapped
+            rows.append({
+                "name": h.name,
+                "now": world.now,
+                "ncpus": h.ncpus,
+                "elapsed": world.sched.elapsed,
+                "conservation_error": world.sched.conservation_error(),
+                "retired_cpu_time": world.cgroups.retired_cpu_time,
+                "live_pod_cpu_time": live_cpu,
+                "charge_total": charge,
+                "uncharge_total": uncharge,
+                "mem_usage": usage,
+                "mem_free": world.mm.free,
+                "pods": sorted(h.pods),
+            })
+        digest = hashlib.sha256(json.dumps(
+            rows, sort_keys=True, separators=(",", ":")).encode()).hexdigest()
+        return {"hosts": rows, "pods": live, "digest": digest}
+
+    def spans(self, _payload=None) -> list[dict]:
+        """Per-host trace bundles for the span-tree audit.
+
+        In-process callers receive the *live* span objects (so tests
+        can corrupt them and re-audit); cross-process callers receive
+        pickled copies, which is all an audit needs.
+        """
+        out = []
+        for name in self.order:
+            log = self.hosts[name].world.trace
+            out.append({"host": name, "enabled": log.enabled,
+                        "dropped": log.spans_dropped, "log_id": log.log_id,
+                        "spans": log.spans(include_open=True)})
+        return out
+
+    # -- telemetry ---------------------------------------------------------
+
+    def attach_telemetry(self, params) -> None:
+        """Build per-host collectors for subsequent :meth:`sample` calls."""
+        from repro.obs.fleet import HostCollector
+        self._collectors = {name: HostCollector(self.hosts[name], params)
+                            for name in self.order}
+
+    def sample(self, payload: dict) -> list[tuple]:
+        """Run each host's telemetry collector; pure reads only."""
+        if self._collectors is None:
+            raise ClusterError("shard telemetry sampled before attach")
+        attained = payload["attained"]
+        return [(name, *self._collectors[name].sample(attained.get(name, {})))
+                for name in self.order]
+
+
+def build_shard_worker(payload: dict) -> ShardWorker:
+    """Worker-process factory (dotted-path target for the pool)."""
+    return ShardWorker(payload["params"], payload["host_names"])
+
+
+class InlineShardExecutor:
+    """``jobs=1``: one shard, direct calls, zero copies.
+
+    Runs the very same :class:`ShardWorker` code the process executor
+    ships to workers — that, plus exact pickling of report scalars, is
+    the whole byte-identity argument.
+    """
+
+    jobs = 1
+
+    def __init__(self, params, host_names: list[str]):
+        self.order = list(host_names)
+        self.worker = ShardWorker(params, host_names)
+
+    #: Real Host objects, for in-process consumers (tests, profiler).
+    @property
+    def hosts(self) -> list[Host]:
+        return [self.worker.hosts[name] for name in self.order]
+
+    def init_reports(self) -> list[dict]:
+        return self.worker.hello()
+
+    def run_epoch(self, ops: dict[str, list], until: float) -> list[dict]:
+        return self.worker.epoch({"ops": ops, "until": until})
+
+    def migrate(self, pod: str, src: str, dst: str) -> dict:
+        payload = self.worker.drain({"pod": pod, "dst": dst})
+        payload["host"] = dst
+        self.worker.readmit(payload)
+        return payload
+
+    def snapshot(self) -> dict:
+        shard = self.worker.snapshot()
+        return {"hosts": shard["hosts"], "pods": shard["pods"],
+                "digests": [shard["digest"]]}
+
+    def attach_telemetry(self, params) -> None:
+        self.worker.attach_telemetry(params)
+
+    def sample(self, attained: dict[str, dict]) -> list[tuple]:
+        return self.worker.sample({"attained": attained})
+
+    def spans(self) -> list[dict]:
+        return self.worker.spans()
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessShardExecutor:
+    """``jobs>1``: shards in persistent worker processes.
+
+    Every state-mutating call is journaled per shard *before* it runs;
+    a :class:`WorkerDied` triggers respawn + journal replay, which
+    reconstructs the dead shard deterministically (same worlds, same
+    command stream → same state), then yields the retried call's
+    result from the replayed tail.
+    """
+
+    def __init__(self, params, host_names: list[str], jobs: int):
+        self.shards = shard_hosts(host_names, jobs)
+        self.jobs = len(self.shards)
+        self.order = list(host_names)
+        self.shard_of = {name: idx for idx, shard in enumerate(self.shards)
+                         for name in shard}
+        self.pool = PersistentWorkerPool(
+            _FACTORY, [{"params": params, "host_names": shard}
+                       for shard in self.shards])
+        #: Per-shard mutation journal: (method, payload) in issue order.
+        self.journal: list[list[tuple[str, object]]] = [
+            [] for _ in self.shards]
+        self.recoveries = 0
+
+    # -- death recovery ----------------------------------------------------
+
+    def _replay(self, idx: int):
+        """Respawn shard ``idx`` and replay its journal; returns the
+        last replayed call's result (the call that found the corpse)."""
+        self.recoveries += 1
+        self.pool.respawn(idx)
+        result = None
+        for method, payload in self.journal[idx]:
+            result = self.pool.call(idx, method, payload)
+        return result
+
+    def _call(self, idx: int, method: str, payload, *,
+              journal: bool) -> object:
+        if journal:
+            self.journal[idx].append((method, payload))
+        try:
+            return self.pool.call(idx, method, payload)
+        except WorkerDied:
+            if not journal:
+                # Pure read: replay restores state, then re-ask.
+                self._replay(idx)
+                return self.pool.call(idx, method, payload)
+            return self._replay(idx)
+
+    def _fan(self, method: str, payloads: list, *, journal: bool) -> list:
+        """Issue one call per shard concurrently; replies in shard order.
+
+        All requests go out before any reply is read, so shard work
+        (epoch runs, telemetry sweeps) overlaps across cores.  Dead
+        workers are respawned and their journals replayed; a journaled
+        fan call is itself the journal's tail, so the replay's final
+        result *is* the retried call.
+        """
+        if journal:
+            for idx, payload in enumerate(payloads):
+                self.journal[idx].append((method, payload))
+        dead: set[int] = set()
+        for idx, payload in enumerate(payloads):
+            try:
+                self.pool.start_call(idx, method, payload)
+            except WorkerDied:
+                dead.add(idx)
+        replies: list = [None] * self.jobs
+        error: Exception | None = None
+        for idx in range(self.jobs):
+            if idx in dead:
+                continue
+            try:
+                replies[idx] = self.pool.finish_call(idx)
+            except WorkerDied:
+                dead.add(idx)
+            except ReproError as exc:
+                # Worker-side exception: the protocol is still in sync
+                # (the worker replied); drain the remaining replies so
+                # later calls don't read stale ones, then raise.
+                error = error or exc
+        if error is not None:
+            raise error
+        for idx in sorted(dead):
+            if journal:
+                replies[idx] = self._replay(idx)
+            else:
+                self._replay(idx)
+                replies[idx] = self.pool.call(idx, method, payloads[idx])
+        return replies
+
+    # -- executor protocol -------------------------------------------------
+
+    def init_reports(self) -> list[dict]:
+        merged: dict[str, dict] = {}
+        for reply in self._fan("hello", [None] * self.jobs, journal=False):
+            for row in reply:
+                merged[row["host"]] = row
+        return [merged[name] for name in self.order]
+
+    def run_epoch(self, ops: dict[str, list], until: float) -> list[dict]:
+        payloads = []
+        for shard in self.shards:
+            shard_ops = {name: ops[name] for name in shard if name in ops}
+            payloads.append({"ops": shard_ops, "until": until})
+        replies = self._fan("epoch", payloads, journal=True)
+        merged = {row["host"]: row for reply in replies for row in reply}
+        return [merged[name] for name in self.order]
+
+    def migrate(self, pod: str, src: str, dst: str) -> dict:
+        src_idx = self.shard_of[src]
+        dst_idx = self.shard_of[dst]
+        payload = self._call(src_idx, "drain", {"pod": pod, "dst": dst},
+                             journal=True)
+        readmit = dict(payload)
+        readmit["host"] = dst
+        self._call(dst_idx, "readmit", readmit, journal=True)
+        return payload
+
+    def snapshot(self) -> dict:
+        hosts: dict[str, dict] = {}
+        pods: dict[str, dict] = {}
+        digests: list[str] = []
+        # Snapshots mutate (they force a pending reallocate), so they
+        # are journaled like any other command.
+        for shard in self._fan("snapshot", [None] * self.jobs, journal=True):
+            for row in shard["hosts"]:
+                hosts[row["name"]] = row
+            pods.update(shard["pods"])
+            digests.append(shard["digest"])
+        return {"hosts": [hosts[name] for name in self.order],
+                "pods": pods, "digests": digests}
+
+    def attach_telemetry(self, params) -> None:
+        self._fan("attach_telemetry", [params] * self.jobs, journal=True)
+
+    def sample(self, attained: dict[str, dict]) -> list[tuple]:
+        payloads = []
+        for shard in self.shards:
+            payloads.append({"attained": {
+                name: attained[name] for name in shard if name in attained}})
+        merged: dict[str, tuple] = {}
+        for reply in self._fan("sample", payloads, journal=False):
+            for row in reply:
+                merged[row[0]] = row
+        return [merged[name] for name in self.order]
+
+    def spans(self) -> list[dict]:
+        merged: dict[str, dict] = {}
+        for reply in self._fan("spans", [None] * self.jobs, journal=False):
+            for row in reply:
+                merged[row["host"]] = row
+        return [merged[name] for name in self.order]
+
+    def close(self) -> None:
+        self.pool.close()
+
+
+def make_executor(params, host_names: list[str], jobs: int):
+    """Inline for ``jobs<=1`` (or a single host), processes otherwise."""
+    jobs = max(1, min(jobs, len(host_names)))
+    if jobs == 1:
+        return InlineShardExecutor(params, host_names)
+    return ProcessShardExecutor(params, host_names, jobs)

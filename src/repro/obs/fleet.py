@@ -237,7 +237,6 @@ class FleetCollector:
         self.params = params or FleetTelemetryParams()
         self.sink = sink
         self.cluster: "Cluster | None" = None
-        self.hosts: list[HostCollector] = []
         self.epochs = 0
         self.records_streamed = 0
         p = self.params
@@ -263,20 +262,28 @@ class FleetCollector:
     def bind(self, cluster: "Cluster") -> None:
         if self.cluster is not None and self.cluster is not cluster:
             raise ReproError("FleetCollector is already bound to a cluster")
+        # Per-host sampling happens where the worlds live: the cluster's
+        # execution backend runs a HostCollector next to each host and
+        # hands on_epoch the finished sample batch, so the fleet rollup
+        # is identical whether hosts are in-process or sharded.
         self.cluster = cluster
-        self.hosts = [HostCollector(h, self.params) for h in cluster.hosts]
 
     # -- the epoch hook ----------------------------------------------------
 
-    def on_epoch(self, cluster: "Cluster", epoch_len: float) -> None:
-        """Sample every host and fold the results into the rollups."""
+    def on_epoch(self, cluster: "Cluster", epoch_len: float,
+                 host_samples: list[tuple]) -> None:
+        """Fold one epoch's per-host sample batch into the rollups.
+
+        ``host_samples`` rows are ``(host_name, scalars, histograms)``
+        in canonical host order, produced worker-side by
+        :meth:`HostCollector.sample` (pickled histograms merge exactly:
+        the layout is identical by construction).
+        """
         now = cluster.now
         self.epochs += 1
-        attained = cluster.last_epoch_attained
         per_host: list[dict] = []
         epoch_hist: dict[str, Histogram] = {}
-        for collector in self.hosts:
-            scalars, hists = collector.sample(attained)
+        for _name, scalars, hists in host_samples:
             per_host.append(scalars)
             for key, hist in hists.items():
                 agg = epoch_hist.get(key)

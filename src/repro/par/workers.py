@@ -1,0 +1,222 @@
+"""Persistent stateful worker processes.
+
+:mod:`repro.par.runner` fans out *stateless* trials: any worker can run
+any spec because the spec carries everything.  The cluster's sharded
+execution backend (:mod:`repro.cluster.shard`) needs the opposite
+shape: each worker *owns* long-lived state (a shard of ``Host`` worlds)
+that must never cross a process boundary, and the control plane sends
+it a stream of small method calls for the lifetime of a run.
+
+:class:`PersistentWorkerPool` provides that shape: N long-lived
+processes, each constructing one state object from a dotted-path
+factory (``"module:callable"``, the same convention the trial runner
+uses) applied to a picklable payload, then serving ``(method, payload)``
+requests over a duplex pipe until closed.
+
+Failure semantics: an exception inside a worker method is caught there
+and re-raised in the parent as :class:`ReproError` (the worker keeps
+serving).  A worker that dies outright (OOM-kill, segfault, ``kill
+-9``) surfaces as :class:`WorkerDied`; the pool can then
+:meth:`respawn` the slot and the caller replays whatever state the
+worker owed — the cluster executor keeps a command journal for exactly
+this (worlds are deterministic, so replay reproduces the dead shard
+byte for byte).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+import weakref
+
+from repro.errors import ReproError
+from repro.par.runner import _resolve
+
+__all__ = ["WorkerDied", "PersistentWorkerPool"]
+
+
+class WorkerDied(ReproError):
+    """A persistent worker process exited without replying."""
+
+    def __init__(self, index: int, detail: str = ""):
+        self.index = index
+        super().__init__(f"persistent worker {index} died"
+                         + (f": {detail}" if detail else ""))
+
+
+def _worker_main(conn, factory_path: str, payload) -> None:
+    """Child loop: build the state object, then serve requests.
+
+    Replies are ``("ok", result)`` or ``("err", message, tb)``; the
+    parent never sees a raw exception object (tracebacks don't pickle
+    usefully across processes).  ``None`` is the shutdown sentinel.
+    """
+    try:
+        obj = _resolve(factory_path)(payload)
+    except BaseException as exc:  # noqa: BLE001 - report, then die
+        conn.send(("err", f"{type(exc).__name__}: {exc}",
+                   traceback.format_exc()))
+        conn.close()
+        return
+    conn.send(("ok", None))                      # construction handshake
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            break
+        if msg is None:
+            break
+        method, arg = msg
+        try:
+            result = getattr(obj, method)(arg)
+            reply = ("ok", result)
+        except BaseException as exc:  # noqa: BLE001 - keep serving
+            reply = ("err", f"{type(exc).__name__}: {exc}",
+                     traceback.format_exc())
+        conn.send(reply)
+    conn.close()
+
+
+def _context() -> mp.context.BaseContext:
+    """Fork when the platform has it (cheap, inherits imports)."""
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return mp.get_context()
+
+
+def _close_slots(slots: list) -> None:
+    """Finalizer body: terminate every live worker (idempotent)."""
+    for slot in slots:
+        conn, proc = slot
+        if proc is None:
+            continue
+        try:
+            conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+        proc.join(timeout=2.0)
+        if proc.is_alive():  # pragma: no cover - stuck worker
+            proc.terminate()
+            proc.join(timeout=2.0)
+        slot[1] = None
+
+
+class PersistentWorkerPool:
+    """N long-lived processes, each owning one factory-built object."""
+
+    def __init__(self, factory: str, payloads: list):
+        if not payloads:
+            raise ReproError("PersistentWorkerPool needs >= 1 payload")
+        self.factory = factory
+        self.payloads = list(payloads)
+        self._ctx = _context()
+        #: ``[conn, process]`` per slot (mutable so respawn swaps in place).
+        self._slots: list = []
+        for payload in self.payloads:
+            self._slots.append(self._spawn(payload))
+        # Finalizer holds only the slot list, never self — the pool
+        # stays collectable, and weakref.finalize's own atexit hook
+        # reaps the children at interpreter exit.
+        self._finalizer = weakref.finalize(self, _close_slots, self._slots)
+
+    def _spawn(self, payload) -> list:
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(target=_worker_main,
+                                 args=(child, self.factory, payload),
+                                 daemon=True)
+        proc.start()
+        child.close()
+        slot = [parent, proc]
+        self._check(self._recv(slot, index=len(self._slots)))
+        return slot
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._slots)
+
+    def pid(self, index: int) -> int:
+        """The worker's OS pid (for tests that kill it on purpose)."""
+        proc = self._slots[index][1]
+        if proc is None:
+            raise ReproError(f"worker {index} is closed")
+        return proc.pid
+
+    # -- request/reply -----------------------------------------------------
+
+    def _recv(self, slot, *, index: int):
+        try:
+            return slot[0].recv()
+        except (EOFError, OSError):
+            raise WorkerDied(index) from None
+
+    @staticmethod
+    def _check(reply):
+        if reply[0] == "ok":
+            return reply[1]
+        _tag, message, tb = reply
+        raise ReproError(f"worker call failed: {message}\n{tb}")
+
+    def start_call(self, index: int, method: str, payload=None) -> None:
+        """Send a request without waiting (pair with :meth:`finish_call`)."""
+        slot = self._slots[index]
+        if slot[1] is None:
+            raise ReproError(f"worker {index} is closed")
+        try:
+            slot[0].send((method, payload))
+        except (BrokenPipeError, OSError):
+            raise WorkerDied(index) from None
+
+    def finish_call(self, index: int):
+        """Collect the pending reply for ``index``."""
+        return self._check(self._recv(self._slots[index], index=index))
+
+    def call(self, index: int, method: str, payload=None):
+        """One synchronous round trip to worker ``index``."""
+        self.start_call(index, method, payload)
+        return self.finish_call(index)
+
+    def broadcast(self, method: str, payloads: list) -> list:
+        """Call every worker concurrently; replies in worker order.
+
+        Requests all go out before any reply is read, so workers run
+        the (typically epoch-sized) calls in parallel.  The first dead
+        worker aborts the collection with :class:`WorkerDied`.
+        """
+        if len(payloads) != len(self._slots):
+            raise ReproError(
+                f"broadcast got {len(payloads)} payloads for "
+                f"{len(self._slots)} workers")
+        for index, payload in enumerate(payloads):
+            self.start_call(index, method, payload)
+        return [self.finish_call(index) for index in range(len(self._slots))]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def respawn(self, index: int) -> None:
+        """Replace a dead worker's process with a fresh one.
+
+        The new worker rebuilds its object from the original payload;
+        whatever state the old one had accumulated is the caller's to
+        replay (see the cluster executor's command journal).
+        """
+        old = self._slots[index]
+        if old[1] is not None:
+            try:
+                old[0].close()
+            except OSError:
+                pass
+            old[1].join(timeout=2.0)
+            if old[1].is_alive():  # pragma: no cover - stuck worker
+                old[1].terminate()
+                old[1].join(timeout=2.0)
+        fresh = self._spawn(self.payloads[index])
+        old[0], old[1] = fresh[0], fresh[1]
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        self._finalizer()

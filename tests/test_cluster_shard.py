@@ -1,0 +1,312 @@
+"""Tests for repro.cluster.shard: byte-identical sharded execution.
+
+The contract under test: ``Cluster(params, jobs=N)`` produces the same
+``trace_digest()``, ``epoch_sample_digest()`` and
+``invariant_snapshot()`` — byte for byte — as ``jobs=1``, for every
+shard layout, with cross-shard migrations, tracing and telemetry in the
+mix, and survives shard-worker death via journal replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.check import check_cluster, check_cluster_snapshot
+from repro.cluster import Cluster, ClusterParams, PodSpec
+from repro.cluster.shard import (InlineShardExecutor, ProcessShardExecutor,
+                                 shard_hosts)
+from repro.errors import ClusterError, ReproError
+from repro.par.workers import PersistentWorkerPool, WorkerDied
+from repro.units import gib, mib
+
+
+def pod(name: str, *, request: float = 1.0, demand: float = 0.5,
+        mem: int = mib(64), gang: str | None = None,
+        burst: tuple[float, float] | None = None) -> PodSpec:
+    return PodSpec(name=name, cpu_request=request, mem_request=mem * 2,
+                   cpu_demand=demand, mem_demand=mem, gang=gang,
+                   burst_demand=burst[0] if burst else None,
+                   burst_at=burst[1] if burst else None)
+
+
+def churn_specs(n: int = 24) -> list[PodSpec]:
+    """A mix that bursts hosts hot, so the rebalancer migrates."""
+    specs = []
+    for i in range(n):
+        specs.append(pod(
+            f"pod{i:03d}", request=1.5, demand=0.4,
+            burst=(2.0, 1.5) if i % 3 == 0 else None,
+            gang=f"g{i // 8}" if i % 5 == 0 else None))
+    return specs
+
+
+def run_cluster(jobs: int, *, strategy: str = "view", trace: bool = False,
+                telemetry: bool = False, n_hosts: int = 5,
+                until: float = 5.0) -> Cluster:
+    params = ClusterParams(n_hosts=n_hosts, host_ncpus=4, host_memory=gib(4),
+                           epoch=0.5, strategy=strategy, hot_frac=0.7,
+                           seed=11, trace=trace)
+    c = Cluster(params, jobs=jobs)
+    if telemetry:
+        from repro.obs.fleet import FleetCollector
+        c.attach_telemetry(FleetCollector())
+    c.submit_all(churn_specs())
+    c.run(until=until)
+    return c
+
+
+def fingerprints(c: Cluster) -> tuple[str, str, str]:
+    snap = json.dumps(c.invariant_snapshot(), sort_keys=True)
+    return c.trace_digest(), c.epoch_sample_digest(), snap
+
+
+class TestShardHosts:
+    def test_contiguous_balanced_partition(self):
+        names = [f"h{i}" for i in range(7)]
+        shards = shard_hosts(names, 3)
+        assert shards == [["h0", "h1", "h2"], ["h3", "h4"], ["h5", "h6"]]
+        assert [n for s in shards for n in s] == names
+
+    def test_jobs_clamped_to_hosts(self):
+        assert len(shard_hosts(["a", "b"], 8)) == 2
+        assert shard_hosts(["a"], 0) == [["a"]]
+
+
+class TestLayoutIdentity:
+    @pytest.mark.parametrize("strategy", ["view", "static", "view-gang"])
+    def test_jobs2_byte_identical(self, strategy):
+        a = run_cluster(1, strategy=strategy)
+        b = run_cluster(2, strategy=strategy)
+        try:
+            assert fingerprints(a) == fingerprints(b)
+        finally:
+            b.close()
+
+    def test_jobs4_byte_identical_with_migrations(self):
+        a = run_cluster(1)
+        b = run_cluster(4)
+        try:
+            assert len(a.migration_records) > 0
+            assert fingerprints(a) == fingerprints(b)
+        finally:
+            b.close()
+
+    def test_executor_kinds(self):
+        a = run_cluster(1)
+        b = run_cluster(2)
+        try:
+            assert isinstance(a._executor, InlineShardExecutor)
+            assert isinstance(b._executor, ProcessShardExecutor)
+            assert a.jobs == 1 and b.jobs == 2
+        finally:
+            b.close()
+
+    def test_traced_run_identical_and_span_chains_audit_clean(self):
+        a = run_cluster(1, trace=True)
+        b = run_cluster(3, trace=True)
+        try:
+            assert len(b.migration_records) > 0
+            assert fingerprints(a) == fingerprints(b)
+            assert check_cluster(a) == []
+            assert check_cluster(b) == []
+        finally:
+            b.close()
+
+    def test_telemetry_is_passive_under_sharding(self):
+        bare = run_cluster(2, telemetry=False)
+        obs = run_cluster(2, telemetry=True)
+        try:
+            assert fingerprints(bare) == fingerprints(obs)
+            assert obs.telemetry.epochs == 10
+            assert obs.telemetry.histograms["fleet.e_cpu"].count > 0
+        finally:
+            bare.close()
+            obs.close()
+
+    def test_telemetry_rollups_identical_across_layouts(self):
+        a = run_cluster(1, telemetry=True)
+        b = run_cluster(2, telemetry=True)
+        try:
+            ra = [json.dumps(r, sort_keys=True) for r in a.telemetry.epoch_records]
+            rb = [json.dumps(r, sort_keys=True) for r in b.telemetry.epoch_records]
+            assert ra == rb
+        finally:
+            b.close()
+
+    def test_shard_digests_attribute_per_shard(self):
+        b = run_cluster(3)
+        try:
+            assert len(b.shard_digests()) == 3
+        finally:
+            b.close()
+
+
+class TestCrossShardMigration:
+    def test_ledger_conservation_across_rehomes(self):
+        c = run_cluster(4)
+        try:
+            assert len(c.migration_records) > 0
+            # At least one migration crossed a process boundary.
+            shard_of = c._executor.shard_of
+            assert any(shard_of[r.src] != shard_of[r.dst]
+                       for r in c.migration_records)
+            snap = c.invariant_snapshot()
+            assert check_cluster_snapshot(snap) == []
+            moved = {r.pod for r in c.migration_records}
+            for name in moved:
+                rec = c.placed[name]
+                assert rec.cpu_time_retired > 0.0
+                assert rec.total_cpu_time >= rec.cpu_time_retired
+        finally:
+            c.close()
+
+    def test_cpu_integral_monotone_across_epochs(self):
+        params = ClusterParams(n_hosts=4, host_ncpus=4, host_memory=gib(4),
+                               epoch=0.5, hot_frac=0.7, seed=11)
+        c = Cluster(params, jobs=2)
+        try:
+            c.submit_all(churn_specs())
+            prev = None
+            for k in range(1, 9):
+                c.run(until=0.5 * k)
+                snap = c.invariant_snapshot()
+                assert check_cluster_snapshot(snap, prev) == []
+                prev = snap
+            assert len(c.migration_records) > 0
+        finally:
+            c.close()
+
+
+class TestWorkerDeathRecovery:
+    def test_killed_worker_is_replayed_byte_identically(self):
+        ref = run_cluster(1)
+        params = ClusterParams(n_hosts=5, host_ncpus=4, host_memory=gib(4),
+                               epoch=0.5, strategy="view", hot_frac=0.7,
+                               seed=11)
+        c = Cluster(params, jobs=2)
+        try:
+            c.submit_all(churn_specs())
+            c.run(until=2.5)
+            victim = c._executor.pool.pid(1)
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                try:
+                    os.kill(victim, 0)
+                except ProcessLookupError:
+                    break
+                time.sleep(0.01)
+            c.run(until=5.0)
+            assert c._executor.recoveries == 1
+            assert c._executor.pool.pid(1) != victim
+            assert fingerprints(ref) == fingerprints(c)
+        finally:
+            c.close()
+
+    def test_pool_call_respawn_and_worker_errors(self):
+        params = ClusterParams(n_hosts=2, host_ncpus=2, host_memory=gib(1))
+        pool = PersistentWorkerPool(
+            "repro.cluster.shard:build_shard_worker",
+            [{"params": params, "host_names": ["host00"]}])
+        try:
+            rows = pool.call(0, "hello", None)
+            assert rows[0]["host"] == "host00"
+            # A worker-side exception surfaces with its traceback and
+            # the worker keeps serving.
+            with pytest.raises(ReproError, match="shard does not hold"):
+                pool.call(0, "drain", {"pod": "ghost", "dst": "host00"})
+            assert pool.call(0, "hello", None) == rows
+            # A dead worker surfaces as WorkerDied; respawn rebuilds the
+            # slot from its original payload.
+            old = pool.pid(0)
+            os.kill(old, signal.SIGKILL)
+            with pytest.raises(WorkerDied):
+                pool.call(0, "hello", None)
+            pool.respawn(0)
+            assert pool.pid(0) != old
+            assert pool.call(0, "hello", None) == rows
+        finally:
+            pool.close()
+
+    def test_worker_died_error_carries_index(self):
+        err = WorkerDied(3, "killed")
+        assert err.index == 3
+        assert isinstance(err, ReproError)
+        assert "worker 3" in str(err)
+
+
+class TestControlPlane:
+    def test_hosts_property_raises_when_sharded(self):
+        c = run_cluster(2, until=0.5)
+        try:
+            with pytest.raises(ClusterError, match="worker processes"):
+                _ = c.hosts
+        finally:
+            c.close()
+
+    def test_hosts_property_live_inline(self):
+        c = run_cluster(1, until=0.5)
+        assert len(c.hosts) == 5
+        assert all(h.now == pytest.approx(0.5) for h in c.hosts)
+
+    def test_context_manager_closes_workers(self):
+        params = ClusterParams(n_hosts=2, host_ncpus=2, host_memory=gib(1))
+        with Cluster(params, jobs=2) as c:
+            c.submit(pod("p0"))
+            c.run(until=1.0)
+            pids = [c._executor.pool.pid(i) for i in range(2)]
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            alive = []
+            for p in pids:
+                try:
+                    os.kill(p, 0)
+                    alive.append(p)
+                except ProcessLookupError:
+                    pass
+            if not alive:
+                break
+            time.sleep(0.01)
+        assert not alive
+        with pytest.raises(ReproError, match="closed"):
+            c._executor.pool.pid(0)
+
+    def test_duplicate_pending_rejected_via_name_set(self):
+        c = run_cluster(1, until=0.0)
+        c.submit(pod("dup"))
+        assert "dup" in c._pending_names
+        with pytest.raises(ClusterError, match="already"):
+            c.submit(pod("dup"))
+        c.run(until=0.5)
+        assert not c._pending_names
+        with pytest.raises(ClusterError, match="already"):
+            c.submit(pod("dup"))          # placed now, still rejected
+
+    def test_rejected_pod_can_be_resubmitted(self):
+        params = ClusterParams(n_hosts=1, host_ncpus=2, host_memory=gib(4),
+                               strategy="static", migration=False)
+        c = Cluster(params)
+        c.submit(pod("big", request=2.0, demand=0.1))
+        c.submit(pod("late", request=1.0, demand=0.1))
+        c.run(until=1.0)
+        assert c.rejected == ["late"]
+        c.submit(pod("late", request=1.0, demand=0.1))   # name free again
+        c.run(until=2.0)
+        assert c.rejected == ["late", "late"]   # rejected again, recorded
+
+    def test_migration_probe_reads_incremental_demand_ledger(self):
+        c = run_cluster(1, until=2.0)
+        for ledger in c.ledgers:
+            assert ledger.demand_cpu == pytest.approx(
+                sum(r.demand for r in ledger.pods.values()))
+
+    def test_epoch_sample_digest_changes_per_epoch(self):
+        c = run_cluster(1, until=1.0)
+        first = c.epoch_sample_digest()
+        c.run(until=2.0)
+        assert c.epoch_sample_digest() != first
